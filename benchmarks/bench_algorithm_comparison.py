@@ -1,0 +1,101 @@
+"""Head-to-head: the paper's two PTIME algorithms for conjunctive queries.
+
+After Theorem 4.7 the paper remarks that the path-decomposition approach
+(Corollary 4.4: linear in |D| but with a constant of order 2^|Phi|) and
+the bounded-width search (Theorem 4.7: O(|D|^{k+1} |Phi|)) trade off in
+an unclear way: "it is not immediately clear which algorithm will be more
+efficient in practice".  These benchmarks answer that empirically:
+
+* sweeping the **query** (whose path count grows exponentially with its
+  width) at fixed database — path decomposition degrades, the Theorem 4.7
+  search does not;
+* sweeping the **database** at fixed small query — both are polynomial
+  and path decomposition's smaller per-path constant tends to win;
+* SEQ as the specialized baseline where the query is sequential.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.conjunctive import (
+    bounded_width_entails_dag,
+    paths_entails_dag,
+)
+from repro.algorithms.seq import seq_entails
+from repro.core.atoms import Rel
+from repro.core.database import LabeledDag
+from repro.core.ordergraph import OrderGraph
+from repro.workloads.generators import random_flexiword, random_observer_dag
+
+
+def wide_query_dag(columns: int) -> LabeledDag:
+    """A two-row ladder query: its path count is 2^columns (cf. Fig 7)."""
+    graph = OrderGraph()
+    labels = {}
+    for j in range(columns):
+        for row, pred in (("a", "P"), ("b", "Q")):
+            name = f"{row}{j}"
+            graph.add_vertex(name)
+            labels[name] = frozenset({pred})
+    for j in range(columns - 1):
+        for r1 in ("a", "b"):
+            for r2 in ("a", "b"):
+                graph.add_edge(f"{r1}{j}", f"{r2}{j + 1}", Rel.LT)
+    return LabeledDag(graph, labels)
+
+
+def observer(seed: int, k: int, length: int) -> LabeledDag:
+    return random_observer_dag(
+        random.Random(seed), k, length, preds=("P", "Q")
+    )
+
+
+@pytest.mark.parametrize("columns", [2, 4, 6, 8])
+def test_paths_vs_query_width(benchmark, columns):
+    """Path decomposition: cost explodes with the query's 2^m paths.
+
+    The database is the query's own labelled graph (its canonical
+    database), so entailment holds and every one of the 2^m paths must be
+    checked — no early exit.
+    """
+    dag = wide_query_dag(columns)
+    qdag = wide_query_dag(columns)
+    result = benchmark(lambda: paths_entails_dag(dag, qdag))
+    assert result is True
+
+
+@pytest.mark.parametrize("columns", [2, 4, 6, 8])
+def test_theorem47_vs_query_width(benchmark, columns):
+    """Theorem 4.7: polynomial in the same query parameter."""
+    dag = wide_query_dag(columns)
+    qdag = wide_query_dag(columns)
+    result = benchmark(lambda: bounded_width_entails_dag(dag, qdag))
+    assert result is True
+
+
+@pytest.mark.parametrize("size", [20, 60, 180])
+def test_paths_vs_db_size(benchmark, size):
+    """Path decomposition: linear in |D| at a fixed small query."""
+    dag = observer(seed=62, k=2, length=size // 2)
+    qdag = wide_query_dag(3)
+    benchmark(lambda: paths_entails_dag(dag, qdag))
+
+
+@pytest.mark.parametrize("size", [20, 60, 180])
+def test_theorem47_vs_db_size(benchmark, size):
+    """Theorem 4.7 on the same instances."""
+    dag = observer(seed=62, k=2, length=size // 2)
+    qdag = wide_query_dag(3)
+    benchmark(lambda: bounded_width_entails_dag(dag, qdag))
+
+
+@pytest.mark.parametrize("size", [60, 180])
+def test_seq_baseline(benchmark, size):
+    """SEQ on sequential queries: the specialized fast path."""
+    dag = observer(seed=63, k=2, length=size // 2)
+    p = random_flexiword(random.Random(64), 6, preds=("P", "Q"),
+                         empty_ok=False)
+    benchmark(lambda: seq_entails(dag, p))

@@ -1,0 +1,58 @@
+"""Proposition 2.10: query containment via indefinite-order entailment.
+
+Benchmarks the containment decision (including the freeze + entailment
+pipeline) on optimizer-style instances, the counterexample extraction,
+and the sound homomorphism pre-test — the cheap filter an optimizer would
+try before paying for the full Pi2p decision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.containment.containment import (
+    contained,
+    counterexample,
+    homomorphism_contained,
+)
+from repro.containment.relational import RelationalQuery
+from repro.core.atoms import ProperAtom, le, lt
+from repro.core.sorts import objvar, ordvar
+
+
+def _queries(n_atoms: int) -> tuple[RelationalQuery, RelationalQuery]:
+    """A containment pair with an n-atom chain body."""
+    d = objvar("d")
+    xs = [ordvar(f"x{i}") for i in range(n_atoms)]
+    atoms1 = [ProperAtom("Emp", (x, d)) for x in xs]
+    atoms1 += [lt(a, b) for a, b in zip(xs, xs[1:])]
+    q1 = RelationalQuery((d,), tuple(atoms1))
+    # q2 relaxes the last comparison to '<='
+    atoms2 = [ProperAtom("Emp", (x, d)) for x in xs]
+    atoms2 += [lt(a, b) for a, b in zip(xs[:-1], xs[1:-1])]
+    if n_atoms >= 2:
+        atoms2.append(le(xs[-2], xs[-1]))
+    q2 = RelationalQuery((d,), tuple(atoms2))
+    return q1, q2
+
+
+@pytest.mark.parametrize("n_atoms", [2, 3, 4])
+def test_containment_decision(benchmark, n_atoms):
+    q1, q2 = _queries(n_atoms)
+    result = benchmark(lambda: contained(q1, q2))
+    assert result is True  # strict chain implies relaxed chain
+
+
+@pytest.mark.parametrize("n_atoms", [2, 3])
+def test_containment_counterexample(benchmark, n_atoms):
+    q1, q2 = _queries(n_atoms)
+    witness = benchmark(lambda: counterexample(q2, q1))
+    assert witness is not None  # the relaxed query is not contained back
+
+
+@pytest.mark.parametrize("n_atoms", [2, 3, 4])
+def test_homomorphism_pretest(benchmark, n_atoms):
+    """The sound Chandra-Merlin filter is far cheaper than containment."""
+    q1, q2 = _queries(n_atoms)
+    result = benchmark(lambda: homomorphism_contained(q1, q2))
+    assert result is True

@@ -1,0 +1,187 @@
+"""Figures 1-8: every figure's construction regenerated and measured.
+
+* Figure 1 — the models of Example 1.1 (the espionage database);
+* Figure 2 — sequence alignment feasibility (Example 1.2);
+* Figures 3/4 — the ternary disjunction gadget and its width-two layout;
+* Figure 5 — the example query dag and its path decomposition;
+* Figure 6 — the SEQ algorithm's O(|D| |p| |Pred|) scaling;
+* Figures 7/8 — the tautology ladder and per-disjunct components.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.seq import seq_entails
+from repro.core.atoms import ProperAtom, le, lt
+from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.entailment import entails
+from repro.core.models import count_minimal_models, iter_minimal_models
+from repro.core.query import ConjunctiveQuery
+from repro.core.semantics import Semantics
+from repro.core.sorts import obj, objvar, ordc, ordvar
+from repro.flexiwords.flexiword import FlexiWord
+from repro.reductions import monotone3sat, tautology
+from repro.reductions.monotone3sat import MonotoneSatInstance
+from repro.workloads.generators import gene_sequences, random_flexiword
+
+
+def _espionage_db() -> IndefiniteDatabase:
+    z = [ordc(f"z{i}") for i in range(1, 5)]
+    u = [ordc(f"u{i}") for i in range(1, 5)]
+    a, b = obj("A"), obj("B")
+    return IndefiniteDatabase.of(
+        ProperAtom("IC", (z[0], z[1], a)),
+        ProperAtom("IC", (z[2], z[3], b)),
+        lt(z[0], z[1]), lt(z[1], z[2]), lt(z[2], z[3]),
+        ProperAtom("IC", (u[0], u[2], a)),
+        ProperAtom("IC", (u[1], u[3], b)),
+        lt(u[0], u[1]), lt(u[1], u[2]), lt(u[2], u[3]),
+    )
+
+
+def test_fig1_models(benchmark):
+    """Figure 1: enumerate the minimal models of the Example 1.1 data.
+
+    Two strict 4-chains interleave in Delannoy(4,4) = 321 ways; the
+    figure shows four of them.
+    """
+    db = _espionage_db()
+    count = benchmark(lambda: sum(1 for _ in iter_minimal_models(db)))
+    assert count == 321
+    print(f"\nFigure 1: Example 1.1 database has {count} minimal models")
+
+
+def test_fig1_queries(benchmark):
+    """The deduction of Example 1.1 under the dense-time semantics."""
+    db = _espionage_db()
+    x = objvar("x")
+    t = [ordvar(f"t{i}") for i in range(1, 5)]
+    w = ordvar("w")
+    common = [
+        ProperAtom("IC", (t[0], t[1], x)),
+        ProperAtom("IC", (t[2], t[3], x)),
+        lt(t[0], w), lt(w, t[1]), lt(t[2], w), lt(w, t[3]),
+    ]
+    from repro.core.query import DisjunctiveQuery
+
+    psi = DisjunctiveQuery.of(
+        ConjunctiveQuery.from_atoms(common + [lt(t[0], t[2])]),
+        ConjunctiveQuery.from_atoms(common + [lt(t[1], t[3])]),
+    )
+    twice = ConjunctiveQuery.of(
+        ProperAtom("IC", (t[0], t[1], x)),
+        ProperAtom("IC", (t[2], t[3], x)),
+        lt(t[0], t[2]),
+    )
+    query = psi.or_(twice)
+
+    result = benchmark(lambda: entails(db, query, semantics=Semantics.Q))
+    assert result is True
+
+
+@pytest.mark.parametrize("length", [3, 5, 7])
+def test_fig2_alignment(benchmark, length):
+    """Figure 2: alignment feasibility for two random sequences."""
+    rng = random.Random(23 + length)
+    s1, s2 = gene_sequences(rng, 2, length)
+    chains = [FlexiWord.word([c] for c in s) for s in (s1, s2)]
+    dag = LabeledDag.from_chains(chains)
+    db = dag.to_database()
+    t = ordvar("t")
+    # disallow aligning an A with a G (the paper's example constraint)
+    violation = ConjunctiveQuery.of(
+        ProperAtom("A", (t,)), ProperAtom("G", (t,))
+    )
+    result = benchmark(lambda: entails(db, violation))
+    # A constraint-respecting alignment always exists (never align them):
+    assert result is False
+
+
+def test_fig3_gadget_properties():
+    """Figure 3: the disjunction gadget satisfies D1 and D2."""
+    gadget_atoms = monotone3sat._gadget("a", "b", "c", "u", "v", "w", "t")
+    db = IndefiniteDatabase.from_atoms(gadget_atoms)
+    x = objvar("x")
+    t1, t2, t3 = ordvar("t1"), ordvar("t2"), ordvar("t3")
+
+    def phi(const):
+        return ConjunctiveQuery.of(
+            ProperAtom("P", (t1, const)),
+            ProperAtom("P", (t2, const)),
+            ProperAtom("P", (t3, const)),
+            lt(t1, t2), lt(t2, t3),
+        )
+
+    from repro.core.query import DisjunctiveQuery
+
+    # D1: in every model phi(a) v phi(b) v phi(c).
+    assert entails(
+        db, DisjunctiveQuery.of(phi(obj("a")), phi(obj("b")), phi(obj("c")))
+    )
+    # D2: none of them individually.
+    for name in ("a", "b", "c"):
+        assert not entails(db, phi(obj(name)))
+    print("\nFigure 3 gadget: D1 and D2 verified")
+
+
+def test_fig4_width_two_layout(benchmark):
+    """Figure 4: the serialized layout has width exactly two."""
+    instance = MonotoneSatInstance(
+        positive=(("p", "q", "r"), ("q", "r", "r")),
+        negative=(("p", "p", "q"),),
+    )
+    db = monotone3sat.build_database(instance, bounded_width=True)
+    width = benchmark(db.width)
+    assert width == 2
+
+
+def test_fig5_paths(benchmark):
+    """Figure 5: the example query dag decomposes into its two paths."""
+    t1, t2, t3, t4 = (ordvar(f"t{i}") for i in range(1, 5))
+    q = ConjunctiveQuery.of(
+        ProperAtom("P", (t1,)), ProperAtom("Q", (t1,)),
+        ProperAtom("P", (t2,)), ProperAtom("R", (t3,)),
+        ProperAtom("S", (t4,)),
+        lt(t1, t2), lt(t2, t3), le(t2, t4),
+    )
+    paths = benchmark(q.paths)
+    assert {str(p) for p in paths} == {
+        "{P,Q} < {P} < {R}", "{P,Q} < {P} <= {S}"
+    }
+
+
+@pytest.mark.parametrize("db_size", [30, 90, 270])
+def test_fig6_seq_scaling(benchmark, db_size):
+    """Figure 6: SEQ runs in O(|D| * |p| * |Pred|) — linear sweep in |D|."""
+    rng = random.Random(29)
+    chains = [
+        random_flexiword(rng, db_size // 3, empty_ok=False) for _ in range(3)
+    ]
+    dag = LabeledDag.from_chains(chains)
+    p = random_flexiword(rng, 5, empty_ok=False)
+    benchmark(lambda: seq_entails(dag, p))
+
+
+def test_fig7_query_ladder():
+    """Figure 7: Phi(alpha)'s paths are exactly the 2^m valuations."""
+    qdag = tautology.build_query_dag(4)
+    paths = {p.letters for p in qdag.iter_paths()}
+    assert len(paths) == 16
+    assert qdag.width() == 2
+    print("\nFigure 7 ladder: 16 paths for m=4, width 2")
+
+
+def test_fig8_component_language(benchmark):
+    """Figure 8: a disjunct's component accepts exactly its valuations."""
+    disjunct = {"p0": True, "p2": False, "p3": True}  # p1 free
+
+    def build_and_paths():
+        dag = tautology.build_database_dag([disjunct], 4)
+        return {p.letters for p in dag.iter_paths()}
+
+    words = benchmark(build_and_paths)
+    t, f = frozenset({"T"}), frozenset({"F"})
+    assert words == {(t, t, f, t), (t, f, f, t)}

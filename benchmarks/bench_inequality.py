@@ -1,0 +1,65 @@
+"""Section 7: the cost of inequality.
+
+* Theorem 7.1 part 1: the fixed three-point database answering growing
+  coloring queries (NP-hard expression complexity — runtime grows with
+  the graph);
+* Theorem 7.1 part 2: the fixed four-point query over growing
+  '!='-databases (co-NP-hard data complexity);
+* the expansion blowup: entailment via 2^m database expansions vs the
+  native '!='-aware model enumeration.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.entailment import entails
+from repro.inequality.neq import entails_with_neq, expand_database_neq
+from repro.reductions import coloring
+from repro.workloads.generators import random_graph
+
+
+@pytest.mark.parametrize("n_vertices", [3, 4, 5])
+def test_theorem71_part1(benchmark, n_vertices):
+    """Coloring queries against the fixed chain database."""
+    rng = random.Random(53 + n_vertices)
+    graph = random_graph(rng, n_vertices, 0.5)
+    db, query, expected = coloring.part1_claim(graph)
+    result = benchmark(lambda: entails(db, query))
+    assert result == expected
+
+
+@pytest.mark.parametrize("n_vertices", [4, 5])
+def test_theorem71_part2(benchmark, n_vertices):
+    """The fixed sequential query against growing '!='-databases."""
+    rng = random.Random(59 + n_vertices)
+    graph = random_graph(rng, n_vertices, 0.6)
+    db, query, expected = coloring.part2_claim(graph)
+    result = benchmark(lambda: entails(db, query))
+    assert result == expected
+
+
+@pytest.mark.parametrize("n_neq", [1, 2, 3])
+def test_expansion_blowup(benchmark, n_neq):
+    """Database '!=' expansion: 2^m cases, each on the monadic fast path."""
+    from repro.core.atoms import ProperAtom, ne
+    from repro.core.database import IndefiniteDatabase
+    from repro.core.query import ConjunctiveQuery
+    from repro.core.sorts import ordc, ordvar
+
+    names = [ordc(f"u{i}") for i in range(n_neq + 1)]
+    atoms = [ProperAtom("P", (c,)) for c in names]
+    atoms += [ne(a, b) for a, b in zip(names, names[1:])]
+    db = IndefiniteDatabase.from_atoms(atoms)
+    t1, t2 = ordvar("t1"), ordvar("t2")
+    from repro.core.atoms import lt
+
+    query = ConjunctiveQuery.of(
+        ProperAtom("P", (t1,)), ProperAtom("P", (t2,)), lt(t1, t2)
+    )
+    expansions = expand_database_neq(db)
+    assert len(expansions) <= 2 ** n_neq
+    result = benchmark(lambda: entails_with_neq(db, query))
+    assert result == entails(db, query)

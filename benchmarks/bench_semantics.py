@@ -1,0 +1,66 @@
+"""Section 2: cost of the semantics reductions (Prop 2.3, Cor 2.6).
+
+Both transformations are polynomial-time preprocessing steps; these
+benchmarks show the padded-database (Z) and tightened-query (Q) pipelines
+cost only marginally more than the finite-model pipeline on the same
+instances, as the reductions promise.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.database import LabeledDag
+from repro.core.entailment import entails
+from repro.core.query import ConjunctiveQuery
+from repro.core.semantics import Semantics, pad_for_integers, tighten_for_rationals
+from repro.flexiwords.flexiword import FlexiWord
+from repro.workloads.generators import (
+    random_conjunctive_monadic_query,
+    random_flexiword,
+)
+
+
+def _instance(size: int):
+    rng = random.Random(41)
+    chains = [
+        random_flexiword(rng, size // 2, empty_ok=False) for _ in range(2)
+    ]
+    dag = LabeledDag.from_chains(chains)
+    # a nontight query: middle variable in no proper atom
+    from repro.core.atoms import ProperAtom, lt
+    from repro.core.sorts import ordvar
+
+    t1, t2, t3 = ordvar("t1"), ordvar("t2"), ordvar("t3")
+    query = ConjunctiveQuery.of(
+        ProperAtom("P", (t1,)), lt(t1, t2), lt(t2, t3), ProperAtom("Q", (t3,))
+    )
+    return dag.to_database(), query
+
+
+@pytest.mark.parametrize("semantics", [Semantics.FIN, Semantics.Z, Semantics.Q])
+def test_semantics_pipelines(benchmark, semantics):
+    """End-to-end entailment under each semantics on the same instance."""
+    db, query = _instance(20)
+    benchmark(lambda: entails(db, query, semantics=semantics))
+
+
+@pytest.mark.parametrize("size", [20, 60, 180])
+def test_padding_transform_cost(benchmark, size):
+    """Proposition 2.3's D -> D' construction alone."""
+    db, query = _instance(size)
+    padded = benchmark(lambda: pad_for_integers(db, query))
+    assert padded.size() > db.size()
+
+
+@pytest.mark.parametrize("n_vars", [3, 6, 12])
+def test_tightening_transform_cost(benchmark, n_vars):
+    """Lemma 2.5's phi -> phi' construction alone."""
+    rng = random.Random(43)
+    query = random_conjunctive_monadic_query(rng, n_vars, empty_ok=True)
+    tightened = benchmark(lambda: tighten_for_rationals(query))
+    from repro.core.semantics import is_tight
+
+    assert is_tight(tightened)

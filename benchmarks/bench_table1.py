@@ -1,0 +1,143 @@
+"""Table 1: complexity of query problems, n-ary vs monadic predicates.
+
+Paper's claims (each cell a completeness result):
+
+=========  ==================  ===============  ===================
+arity      data                expression       combined
+=========  ==================  ===============  ===================
+n-ary      co-NP complete      NP complete      Pi2p complete
+monadic    PTIME               PTIME            co-NP complete
+=========  ==================  ===============  ===================
+
+Reproduced shape: the three hard n-ary cells run the generic algorithm on
+reduction-generated instances and exhibit super-polynomial growth in the
+swept parameter, with every answer cross-checked against the reference
+propositional solver; the two monadic PTIME cells sweep the *database*
+(data complexity) / the *query* (expression complexity) and stay
+polynomial; the monadic combined cell runs the Theorem 4.6 gadget.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.modelcheck import word_satisfies_dag
+from repro.core.database import LabeledDag
+from repro.core.entailment import entails, explain
+from repro.flexiwords.flexiword import FlexiWord
+from repro.reductions import expression, monotone3sat, pi2, tautology
+from repro.reductions.monotone3sat import MonotoneSatInstance
+from repro.reductions.pi2 import Pi2Instance
+from repro.workloads.generators import random_dnf, random_flexiword
+
+# ---------------------------------------------------------------- n-ary row
+
+
+@pytest.mark.parametrize("n_clauses", [1, 2, 3])
+def test_table1_data_nary(benchmark, n_clauses):
+    """Row 1 col 1 (co-NP-complete data complexity): fixed Theorem 3.2
+    query, database grows with the monotone-3SAT instance."""
+    rng = random.Random(7 + n_clauses)
+    letters = [f"p{i}" for i in range(2)]
+    pos = tuple(
+        tuple(rng.choice(letters) for _ in range(3)) for _ in range(n_clauses)
+    )
+    neg = (tuple(rng.choice(letters) for _ in range(3)),)
+    instance = MonotoneSatInstance(positive=pos, negative=neg)
+    db, query, expected = monotone3sat.reduction_claim(
+        instance, bounded_width=True
+    )
+
+    result = benchmark.pedantic(
+        lambda: entails(db, query), rounds=1, iterations=1
+    )
+    assert result == expected
+
+
+@pytest.mark.parametrize("depth", [2, 4, 6])
+def test_table1_expression_nary(benchmark, depth):
+    """Row 1 col 2 (NP-complete expression complexity): fixed truth-table
+    database, query encodes a growing formula (Theorem 3.4)."""
+    formula = ("var", "x0")
+    for i in range(1, depth):
+        formula = ("and", ("or", formula, ("var", f"x{i}")),
+                   ("not", ("var", f"x{i - 1}")))
+    db, query, expected = expression.reduction_claim(formula)
+
+    result = benchmark(lambda: entails(db, query))
+    assert result == expected
+
+
+@pytest.mark.parametrize("universals", [1, 2])
+def test_table1_combined_nary(benchmark, universals):
+    """Row 1 col 3 (Pi2p-complete combined complexity): Theorem 3.3."""
+    names = [f"p{i}" for i in range(universals)]
+    # forall p . exists q . (p1 or ... or pn) or q  — always true
+    formula = ("var", "q")
+    for name in names:
+        formula = ("or", formula, ("var", name))
+    inst = Pi2Instance(tuple(names), ("q",), formula)
+    db, query, expected = inst.reduction()
+
+    result = benchmark.pedantic(
+        lambda: entails(db, query), rounds=1, iterations=1
+    )
+    assert result == expected
+
+
+# ---------------------------------------------------------------- monadic row
+
+
+@pytest.mark.parametrize("db_size", [20, 60, 180])
+def test_table1_data_monadic(benchmark, db_size):
+    """Row 2 col 1 (PTIME data complexity): a fixed conjunctive monadic
+    query against growing 2-observer databases (Corollary 4.4)."""
+    rng = random.Random(11)
+    chains = [
+        random_flexiword(rng, db_size // 2, empty_ok=False) for _ in range(2)
+    ]
+    dag = LabeledDag.from_chains(chains)
+    db = dag.to_database()
+    from conftest import dag_query
+
+    query = dag_query(3, 3)
+
+    benchmark(lambda: entails(db, query, method="paths"))
+
+
+@pytest.mark.parametrize("query_size", [10, 30, 90])
+def test_table1_expression_monadic(benchmark, query_size):
+    """Row 2 col 2 (PTIME expression complexity): growing disjunctive
+    monadic queries evaluated in a fixed finite model (Corollary 5.1:
+    O(|M| |Phi| |Pred|))."""
+    rng = random.Random(13)
+    model = tuple(
+        random_flexiword(rng, 1, empty_ok=False).letters[0]
+        for _ in range(12)
+    )
+    qdags = [
+        LabeledDag.from_flexiword(
+            random_flexiword(rng, 3, empty_ok=False), prefix=f"q{i}_"
+        )
+        for i in range(query_size // 3)
+    ]
+
+    def check():
+        return sum(1 for q in qdags if word_satisfies_dag(model, q))
+
+    benchmark(check)
+
+
+@pytest.mark.parametrize("n_letters", [2, 3, 4])
+def test_table1_combined_monadic(benchmark, n_letters):
+    """Row 2 col 3 (co-NP-complete combined complexity): the Theorem 4.6
+    tautology gadget — database and query grow together."""
+    rng = random.Random(17)
+    disjuncts = random_dnf(rng, n_letters, n_letters + 1, 2)
+    dag, query, expected = tautology.reduction_claim(disjuncts, n_letters)
+    db = dag.to_database()
+
+    result = benchmark(lambda: entails(db, query))
+    assert result == expected

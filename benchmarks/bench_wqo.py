@@ -1,0 +1,77 @@
+"""Section 6: the wqo basis — expensive to build, linear to use.
+
+Theorem 6.5 promises linear-time data complexity for fixed disjunctive
+monadic queries, once a finite basis of the entailing-database ideal is
+known.  The constructive word-database basis implemented in
+:mod:`repro.flexiwords.wqo` makes the trade measurable:
+
+* basis construction cost grows quickly with the query (the "very large
+  constants" the paper warns about);
+* evaluation against a basis is a handful of linear subword scans —
+  swept over word length to exhibit the linear data step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.flexiwords.flexiword import FlexiWord
+from repro.flexiwords.wqo import (
+    conjunctive_basis,
+    dominates,
+    entails_via_basis,
+    word_basis,
+    word_entails_via_basis,
+)
+from repro.workloads.generators import (
+    random_conjunctive_monadic_query,
+    random_disjunctive_monadic_query,
+    random_flexiword,
+    random_labeled_dag,
+)
+
+
+@pytest.mark.parametrize("query_vars", [2, 3, 4])
+def test_word_basis_construction(benchmark, query_vars):
+    """Cost of computing the finite basis (the compile step)."""
+    rng = random.Random(47)
+    query = random_disjunctive_monadic_query(
+        rng, 2, query_vars, preds=("A", "B")
+    )
+    basis = benchmark(lambda: word_basis(query))
+    assert isinstance(basis, set)
+
+
+@pytest.mark.parametrize("word_length", [50, 150, 450])
+def test_basis_evaluation_is_linear(benchmark, word_length):
+    """The data step: subword scans against a precomputed basis."""
+    rng = random.Random(48)
+    query = random_disjunctive_monadic_query(rng, 2, 3, preds=("A", "B"))
+    basis = word_basis(query)
+    word = tuple(
+        random_flexiword(rng, 1, preds=("A", "B")).letters[0]
+        for _ in range(word_length)
+    )
+    benchmark(lambda: word_entails_via_basis(word, basis))
+
+
+@pytest.mark.parametrize("db_size", [4, 8, 16])
+def test_conjunctive_basis_evaluation(benchmark, db_size):
+    """The conjunctive case: D |= Phi iff D_Phi <= D (end of Section 6)."""
+    rng = random.Random(49)
+    dag = random_labeled_dag(rng, db_size, edge_prob=0.5)
+    query = random_conjunctive_monadic_query(rng, 3, empty_ok=False)
+    if query.normalized() is None:
+        pytest.skip("degenerate random query")
+    benchmark(lambda: entails_via_basis(dag, query))
+
+
+@pytest.mark.parametrize("size", [4, 8])
+def test_dominance_check(benchmark, size):
+    """The Lemma 6.4 order itself (path-set dominance)."""
+    rng = random.Random(50)
+    d1 = random_labeled_dag(rng, size, edge_prob=0.6, prefix="a")
+    d2 = random_labeled_dag(rng, size, edge_prob=0.6, prefix="b")
+    benchmark(lambda: dominates(d1, d2))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Compile-then-evaluate: the Section 6 basis as a query compiler.
+
+The paper's data-complexity results are about the cost *after*
+compilation: Theorem 6.5 shows every disjunctive monadic query has a
+linear-time evaluation, but the proof is nonconstructive.  For word
+databases this library makes the compile step concrete (see
+``repro.flexiwords.wqo``): the finite basis of minimal entailing words is
+computed once per query, after which each database is answered by a few
+linear subword scans.
+
+This script compiles a small alert-correlation query, shows the basis,
+and compares per-database evaluation via the basis against the general
+algorithm on a stream of databases.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.database import LabeledDag
+from repro.core.query import DisjunctiveQuery
+from repro.flexiwords.flexiword import FlexiWord
+from repro.flexiwords.wqo import word_basis, word_entails_via_basis
+from repro.core.query import ConjunctiveQuery
+from repro.algorithms.conjunctive import paths_entails
+from repro.workloads.generators import random_flexiword
+
+
+def main() -> None:
+    # Alert-correlation query over an event log (a word database):
+    # "a Warn strictly followed by an Error"  OR  "two Errors in a row".
+    warn_then_error = ConjunctiveQuery.from_flexiword(
+        FlexiWord.parse("{Warn} < {Error}")
+    )
+    double_error = ConjunctiveQuery.from_flexiword(
+        FlexiWord.parse("{Error} < {Error}")
+    )
+    query = DisjunctiveQuery.of(warn_then_error, double_error)
+    print(f"query: {query}\n")
+
+    t0 = time.perf_counter()
+    basis = word_basis(query)
+    compile_time = time.perf_counter() - t0
+    print(f"compiled basis ({len(basis)} minimal words, "
+          f"{compile_time * 1e3:.1f} ms):")
+    for word in sorted(basis, key=repr):
+        print(f"    {FlexiWord.word(word)}")
+
+    rng = random.Random(99)
+    logs = [
+        tuple(
+            random_flexiword(rng, 1, preds=("Warn", "Error", "Info")).letters[0]
+            for _ in range(length)
+        )
+        for length in (50, 50, 200, 200, 800)
+    ]
+
+    print("\nevaluating a stream of event logs:")
+    total_basis = total_general = 0.0
+    for log in logs:
+        t0 = time.perf_counter()
+        via_basis = word_entails_via_basis(log, basis)
+        total_basis += time.perf_counter() - t0
+
+        dag = LabeledDag.from_flexiword(FlexiWord.word(log))
+        t0 = time.perf_counter()
+        general = any(
+            paths_entails(dag, d) for d in query.disjuncts
+        )
+        total_general += time.perf_counter() - t0
+        assert via_basis == general
+        print(f"    log of {len(log):4d} events -> fires: {via_basis}")
+
+    print(f"\ntotal basis evaluation:   {total_basis * 1e3:7.2f} ms")
+    print(f"total general evaluation: {total_general * 1e3:7.2f} ms")
+    print("\n(The basis answers each log with a few linear scans — the "
+          "\nconstructive face of Theorem 6.5's linear data complexity.)")
+
+
+if __name__ == "__main__":
+    main()

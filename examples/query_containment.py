@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Klug's problem: containment of conjunctive queries with inequalities.
+
+Proposition 2.10 makes query containment and indefinite-order entailment
+interreducible; with Theorem 3.3 this settles containment at
+Pi2p-complete, closing the gap Klug left open in 1988.  This script runs
+the machinery on concrete optimizer-style examples:
+
+* redundant-atom elimination justified by a containment test;
+* a containment that *fails*, with a concrete counterexample database
+  extracted from the entailment countermodel;
+* the classic pitfall: the homomorphism theorem is sound but incomplete
+  once inequalities appear (Klug's motivating observation).
+"""
+
+from __future__ import annotations
+
+from repro.containment.containment import (
+    contained,
+    counterexample,
+    entailment_to_containment,
+)
+from repro.containment.relational import RelationalQuery, answer_set
+from repro.core.atoms import ProperAtom, le, lt
+from repro.core.sorts import objvar, ordvar
+
+
+def emp(salary, dept):
+    return ProperAtom("Emp", (salary, dept))
+
+
+def main() -> None:
+    x, y = ordvar("x"), ordvar("y")
+    z = ordvar("z")
+    d = objvar("d")
+
+    print("=== Redundancy detection via containment ===")
+    # Q1: departments with two employees AND a third strictly between
+    #     their salaries; Q2 drops the middleman.
+    q1 = RelationalQuery(
+        head=(d,),
+        atoms=(
+            emp(x, d), emp(y, d), emp(z, d),
+            lt(x, z), lt(z, y),
+        ),
+    )
+    q2 = RelationalQuery(
+        head=(d,), atoms=(emp(x, d), emp(y, d), lt(x, y))
+    )
+    print(f"Q1 = {q1}")
+    print(f"Q2 = {q2}")
+    print(f"Q1 contained in Q2? {contained(q1, q2)}  "
+          "(dropping the middleman only widens the answer)")
+    print(f"Q2 contained in Q1? {contained(q2, q1)}  "
+          "(two adjacent salaries need no strict middleman)")
+    assert contained(q1, q2) and not contained(q2, q1)
+    # Both queries are *tight* (z occurs in a proper atom), so by
+    # Proposition 2.2 the verdicts are the same over finite, integer and
+    # dense orders alike.
+    from repro.core.semantics import Semantics
+
+    assert not contained(q2, q1, semantics=Semantics.Q)
+    print("-> the optimizer may rewrite Q1 into Q2 only when widening "
+          "is acceptable; the reverse rewrite is unsound (all three "
+          "semantics agree — the queries are tight).\n")
+
+    print("=== A failing containment, with a counterexample ===")
+    q3 = RelationalQuery(head=(d,), atoms=(emp(x, d), emp(y, d), le(x, y)))
+    q4 = RelationalQuery(head=(d,), atoms=(emp(x, d), emp(y, d), lt(x, y)))
+    print(f"Q3 = {q3}")
+    print(f"Q4 = {q4}")
+    print(f"Q3 contained in Q4? {contained(q3, q4)}")
+    witness = counterexample(q3, q4)
+    assert witness is not None
+    print(f"counterexample database: {witness.model}")
+    print(f"tuple in Ans(Q3) \\ Ans(Q4): {witness.tuple_}")
+    print(f"  Ans(Q3) = {sorted(answer_set(q3, witness.model))}")
+    print(f"  Ans(Q4) = {sorted(answer_set(q4, witness.model))}\n")
+
+    print("=== Homomorphism theorem fails with inequalities ===")
+    # Klug's point: for inequality-free conjunctive queries, containment
+    # equals existence of a homomorphism (Chandra-Merlin).  With order
+    # atoms the homomorphism test stays *sound* but turns *incomplete*:
+    # containments that hold by case analysis over the linear order have
+    # no single homomorphism witness.
+    from repro.containment.containment import (
+        containment_to_entailment,
+        homomorphism_contained,
+    )
+    from repro.core.atoms import ProperAtom as PA
+    from repro.core.entailment import entails
+    from repro.core.query import DisjunctiveQuery
+
+    u = ordvar("u")
+    qa = RelationalQuery(
+        head=(), atoms=(PA("A", (x,)), PA("B", (y,)), PA("C", (u,)), lt(x, y))
+    )
+    qb1 = RelationalQuery(
+        head=(),
+        atoms=(PA("A", (x,)), PA("B", (y,)), PA("C", (u,)), lt(x, y), le(x, u)),
+    )
+    qb2 = RelationalQuery(
+        head=(),
+        atoms=(PA("A", (x,)), PA("B", (y,)), PA("C", (u,)), lt(x, y), le(u, x)),
+    )
+    print(f"QA  = {qa}")
+    print(f"QB1 = {qb1}\n    contained(QA, QB1) = {contained(qa, qb1)}")
+    print(f"QB2 = {qb2}\n    contained(QA, QB2) = {contained(qa, qb2)}")
+    # Neither single containment holds (the C point may fall on either
+    # side of x), but by totality of the linear order the disjunction
+    # always does — exactly the case split a homomorphism cannot express.
+    db, body1 = containment_to_entailment(qa, qb1)
+    _, body2 = containment_to_entailment(qa, qb2)
+    disjunctive = DisjunctiveQuery.of(body1, body2)
+    print(f"QA 'contained' in QB1 v QB2 (via entailment view): "
+          f"{entails(db, disjunctive)}")
+    assert not contained(qa, qb1) and not contained(qa, qb2)
+    assert entails(db, disjunctive)
+    print(f"homomorphism test on QB1: {homomorphism_contained(qa, qb1)}, "
+          f"QB2: {homomorphism_contained(qa, qb2)} "
+          "(sound: both say no)")
+
+    # And a containment that HOLDS without any homomorphism witness:
+    # reflexivity of '<=' is invisible to atom-to-atom matching unless
+    # the entailed-order closure is consulted.
+    qc = RelationalQuery(head=(), atoms=(PA("A", (x,)), PA("B", (x,))))
+    qd = RelationalQuery(
+        head=(), atoms=(PA("A", (x,)), PA("B", (y,)), le(x, y))
+    )
+    print(f"\nQC = {qc}")
+    print(f"QD = {qd}")
+    print(f"contained(QC, QD) = {contained(qc, qd)}; "
+          f"homomorphism (with entailed-order closure) = "
+          f"{homomorphism_contained(qc, qd)}")
+    assert contained(qc, qd)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Quickstart: a tour of the public API.
+
+Covers: building indefinite order databases (programmatically and via the
+text DSL), asking positive existential queries under the three semantics,
+inspecting which algorithm answered, enumerating minimal models and
+countermodels, and computing certain answers for open queries.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ConjunctiveQuery,
+    DisjunctiveQuery,
+    FlexiWord,
+    IndefiniteDatabase,
+    LabeledDag,
+    ProperAtom,
+    Semantics,
+    certain_answers,
+    entails,
+    explain,
+    lt,
+    obj,
+    objvar,
+    ordc,
+    ordvar,
+)
+from repro.algorithms.disjunctive import iter_countermodels
+from repro.core.models import iter_minimal_models
+from repro.substrate.parser import parse_database, parse_query
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    section("1. Build a database and ask a query")
+    # Two sensors each report an ordered pair of events; nothing relates
+    # the sensors' clocks.
+    u1, u2, v1, v2 = ordc("u1"), ordc("u2"), ordc("v1"), ordc("v2")
+    db = IndefiniteDatabase.of(
+        ProperAtom("Boot", (u1,)),
+        ProperAtom("Crash", (u2,)),
+        lt(u1, u2),
+        ProperAtom("Ping", (v1,)),
+        ProperAtom("Timeout", (v2,)),
+        lt(v1, v2),
+    )
+    print(f"database: {db}")
+    print(f"width:    {db.width()}  (two independent observers)")
+
+    boot_before_timeout = ConjunctiveQuery.of(
+        ProperAtom("Boot", (ordvar("s"),)),
+        ProperAtom("Timeout", (ordvar("t"),)),
+        lt(ordvar("s"), ordvar("t")),
+    )
+    print(f"query:    {boot_before_timeout}")
+    print(f"entailed: {entails(db, boot_before_timeout)}   "
+          "(the sensors' interleaving is unknown)")
+
+    boot_before_crash = ConjunctiveQuery.of(
+        ProperAtom("Boot", (ordvar("s"),)),
+        ProperAtom("Crash", (ordvar("t"),)),
+        lt(ordvar("s"), ordvar("t")),
+    )
+    print(f"query:    {boot_before_crash}")
+    print(f"entailed: {entails(db, boot_before_crash)}")
+
+    section("2. See which algorithm answered, and get a countermodel")
+    report = explain(db, boot_before_timeout)
+    print(f"method:       {report.method}")
+    print(f"countermodel: {report.countermodel}")
+
+    section("3. The same database through the text DSL")
+    db2 = parse_database(
+        """
+        # two observers, unsynchronized clocks
+        Boot(u1); Crash(u2); u1 < u2
+        Ping(v1); Timeout(v2); v1 < v2
+        """
+    )
+    q2 = parse_query("Boot(s) & s < t & Timeout(t)", db2)
+    print(f"parsed query entailed: {entails(db2, q2)}")
+
+    section("4. Minimal models = generalized topological sorts")
+    models = list(iter_minimal_models(db))
+    print(f"the database has {len(models)} minimal models; first three:")
+    for m in models[:3]:
+        print(f"    {m}")
+
+    section("5. Disjunction and countermodel enumeration")
+    dag = LabeledDag.from_chains(
+        [FlexiWord.parse("{Boot} < {Crash}"), FlexiWord.parse("{Ping}")]
+    )
+    ordered_somehow = parse_query(
+        "Boot(s) & s < t & Ping(t) | Ping(t) & t < s & Crash(s)",
+        dag.to_database(),
+    )
+    print(f"query: {ordered_somehow}")
+    print(f"entailed: {entails(dag.to_database(), ordered_somehow)}")
+    print("models violating the disjunction:")
+    for word in iter_countermodels(dag, ordered_somehow):
+        print(f"    {FlexiWord.word(word)}")
+
+    section("6. Three semantics: finite, integers, rationals")
+    some_two_points = ConjunctiveQuery.of(
+        lt(ordvar("t1"), ordvar("t2"))
+    )
+    empty = IndefiniteDatabase.empty()
+    for sem in (Semantics.FIN, Semantics.Z, Semantics.Q):
+        print(f"  |= exists t1 < t2   under {sem.name}: "
+              f"{entails(empty, some_two_points, semantics=sem)}")
+
+    section("7. Certain answers of an open query")
+    who = certain_answers(
+        db,
+        ConjunctiveQuery.of(ProperAtom("Boot", (ordvar("t"),))),
+        free_vars=(),
+    )
+    db3 = IndefiniteDatabase.of(
+        ProperAtom("On", (ordc("p1"), obj("lamp"))),
+        ProperAtom("On", (ordc("p2"), obj("heater"))),
+        ProperAtom("Off", (ordc("p3"), obj("lamp"))),
+        lt(ordc("p1"), ordc("p3")),
+    )
+    x = objvar("x")
+    switched_off = ConjunctiveQuery.of(
+        ProperAtom("On", (ordvar("s"), x)),
+        ProperAtom("Off", (ordvar("t"), x)),
+        lt(ordvar("s"), ordvar("t")),
+    )
+    answers = certain_answers(db3, switched_off, free_vars=(x,))
+    print(f"devices certainly switched off: {sorted(answers)}")
+
+
+if __name__ == "__main__":
+    main()

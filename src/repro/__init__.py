@@ -1,0 +1,101 @@
+"""repro — indefinite order databases and their query complexity.
+
+A faithful, from-scratch reproduction of Ron van der Meyden's
+"The Complexity of Querying Indefinite Data about Linearly Ordered
+Domains" (PODS 1992 / JCSS 1997): indefinite order databases, positive
+existential queries, the Fin/Z/Q semantics, every algorithm (SEQ,
+path decomposition, the bounded-width searches of Theorems 4.7 and 5.3,
+the well-quasi-order machinery of Section 6), every lower-bound
+reduction, the Klug query-containment bridge, and the Section 7
+inequality extension.
+
+Quickstart::
+
+    from repro import *
+
+    db = IndefiniteDatabase.of(
+        ProperAtom("P", (ordc("u"),)),
+        ProperAtom("Q", (ordc("v"),)),
+        lt(ordc("u"), ordc("v")),
+    )
+    q = ConjunctiveQuery.of(
+        ProperAtom("P", (ordvar("s"),)),
+        ProperAtom("Q", (ordvar("t"),)),
+        lt(ordvar("s"), ordvar("t")),
+    )
+    assert entails(db, q)
+"""
+
+from repro.core import (
+    ConjunctiveQuery,
+    DisjunctiveQuery,
+    IndefiniteDatabase,
+    InconsistentError,
+    LabeledDag,
+    MonadicDatabase,
+    OrderAtom,
+    OrderGraph,
+    ProperAtom,
+    Query,
+    Rel,
+    ReproError,
+    Semantics,
+    Sort,
+    Term,
+    as_conjunctive,
+    as_dnf,
+    certain_answers,
+    chain,
+    eliminate_constants,
+    entails,
+    explain,
+    is_tight,
+    le,
+    lt,
+    ne,
+    obj,
+    objvar,
+    ordc,
+    ordvar,
+)
+from repro.analysis import ComplexityProfile, classify
+from repro.flexiwords import FlexiWord, letter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComplexityProfile",
+    "ConjunctiveQuery",
+    "DisjunctiveQuery",
+    "FlexiWord",
+    "IndefiniteDatabase",
+    "InconsistentError",
+    "LabeledDag",
+    "MonadicDatabase",
+    "OrderAtom",
+    "OrderGraph",
+    "ProperAtom",
+    "Query",
+    "Rel",
+    "ReproError",
+    "Semantics",
+    "Sort",
+    "Term",
+    "as_conjunctive",
+    "as_dnf",
+    "certain_answers",
+    "chain",
+    "classify",
+    "eliminate_constants",
+    "entails",
+    "explain",
+    "is_tight",
+    "le",
+    "letter",
+    "lt",
+    "ne",
+    "obj",
+    "objvar",
+    "ordc",
+    "ordvar",
+]

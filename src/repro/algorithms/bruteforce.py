@@ -1,0 +1,109 @@
+"""Brute-force entailment: the reference oracle for every fast algorithm.
+
+``D |= phi`` iff every minimal model of ``D`` satisfies ``phi``
+(Corollary 2.9).  This module enumerates minimal models (generalized
+topological sorts) and model-checks each, returning the first countermodel
+found.  The minimal-model process runs in a polynomial number of steps per
+model and model checking is in NP, so this realizes the generic co-NP /
+Pi2p upper bounds of Proposition 3.1 — and is, of course, exponential in
+practice.  Every PTIME algorithm in :mod:`repro.algorithms` is validated
+against this oracle in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.modelcheck import structure_satisfies
+from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.models import (
+    Structure,
+    iter_minimal_models,
+    iter_minimal_words,
+)
+from repro.core.query import Query, as_dnf
+from repro.flexiwords.flexiword import Word
+
+
+@dataclass(frozen=True)
+class EntailmentWitness:
+    """Outcome of an entailment check.
+
+    Attributes:
+        holds: True when the database entails the query.
+        countermodel: a minimal model falsifying the query when one exists
+            (a :class:`Structure`, or a :class:`Word` from the monadic fast
+            path); None when the query is entailed.
+    """
+
+    holds: bool
+    countermodel: Structure | Word | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def entails_bruteforce(
+    db: IndefiniteDatabase, query: Query
+) -> EntailmentWitness:
+    """Decide ``D |= phi`` by enumerating minimal models.
+
+    Query constants must be interpreted by the database (use
+    ``eliminate_constants`` for foreign constants — the top-level
+    :func:`repro.core.entailment.entails` does this automatically).
+    An inconsistent database entails everything vacuously.
+    """
+    dnf = as_dnf(query).normalized()
+    for model in iter_minimal_models(db):
+        if not structure_satisfies(model, dnf):
+            return EntailmentWitness(False, model)
+    return EntailmentWitness(True)
+
+
+def entails_bruteforce_monadic(
+    dag: LabeledDag, query: Query
+) -> EntailmentWitness:
+    """Monadic brute force: enumerate word models, check with Cor 5.1.
+
+    Exponentially many models but each check is polynomial — this is the
+    co-NP upper bound of Proposition 5.2 run deterministically.
+    """
+    dnf = as_dnf(query).normalized()
+    qdags = [d.monadic_dag() for d in dnf.disjuncts]
+    for word in iter_minimal_words(dag):
+        if not any(_word_check(word, q) for q in qdags):
+            return EntailmentWitness(False, word)
+    return EntailmentWitness(True)
+
+
+def _word_check(word: Word, qdag: LabeledDag) -> bool:
+    from repro.algorithms.modelcheck import word_satisfies_dag
+
+    return word_satisfies_dag(word, qdag)
+
+
+def count_countermodels(db: IndefiniteDatabase, query: Query) -> int:
+    """How many minimal models falsify the query (diagnostics/tests)."""
+    dnf = as_dnf(query).normalized()
+    return sum(
+        1
+        for model in iter_minimal_models(db)
+        if not structure_satisfies(model, dnf)
+    )
+
+
+def iter_countermodels_nary(
+    db: IndefiniteDatabase, query: Query
+):
+    """Generate every minimal model falsifying the query (n-ary case).
+
+    The general-predicate counterpart of
+    :func:`repro.algorithms.disjunctive.iter_countermodels`: no polynomial
+    delay guarantee (each candidate model is enumerated and checked), but
+    it works for any database and positive existential query, including
+    '!=' atoms on both sides.
+    """
+    dnf = as_dnf(query).normalized()
+    for model in iter_minimal_models(db):
+        if not structure_satisfies(model, dnf):
+            yield model

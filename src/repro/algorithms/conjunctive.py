@@ -1,0 +1,113 @@
+"""Conjunctive monadic query evaluation (Section 4).
+
+Two independent deciders for ``D |= Phi`` with ``D`` a monadic database and
+``Phi`` a conjunctive monadic query:
+
+* :func:`paths_entails` — Lemma 4.1: ``D |= Phi`` iff ``D |= p`` for every
+  path ``p`` of ``Phi``; each path is decided by SEQ.  For a *fixed* query
+  the path set is fixed, giving the linear-time data complexity of
+  Corollary 4.4 (with a constant that can be exponential in ``|Phi|``).
+
+* :func:`bounded_width_entails` — Theorem 4.7: a depth-first search over
+  tuples ``(S, u)`` where ``S`` is the antichain of minimal vertices of the
+  residual database ``D ^ S`` and ``u`` is a query vertex.  ``D`` fails
+  ``Phi`` iff a tuple ``(empty, v)`` is reachable — the database ran out
+  while some path of ``Phi`` was still pending.  Runs in
+  ``O(|D|^{k+1} * |Phi|)`` for databases of width ``k``.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.seq import seq_entails
+from repro.core.atoms import Rel
+from repro.core.database import LabeledDag
+from repro.core.query import ConjunctiveQuery
+
+
+def paths_entails(dag: LabeledDag, query: ConjunctiveQuery) -> bool:
+    """Lemma 4.1 + Lemma 4.2: check every path of the query with SEQ."""
+    normalized = query.normalized()
+    if normalized is None:
+        return False  # inconsistent query is never satisfied
+    qdag = normalized.monadic_dag()
+    return paths_entails_dag(dag, qdag)
+
+
+def paths_entails_dag(dag: LabeledDag, qdag: LabeledDag) -> bool:
+    """Path decomposition on pre-built labelled dags."""
+    if not qdag.graph.vertices:
+        return True  # the empty query holds everywhere
+    work = dag.normalized()
+    return all(seq_entails(work, p) for p in qdag.iter_paths())
+
+
+def bounded_width_entails(dag: LabeledDag, query: ConjunctiveQuery) -> bool:
+    """Theorem 4.7: combined-complexity PTIME for bounded-width databases."""
+    normalized = query.normalized()
+    if normalized is None:
+        return False
+    return bounded_width_entails_dag(dag, normalized.monadic_dag())
+
+
+def bounded_width_entails_dag(dag: LabeledDag, qdag: LabeledDag) -> bool:
+    """Theorem 4.7 search on pre-built labelled dags.
+
+    State ``(S, u)``: ``S`` is a frozenset of database vertices — the
+    minimal vertices of the residual database (all vertices reachable from
+    ``S``); ``u`` is the query vertex whose letter is pending.  Edges:
+
+    * **(a)** some ``s in S`` fails ``Phi[u]``: drop the (lexicographically
+      least) such ``s`` from the residual — one edge of this type suffices;
+    * **(b)** all of ``S`` supports ``Phi[u]`` and the query has an edge
+      ``u -> v`` labelled '<': drop all minor vertices of the residual and
+      move to ``v``;
+    * **(c)** all of ``S`` supports ``Phi[u]`` and the query edge is '<=':
+      keep the residual and move to ``v``.
+
+    ``D |/= Phi`` iff some ``(empty, v)`` is reachable from an initial
+    state (``S`` = minimal vertices of ``D``, ``u`` any minimal query
+    vertex).
+    """
+    if not qdag.graph.vertices:
+        return True
+    work = dag.normalized()
+    dgraph = work.graph
+    dlabels = work.labels
+    qgraph = qdag.graph
+    qlabels = qdag.labels
+
+    def residual(s: frozenset[str]):
+        return dgraph.induced(dgraph.up_set(s))
+
+    initial_s = frozenset(dgraph.minimal_vertices())
+    stack = [(initial_s, u) for u in sorted(qgraph.minimal_vertices())]
+    seen: set[tuple[frozenset[str], str]] = set(stack)
+
+    while stack:
+        s, u = stack.pop()
+        if not s:
+            return False  # final tuple reached: countermodel exists
+        label = qlabels[u]
+        bad = sorted(v for v in s if not label <= dlabels[v])
+        successors: list[tuple[frozenset[str], str]] = []
+        if bad:
+            res = residual(s)
+            res.remove_vertices({bad[0]})
+            successors.append((frozenset(res.minimal_vertices()), u))
+        else:
+            res = None
+            for v in sorted(qgraph.successors(u)):
+                rel = qgraph.edge_label(u, v)
+                if rel is Rel.LT:
+                    if res is None:
+                        res = residual(s)
+                    nxt = res.copy()
+                    nxt.remove_vertices(nxt.minor_vertices())
+                    successors.append((frozenset(nxt.minimal_vertices()), v))
+                else:
+                    successors.append((s, v))
+        for state in successors:
+            if state not in seen:
+                seen.add(state)
+                stack.append(state)
+    return True

@@ -1,0 +1,288 @@
+"""Disjunctive monadic queries over bounded-width databases (Theorem 5.3).
+
+Decides ``D |= Phi1 v ... v Phin`` by searching a graph of tuples
+``(S, T, u1..un, x1..xn)`` describing a partial generalized topological
+sort of the database together with, per disjunct, the frontier of a
+partially-matched query path:
+
+* ``S``, ``T`` are antichains: the unsorted region is ``D^(S u T)``; the
+  *provisional block* (vertices to be mapped to the next point) is
+  ``D^S \\ D^T``; ``a(S, T)`` is the union of its labels;
+* ``ui`` is a vertex of the i-th disjunct's dag — some path of disjunct i
+  has been matched up to, but not including, ``ui``;
+* ``xi = 1`` records that ``ui`` entered via a '<' edge during the current
+  block, so it may only match strictly later.
+
+Moves: **(a)** grow the block by a vertex ``v in T`` that is minor in the
+unsorted region; **(b)** advance the least ``uj`` that is matchable in the
+current block along a query edge (branching over successors chooses which
+path of the disjunct is being falsified); **(c)** close the block — only
+allowed when no ``uj`` is matchable (this enforces greedy matching, which
+is complete for sequential patterns).  A state with ``T`` empty and no
+matchable ``uj`` is *final*: the emitted blocks plus the last block form a
+minimal model falsifying every disjunct.
+
+``D |= Phi`` iff no final state is reachable.  The same graph, pruned to
+states that can still reach a final state, enumerates **all**
+countermodels with polynomial delay (the modification discussed after
+Theorem 5.3) — see :func:`iter_countermodels`.
+
+Complexity: ``O(|D|^{2k} * |Pred| * prod |Phi_i|)`` for width-k databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator
+
+from repro.core.atoms import Rel
+from repro.core.database import LabeledDag
+from repro.core.errors import NotMonadicError
+from repro.core.query import Query, as_dnf
+from repro.flexiwords.flexiword import Word
+
+State = tuple[frozenset[str], frozenset[str], tuple[str, ...], tuple[bool, ...]]
+
+
+@dataclass(frozen=True)
+class DisjunctiveResult:
+    """Outcome of the Theorem 5.3 decision procedure."""
+
+    holds: bool
+    countermodel: Word | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+class _Search:
+    """Shared machinery for deciding entailment and enumerating models."""
+
+    def __init__(self, dag: LabeledDag, query: Query) -> None:
+        dnf = as_dnf(query).normalized()
+        if dnf.has_neq:
+            raise NotMonadicError(
+                "Theorem 5.3 handles '<'/'<=' only; expand '!=' first"
+            )
+        self.dag = dag.normalized()
+        self.dgraph = self.dag.graph
+        self.dlabels = self.dag.labels
+        self.qdags = [d.monadic_dag() for d in dnf.disjuncts]
+        self.trivially_true = any(not q.graph.vertices for q in self.qdags)
+        self.n = len(self.qdags)
+
+    # -- state helpers -----------------------------------------------------
+
+    def block(self, s: frozenset[str], t: frozenset[str]) -> set[str]:
+        return self.dgraph.up_set(s) - self.dgraph.up_set(t)
+
+    def block_labels(self, block: set[str]) -> frozenset[str]:
+        out: set[str] = set()
+        for v in block:
+            out |= self.dlabels[v]
+        return frozenset(out)
+
+    def initial_states(self) -> list[State]:
+        t0 = frozenset(self.dgraph.minimal_vertices())
+        choices = [sorted(q.graph.minimal_vertices()) for q in self.qdags]
+        xs = tuple(False for _ in range(self.n))
+        return [
+            (frozenset(), t0, tuple(us), xs) for us in product(*choices)
+        ]
+
+    def eligible(self, state: State, labels: frozenset[str], nonempty: bool) -> list[int]:
+        """Indices j whose pending vertex is matchable in the current block."""
+        _s, _t, us, xs = state
+        if not nonempty:
+            return []
+        return [
+            j
+            for j in range(self.n)
+            if not xs[j] and self.qdags[j].labels[us[j]] <= labels
+        ]
+
+    def is_final(self, state: State) -> bool:
+        s, t, _us, _xs = state
+        if t:
+            return False
+        block = self.block(s, t)
+        labels = self.block_labels(block)
+        return not self.eligible(state, labels, bool(block))
+
+    def successors(self, state: State) -> Iterator[tuple[State, Word | None]]:
+        """Yield ``(next_state, emitted_block)``; block is None except on (c)."""
+        s, t, us, xs = state
+        unsorted = self.dgraph.up_set(s | t)
+        unsorted_graph = self.dgraph.induced(unsorted)
+        minors = unsorted_graph.minor_vertices()
+        block = self.block(s, t)
+        labels = self.block_labels(block)
+        eligible = self.eligible(state, labels, bool(block))
+
+        # (a) grow the block by a minor vertex of T
+        for v in sorted(t):
+            if v not in minors:
+                continue
+            new_s_region = self.dgraph.induced(self.dgraph.up_set(s | {v}))
+            s2 = frozenset(new_s_region.minimal_vertices())
+            rest = self.dgraph.up_set(t) - {v}
+            t2 = frozenset(self.dgraph.induced(rest).minimal_vertices())
+            yield (s2, t2, us, xs), None
+
+        # (b) advance the least matchable query pointer along an edge
+        if eligible:
+            j = eligible[0]
+            qgraph = self.qdags[j].graph
+            uj = us[j]
+            for v in sorted(qgraph.successors(uj)):
+                rel = qgraph.edge_label(uj, v)
+                us2 = us[:j] + (v,) + us[j + 1 :]
+                xs2 = xs[:j] + (rel is Rel.LT,) + xs[j + 1 :]
+                yield (s, t, us2, xs2), None
+        # (c) close the block (forbidden while any uj is matchable)
+        if block and not eligible:
+            xs2 = tuple(False for _ in range(self.n))
+            yield (frozenset(), t, us, xs2), (labels,)
+
+
+def theorem53(dag: LabeledDag, query: Query) -> DisjunctiveResult:
+    """Decide entailment, returning a countermodel word when it fails."""
+    search = _Search(dag, query)
+    if search.trivially_true:
+        return DisjunctiveResult(True)
+    if search.n == 0:
+        # The query is FALSE (all disjuncts inconsistent): a consistent
+        # database always has a countermodel — emit any minimal model.
+        from repro.core.models import iter_minimal_words
+
+        for word in iter_minimal_words(search.dag):
+            return DisjunctiveResult(False, word)
+        return DisjunctiveResult(True)
+
+    parents: dict[State, tuple[State | None, Word | None]] = {}
+    stack: list[State] = []
+    for init in search.initial_states():
+        if init not in parents:
+            parents[init] = (None, None)
+            stack.append(init)
+    while stack:
+        state = stack.pop()
+        if search.is_final(state):
+            return DisjunctiveResult(False, _reconstruct(search, parents, state))
+        for nxt, emitted in search.successors(state):
+            if nxt not in parents:
+                parents[nxt] = (state, emitted)
+                stack.append(nxt)
+    return DisjunctiveResult(True)
+
+
+def theorem53_entails(dag: LabeledDag, query: Query) -> bool:
+    """Boolean form of :func:`theorem53`."""
+    return theorem53(dag, query).holds
+
+
+def _reconstruct(
+    search: _Search,
+    parents: dict[State, tuple[State | None, Word | None]],
+    final: State,
+) -> Word:
+    emissions: list[frozenset[str]] = []
+    state: State | None = final
+    while state is not None:
+        parent, emitted = parents[state]
+        if emitted is not None:
+            emissions.extend(reversed(emitted))
+        state = parent
+    emissions.reverse()
+    last_block = search.block(final[0], final[1])
+    if last_block:
+        emissions.append(search.block_labels(last_block))
+    return tuple(emissions)
+
+
+def iter_countermodels(
+    dag: LabeledDag, query: Query, max_states: int = 200_000
+) -> Iterator[Word]:
+    """Enumerate all minimal models of ``dag`` falsifying ``query``.
+
+    Implements the post-Theorem-5.3 modification: materialize the state
+    graph, prune states from which no final state is reachable, then walk
+    the pruned graph — every root-to-final path yields a model, with
+    polynomial delay between outputs.  Distinct paths can repeat a model
+    (the paper notes the redundancy); repeats are filtered.
+
+    Raises ``MemoryError`` if the state graph exceeds ``max_states``.
+    """
+    search = _Search(dag, query)
+    if search.trivially_true:
+        return
+    if search.n == 0:
+        from repro.core.models import iter_minimal_words
+
+        seen_all: set[Word] = set()
+        for word in iter_minimal_words(search.dag):
+            if word not in seen_all:
+                seen_all.add(word)
+                yield word
+        return
+
+    # Phase 1: materialize the reachable state graph.
+    graph: dict[State, list[tuple[State, Word | None]]] = {}
+    finals: set[State] = set()
+    roots = search.initial_states()
+    stack = list(dict.fromkeys(roots))
+    explored: set[State] = set(stack)
+    while stack:
+        state = stack.pop()
+        succs = list(search.successors(state))
+        graph[state] = succs
+        if search.is_final(state):
+            finals.add(state)
+        if len(graph) > max_states:
+            raise MemoryError(
+                f"Theorem 5.3 state graph exceeded {max_states} states"
+            )
+        for nxt, _ in succs:
+            if nxt not in explored:
+                explored.add(nxt)
+                stack.append(nxt)
+
+    # Phase 2: keep only states co-reachable from a final state.
+    reverse: dict[State, list[State]] = {s: [] for s in graph}
+    for state, succs in graph.items():
+        for nxt, _ in succs:
+            reverse.setdefault(nxt, []).append(state)
+    live: set[State] = set(finals)
+    stack = list(finals)
+    while stack:
+        state = stack.pop()
+        for prev in reverse.get(state, ()):
+            if prev not in live:
+                live.add(prev)
+                stack.append(prev)
+
+    # Phase 3: DFS over live states, yielding the model at each final.
+    seen: set[Word] = set()
+
+    def walk(state: State, emissions: list[frozenset[str]]) -> Iterator[Word]:
+        if state in finals:
+            word = tuple(emissions)
+            last_block = search.block(state[0], state[1])
+            if last_block:
+                word = word + (search.block_labels(last_block),)
+            if word not in seen:
+                seen.add(word)
+                yield word
+        for nxt, emitted in graph.get(state, ()):
+            if nxt not in live:
+                continue
+            if emitted is not None:
+                emissions.extend(emitted)
+            yield from walk(nxt, emissions)
+            if emitted is not None:
+                del emissions[-len(emitted) :]
+
+    for root in dict.fromkeys(roots):
+        if root in live:
+            yield from walk(root, [])

@@ -1,0 +1,195 @@
+"""Model checking: does a finite structure satisfy a positive existential query?
+
+Two checkers:
+
+* :func:`structure_satisfies` — the generic n-ary checker, a backtracking
+  assignment search.  This realizes the "expression complexity in NP"
+  observation of Section 3 (the certificate is the satisfying assignment).
+
+* :func:`word_satisfies_dag` — the monadic fast path of Corollary 5.1: a
+  finite model is a word; a conjunctive monadic query is a labelled dag;
+  satisfaction is decided greedily in ``O(|M| * |Phi| * |Pred|)`` by
+  computing the earliest feasible point for each query vertex in
+  topological order (all constraints are lower bounds, so the earliest
+  assignment is feasible iff any is).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.atoms import ProperAtom, Rel
+from repro.core.database import LabeledDag
+from repro.core.models import Structure
+from repro.core.query import ConjunctiveQuery, Query, as_dnf
+from repro.core.sorts import Term
+from repro.flexiwords.flexiword import Word
+
+Value = int | str
+
+
+def structure_satisfies(model: Structure, query: Query) -> bool:
+    """Does ``model`` satisfy ``query``?
+
+    Query constants are interpreted through the model's constant map and
+    must occur there (entailment pipelines eliminate foreign constants
+    before reaching this point).
+    """
+    dnf = as_dnf(query)
+    return any(_conjunct_satisfied(model, d) for d in dnf.disjuncts)
+
+
+def _resolve(model: Structure, term: Term, assignment: dict[Term, Value]) -> Value | None:
+    if term.is_var:
+        return assignment.get(term)
+    interp = model.interpretation
+    if term.name not in interp:
+        raise KeyError(
+            f"constant {term.name!r} is not interpreted by the model; "
+            "eliminate query constants first"
+        )
+    return interp[term.name]
+
+
+def _order_atom_holds(left: Value, rel: Rel, right: Value) -> bool:
+    if rel is Rel.LT:
+        return left < right
+    if rel is Rel.LE:
+        return left <= right
+    return left != right
+
+
+def _conjunct_satisfied(model: Structure, cq: ConjunctiveQuery) -> bool:
+    facts = model.fact_dict
+    order_atoms = cq.order_atoms
+    assignment: dict[Term, Value] = {}
+
+    def order_consistent() -> bool:
+        for atom in order_atoms:
+            left = _resolve(model, atom.left, assignment)
+            right = _resolve(model, atom.right, assignment)
+            if left is None or right is None:
+                continue
+            if not _order_atom_holds(left, atom.rel, right):
+                return False
+        return True
+
+    proper = list(cq.proper_atoms)
+
+    # Variables that occur in no proper atom must be enumerated explicitly.
+    loose_vars = sorted(
+        cq.variables()
+        - {t for a in proper for t in a.args if t.is_var},
+        key=lambda t: t.name,
+    )
+
+    def pick_next(remaining: list[ProperAtom]) -> int:
+        """Greedy join order: most bound variables, then fewest facts."""
+        best, best_key = 0, None
+        for i, atom in enumerate(remaining):
+            bound = sum(1 for t in atom.args if t.is_const or t in assignment)
+            key = (-bound, len(facts.get(atom.pred, frozenset())))
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+        return best
+
+    def try_proper(remaining: list[ProperAtom]) -> bool:
+        if not remaining:
+            return try_loose(0)
+        idx = pick_next(remaining)
+        atom = remaining[idx]
+        rest = remaining[:idx] + remaining[idx + 1 :]
+        candidates = facts.get(atom.pred, frozenset())
+        for tup in candidates:
+            if len(tup) != len(atom.args):
+                continue
+            bound: list[Term] = []
+            ok = True
+            for term, value in zip(atom.args, tup):
+                if term.is_var:
+                    existing = assignment.get(term)
+                    if existing is None:
+                        assignment[term] = value
+                        bound.append(term)
+                    elif existing != value:
+                        ok = False
+                        break
+                else:
+                    if _resolve(model, term, assignment) != value:
+                        ok = False
+                        break
+            if ok and order_consistent() and try_proper(rest):
+                return True
+            for term in bound:
+                del assignment[term]
+        return False
+
+    def try_loose(idx: int) -> bool:
+        if idx == len(loose_vars):
+            return order_consistent()
+        var = loose_vars[idx]
+        domain: Iterable[Value]
+        if var.is_order:
+            domain = range(model.order_size)
+        else:
+            domain = sorted(model.objects)
+        for value in domain:
+            assignment[var] = value
+            if order_consistent() and try_loose(idx + 1):
+                return True
+            del assignment[var]
+        return False
+
+    return try_proper(proper)
+
+
+def word_satisfies_dag(word: Word, qdag: LabeledDag) -> bool:
+    """Corollary 5.1 fast path: word model vs conjunctive monadic query dag.
+
+    Computes, in topological order of the (normalized) query dag, the
+    earliest point of the word at which each query vertex can sit given its
+    label and the positions of its predecessors.  Feasible iff every vertex
+    gets a point.
+    """
+    dag = qdag.normalized()
+    graph = dag.graph
+    order = _topo(graph)
+    earliest: dict[str, int] = {}
+    n = len(word)
+    for v in order:
+        lower = 0
+        for u in graph.predecessors(v):
+            bump = 1 if graph.edge_label(u, v) is Rel.LT else 0
+            lower = max(lower, earliest[u] + bump)
+        label = dag.labels[v]
+        position = None
+        for p in range(lower, n):
+            if label <= word[p]:
+                position = p
+                break
+        if position is None:
+            return False
+        earliest[v] = position
+    return True
+
+
+def word_satisfies(word: Word, query: Query) -> bool:
+    """Word model vs disjunctive monadic query (no '!=')."""
+    dnf = as_dnf(query)
+    return any(word_satisfies_dag(word, d.monadic_dag()) for d in dnf.disjuncts)
+
+
+def _topo(graph) -> list[str]:
+    indeg = {v: len(graph.predecessors(v)) for v in graph.vertices}
+    ready = sorted(v for v, d in indeg.items() if d == 0)
+    out: list[str] = []
+    while ready:
+        v = ready.pop()
+        out.append(v)
+        for w in sorted(graph.successors(v)):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+    if len(out) != len(indeg):
+        raise ValueError("query dag has a cycle; normalize first")
+    return out

@@ -1,0 +1,111 @@
+"""The SEQ algorithm (Figure 6, Lemma 4.2): sequential queries in PTIME.
+
+Decides whether an arbitrary monadic database ``D`` entails a sequential
+query ``p`` (a flexi-word), in time ``O(|D| * |p| * |Pred|)``
+(Corollary 4.3).  The recursion of Lemma 4.2, written as a loop:
+
+* **Case I** — some minimal vertex ``u`` of ``D`` fails the first letter
+  ``a`` of ``p`` (``a`` is not a subset of ``D[u]``): delete ``u`` and
+  continue; the countermodel construction places ``D[u]`` alone at the next
+  point (since ``a`` does not fit there, any failure of the rest lifts).
+* **Case II** — every minimal vertex supports ``a`` and the next separator
+  is '<': delete all *minor* vertices (they form the last point at which
+  ``a``-matches can happen) and advance ``p``.
+* **Case III** — every minimal vertex supports ``a`` and the next separator
+  is '<=': just advance ``p``.
+
+``p`` exhausted (or its last letter supported by all minimal vertices)
+means entailed; the database running out first yields a countermodel: the
+word of blocks emitted along the way, which is itself a minimal model.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Rel
+from repro.core.database import LabeledDag
+from repro.core.errors import NotSequentialError
+from repro.core.query import ConjunctiveQuery, Query, as_dnf
+from repro.flexiwords.flexiword import FlexiWord, Word
+
+
+def seq_entails(dag: LabeledDag, p: FlexiWord) -> bool:
+    """Does the monadic database entail the sequential query ``p``?"""
+    return seq_countermodel(dag, p) is None
+
+
+def seq_countermodel(dag: LabeledDag, p: FlexiWord) -> Word | None:
+    """None when entailed; otherwise a minimal model of ``dag`` falsifying ``p``.
+
+    The returned countermodel is a word: each emitted block becomes one
+    point, all separators strict.
+    """
+    work = dag.normalized()
+    graph = work.graph.copy()
+    labels = dict(work.labels)
+    emitted: list[frozenset[str]] = []
+
+    pj = 0
+    m = len(p.letters)
+    while True:
+        if pj >= m:
+            return None  # query satisfied in every model
+        vertices = graph.vertices
+        if not vertices:
+            # Database exhausted with query letters pending: the blocks
+            # emitted so far form a model in which p fails.
+            return tuple(emitted)
+        a = p.letters[pj]
+        minimal = graph.minimal_vertices()
+        bad = sorted(u for u in minimal if not a <= labels[u])
+        if bad:
+            # Case I
+            u = bad[0]
+            emitted.append(labels[u])
+            graph.remove_vertices({u})
+            continue
+        # every minimal vertex supports a
+        if pj == m - 1:
+            return None
+        if p.rels[pj] is Rel.LT:
+            # Case II: emit all minor vertices as one block
+            minors = graph.minor_vertices()
+            emitted.append(
+                frozenset().union(*(labels[v] for v in minors))
+                if minors
+                else frozenset()
+            )
+            graph.remove_vertices(minors)
+            pj += 1
+        else:
+            # Case III
+            pj += 1
+
+
+def seq_entails_query(dag: LabeledDag, query: ConjunctiveQuery) -> bool:
+    """SEQ on a sequential conjunctive monadic query object."""
+    normalized = query.normalized()
+    if normalized is None:
+        return False  # inconsistent query: never satisfied (dag has models)
+    if not normalized.is_sequential():
+        raise NotSequentialError("query is not sequential")
+    return seq_entails(dag, normalized.to_flexiword())
+
+
+def seq_entails_disjunctive(dag: LabeledDag, query: Query) -> bool:
+    """Entailment of a disjunction of sequential queries.
+
+    Decided by brute force over the disjunction structure only when a
+    single disjunct suffices; a disjunction of sequential queries is *not*
+    equivalent to checking disjuncts separately (Proposition 5.4 shows the
+    disjunctive case is co-NP-hard), so this helper only handles the sound
+    direction: if some disjunct is entailed outright the disjunction is.
+    It raises otherwise.
+    """
+    dnf = as_dnf(query)
+    if len(dnf.disjuncts) == 1:
+        return seq_entails_query(dag, dnf.disjuncts[0])
+    if any(seq_entails_query(dag, d) for d in dnf.disjuncts):
+        return True
+    raise NotSequentialError(
+        "disjunctive sequential entailment needs the Theorem 5.3 algorithm"
+    )

@@ -1,0 +1,1 @@
+"""Application-layer helpers built on the core library."""

@@ -1,0 +1,110 @@
+"""Interval data over indefinite time lines (the Example 1.1 pattern).
+
+Many of the paper's motivating applications store *intervals*: a fact
+``P(u, v, args...)`` whose first two order arguments delimit a period.
+This module packages the recurring idioms of Example 1.1:
+
+* building interval facts with named endpoints;
+* the *overlap integrity constraint*: two overlapping but non-identical
+  intervals of the same tuple are forbidden — expressed as the violation
+  query ``Psi`` and enforced through query modification
+  (``D & not Psi |= phi``  iff  ``D |= Psi v phi``);
+* convenience query builders ("during", "twice", "before").
+
+Interval reasoning wants *dense* time (the violation's shared witness
+point is nontight), so entailment here defaults to the rationals
+semantics; pass ``semantics=`` to override.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.atoms import Atom, ProperAtom, lt
+from repro.core.database import IndefiniteDatabase
+from repro.core.entailment import entails as _entails
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery, Query, as_dnf
+from repro.core.semantics import Semantics
+from repro.core.sorts import Term, obj, objvar, ordc, ordvar
+
+
+def interval_fact(
+    pred: str, lo: str, hi: str, *args: str, strict: bool = True
+) -> list[Atom]:
+    """The fact ``pred(lo, hi, args...)`` plus its endpoint order atom.
+
+    ``args`` are object-constant names.  ``strict=True`` adds ``lo < hi``
+    (a genuine interval); ``False`` leaves the endpoints unconstrained.
+    """
+    terms: tuple[Term, ...] = (ordc(lo), ordc(hi)) + tuple(obj(a) for a in args)
+    atoms: list[Atom] = [ProperAtom(pred, terms)]
+    if strict:
+        atoms.append(lt(ordc(lo), ordc(hi)))
+    return atoms
+
+
+def interval_database(
+    pred: str, facts: Sequence[tuple], strict: bool = True
+) -> IndefiniteDatabase:
+    """A database of interval facts ``(lo, hi, *args)``."""
+    atoms: list[Atom] = []
+    for fact in facts:
+        lo, hi, *args = fact
+        atoms.extend(interval_fact(pred, lo, hi, *args, strict=strict))
+    return IndefiniteDatabase.from_atoms(atoms)
+
+
+def overlap_violation(pred: str, extra_args: int = 1) -> DisjunctiveQuery:
+    """``Psi``: overlapping but non-identical intervals of the same tuple.
+
+    The Example 1.1 constraint, generalized to ``pred`` with
+    ``extra_args`` object arguments after the two endpoints: there exist
+    two intervals of the same argument tuple sharing an interior point
+    ``w`` while differing at an endpoint.  (This formulation permits
+    simultaneous departure and re-entry, as the paper notes.)
+    """
+    objs = tuple(objvar(f"x{i}") for i in range(extra_args))
+    t1, t2, t3, t4, w = (ordvar(n) for n in ("t1", "t2", "t3", "t4", "w"))
+    common: list[Atom] = [
+        ProperAtom(pred, (t1, t2) + objs),
+        ProperAtom(pred, (t3, t4) + objs),
+        lt(t1, w), lt(w, t2),
+        lt(t3, w), lt(w, t4),
+    ]
+    return DisjunctiveQuery.of(
+        ConjunctiveQuery.from_atoms(common + [lt(t1, t3)]),
+        ConjunctiveQuery.from_atoms(common + [lt(t2, t4)]),
+    )
+
+
+def twice_query(pred: str, *args: Term) -> ConjunctiveQuery:
+    """Two intervals of the same tuple with distinct starts (Example 1.1)."""
+    t1, t2, t3, t4 = (ordvar(f"t{i}") for i in range(1, 5))
+    return ConjunctiveQuery.of(
+        ProperAtom(pred, (t1, t2) + tuple(args)),
+        ProperAtom(pred, (t3, t4) + tuple(args)),
+        lt(t1, t3),
+    )
+
+
+def entails_under_integrity(
+    db: IndefiniteDatabase,
+    query: Query,
+    violation: Query,
+    semantics: Semantics = Semantics.Q,
+) -> bool:
+    """``D & not Psi |= phi`` via the paper's query-modification trick."""
+    return _entails(db, as_dnf(violation).or_(query), semantics=semantics)
+
+
+def integrity_satisfiable(
+    db: IndefiniteDatabase,
+    violation: Query,
+    semantics: Semantics = Semantics.Q,
+) -> bool:
+    """Does *some* model satisfy the integrity constraint?
+
+    True iff the violation is not entailed — i.e. the constrained
+    database is non-degenerate.
+    """
+    return not _entails(db, violation, semantics=semantics)

@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro.cli <command> ...``.
+
+Commands:
+
+* ``query DB QUERY``   — decide entailment (``--semantics fin|z|q``,
+  ``--method auto|bruteforce|...``, ``--countermodel`` to print a witness
+  when the query is not entailed);
+* ``models DB``        — count (or ``--list``) the minimal models;
+* ``classify DB QUERY``— the Tables 1-2 complexity profile;
+* ``width DB``         — the database's width and a maximum antichain.
+
+``DB`` is a path to a database file in the text DSL
+(:mod:`repro.substrate.parser`); ``QUERY`` is a query string or a path to
+a file containing one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.analysis import classify
+from repro.core.database import IndefiniteDatabase
+from repro.core.entailment import explain
+from repro.core.models import count_minimal_models, iter_minimal_models
+from repro.core.semantics import Semantics
+from repro.substrate.parser import parse_database, parse_query
+
+_SEMANTICS = {"fin": Semantics.FIN, "z": Semantics.Z, "q": Semantics.Q}
+
+
+def _load_database(path: str) -> IndefiniteDatabase:
+    text = pathlib.Path(path).read_text()
+    return parse_database(text)
+
+
+def _load_query(source: str, db: IndefiniteDatabase):
+    candidate = pathlib.Path(source)
+    if candidate.exists():
+        source = candidate.read_text()
+    return parse_query(source, db)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = _load_database(args.database)
+    query = _load_query(args.query, db)
+    report = explain(
+        db, query,
+        semantics=_SEMANTICS[args.semantics],
+        method=args.method,
+    )
+    print(f"entailed: {report.holds}")
+    print(f"method:   {report.method}")
+    if args.countermodel and not report.holds:
+        if report.countermodel is None:
+            print("countermodel: (not produced by this method; "
+                  "try --method bruteforce)")
+        else:
+            print(f"countermodel: {_render_model(report.countermodel)}")
+    return 0 if report.holds else 1
+
+
+def _render_model(model) -> str:
+    if isinstance(model, tuple):  # a word
+        return " < ".join(
+            "{" + ",".join(sorted(letter)) + "}" for letter in model
+        ) or "(empty model)"
+    return str(model)
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    db = _load_database(args.database)
+    if not db.is_consistent():
+        print("database is inconsistent: no models")
+        return 1
+    if args.list:
+        shown = 0
+        for model in iter_minimal_models(db):
+            print(model)
+            shown += 1
+            if args.limit and shown >= args.limit:
+                print(f"... (stopped at --limit {args.limit})")
+                break
+        print(f"listed {shown} minimal models")
+    else:
+        count = count_minimal_models(db.graph().normalize().graph)
+        print(f"minimal models: {count}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    db = _load_database(args.database)
+    query = _load_query(args.query, db)
+    print(classify(db, query).summary())
+    return 0
+
+
+def _cmd_width(args: argparse.Namespace) -> int:
+    db = _load_database(args.database)
+    graph = db.graph().normalize().graph
+    antichain = graph.a_maximum_antichain()
+    print(f"width: {len(antichain)}")
+    print(f"a maximum antichain: {sorted(antichain)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Query indefinite order databases (van der Meyden 1992/1997).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("query", help="decide D |= phi")
+    q.add_argument("database", help="database file (text DSL)")
+    q.add_argument("query", help="query string or file")
+    q.add_argument("--semantics", choices=sorted(_SEMANTICS), default="fin")
+    q.add_argument(
+        "--method",
+        choices=["auto", "bruteforce", "seq", "paths", "bounded_width",
+                 "theorem53"],
+        default="auto",
+    )
+    q.add_argument("--countermodel", action="store_true",
+                   help="print a falsifying minimal model if any")
+    q.set_defaults(func=_cmd_query)
+
+    m = sub.add_parser("models", help="count or list minimal models")
+    m.add_argument("database")
+    m.add_argument("--list", action="store_true")
+    m.add_argument("--limit", type=int, default=20)
+    m.set_defaults(func=_cmd_models)
+
+    c = sub.add_parser("classify", help="complexity profile (Tables 1-2)")
+    c.add_argument("database")
+    c.add_argument("query")
+    c.set_defaults(func=_cmd_classify)
+
+    w = sub.add_parser("width", help="database width and antichain")
+    w.add_argument("database")
+    w.set_defaults(func=_cmd_width)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""Query containment with inequalities (Proposition 2.10 / Klug's problem).
+
+``Q1`` is *O-contained* in ``Q2`` when ``Ans(Q1, M)`` is a subset of
+``Ans(Q2, M)`` for every relational database ``M`` whose order is of type
+``O``.  Proposition 2.10 shows this problem is PTIME-equivalent to
+combined-complexity query answering in indefinite order databases; with
+Theorem 3.3 this pins containment of conjunctive queries with inequalities
+at Pi2p-complete, resolving the open problem of Klug (JACM 1988).
+
+Both reduction directions are implemented:
+
+* :func:`contained` — decide containment by *freezing* ``Q1``'s body into
+  an indefinite database (head variables become shared fresh constants)
+  and asking whether it entails ``Q2``'s body with the same head
+  substitution;
+* :func:`entailment_to_containment` — the other direction: an entailment
+  instance ``(D, phi)`` becomes a pair of boolean queries whose
+  containment is equivalent.
+
+When containment fails, :func:`counterexample` extracts a concrete
+relational database and tuple witnessing the failure from the entailment
+countermodel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.atoms import OrderAtom, ProperAtom
+from repro.core.database import IndefiniteDatabase
+from repro.core.entailment import explain
+from repro.core.models import Structure
+from repro.core.query import ConjunctiveQuery
+from repro.core.semantics import Semantics
+from repro.core.sorts import Term, obj, ordc
+from repro.containment.relational import RelationalQuery, answer_set
+
+
+def _freeze_terms(q: RelationalQuery, prefix: str) -> dict[Term, Term]:
+    """Map every variable of ``q`` to a fresh constant of the same sort."""
+    mapping: dict[Term, Term] = {}
+    for v in sorted(q.variables(), key=lambda t: t.name):
+        name = f"{prefix}{v.name}"
+        mapping[v] = ordc(name) if v.is_order else obj(name)
+    return mapping
+
+
+def containment_to_entailment(
+    q1: RelationalQuery, q2: RelationalQuery
+) -> tuple[IndefiniteDatabase, ConjunctiveQuery]:
+    """Proposition 2.10, direction containment -> entailment.
+
+    Freeze ``Q1``'s body (variables become fresh constants ``a`` for the
+    head and ``b`` for the rest); the database is the frozen body, the
+    query is ``exists z . phi2(a, z)`` — ``Q2``'s body with its head
+    variables replaced by ``Q1``'s frozen head constants.
+    """
+    if len(q1.head) != len(q2.head):
+        raise ValueError("containment requires equal head arities")
+    for v1, v2 in zip(q1.head, q2.head):
+        if v1.sort is not v2.sort:
+            raise ValueError("head sorts must agree position-wise")
+
+    freeze = _freeze_terms(q1, "_c_")
+    db_atoms = [a.substitute(freeze) for a in q1.atoms]
+    db = IndefiniteDatabase.from_atoms(db_atoms)
+
+    head_map = {v2: freeze[v1] for v1, v2 in zip(q1.head, q2.head)}
+    query = ConjunctiveQuery.from_atoms(
+        a.substitute(head_map) for a in q2.atoms
+    )
+    return db, query
+
+
+def contained(
+    q1: RelationalQuery,
+    q2: RelationalQuery,
+    semantics: Semantics = Semantics.FIN,
+) -> bool:
+    """Is ``Q1`` O-contained in ``Q2``?"""
+    db, query = containment_to_entailment(q1, q2)
+    if not db.is_consistent():
+        return True  # Q1's body is unsatisfiable: empty answers everywhere
+    return explain(db, query, semantics=semantics).holds
+
+
+@dataclass(frozen=True)
+class ContainmentCounterexample:
+    """A witness that ``Q1`` is not contained in ``Q2``."""
+
+    model: Structure
+    tuple_: tuple[int | str, ...]
+
+
+def counterexample(
+    q1: RelationalQuery,
+    q2: RelationalQuery,
+    semantics: Semantics = Semantics.FIN,
+) -> ContainmentCounterexample | None:
+    """A relational database + answer tuple in ``Ans(Q1) \\ Ans(Q2)``.
+
+    Returns None when ``Q1`` is contained in ``Q2``.  The witness is the
+    entailment countermodel (a minimal model of the frozen body) with the
+    frozen head constants read back off its constant interpretation; its
+    correctness is checked with :func:`answer_set` before returning.
+    """
+    db, query = containment_to_entailment(q1, q2)
+    if not db.is_consistent():
+        return None
+    report = explain(db, query, semantics=semantics, method="bruteforce")
+    if report.holds:
+        return None
+    model = report.countermodel
+    assert isinstance(model, Structure)
+    interp = model.interpretation
+    witness = tuple(interp[f"_c_{v.name}"] for v in q1.head)
+    assert witness in answer_set(q1, model)
+    assert witness not in answer_set(q2, model)
+    return ContainmentCounterexample(model, witness)
+
+
+def homomorphism_contained(q1: RelationalQuery, q2: RelationalQuery) -> bool:
+    """The Chandra–Merlin test, extended soundly to order atoms.
+
+    Searches for a mapping from ``Q2``'s terms to ``Q1``'s frozen body
+    (head variables to the matching frozen head constants) such that every
+    proper atom of ``Q2`` maps onto an atom of ``Q1`` and every order atom
+    maps onto an order fact *entailed* by ``Q1``'s order atoms.
+
+    For inequality-free conjunctive queries this decides containment
+    exactly (Chandra–Merlin); with inequalities it remains **sound** but
+    is **incomplete** — Klug's observation, reproduced by the tests and
+    :mod:`examples.query_containment`: containments that hold only by a
+    case analysis over the linear order (e.g. totality: ``u <= x`` or
+    ``x <= u``) admit no single homomorphism.
+    """
+    freeze = _freeze_terms(q1, "_h_")
+    frozen_atoms = [a.substitute(freeze) for a in q1.atoms]
+    frozen_proper = [a for a in frozen_atoms if isinstance(a, ProperAtom)]
+    frozen_order = [a for a in frozen_atoms if isinstance(a, OrderAtom)]
+
+    from repro.core.ordergraph import OrderGraph
+
+    graph = OrderGraph.from_atoms(
+        frozen_order,
+        extra_vertices=[
+            t.name for a in frozen_proper for t in a.args if t.is_order
+        ],
+    )
+    norm = graph.normalize()
+    if not norm.consistent:
+        return True  # Q1 unsatisfiable
+
+    head_map = {v2: freeze[v1] for v1, v2 in zip(q1.head, q2.head)}
+    q2_vars = sorted(
+        {t for a in q2.atoms for t in (
+            a.args if isinstance(a, ProperAtom) else (a.left, a.right)
+        ) if t.is_var},
+        key=lambda t: t.name,
+    )
+    q2_vars = [v for v in q2_vars if v not in head_map]
+
+    frozen_terms = sorted(
+        {t for a in frozen_atoms for t in (
+            a.args if isinstance(a, ProperAtom) else (a.left, a.right)
+        )},
+        key=lambda t: t.name,
+    )
+
+    def order_entailed(atom: OrderAtom, h: dict[Term, Term]) -> bool:
+        left = h.get(atom.left, atom.left)
+        right = h.get(atom.right, atom.right)
+        if left.is_var or right.is_var:
+            return True  # not yet decided
+        lu = norm.canon.get(left.name, left.name)
+        ru = norm.canon.get(right.name, right.name)
+        return norm.graph.entails_atom(lu, ru, atom.rel)
+
+    def proper_ok(atom: ProperAtom, h: dict[Term, Term]) -> bool:
+        image = atom.substitute(h)
+        if any(t.is_var for t in image.args):
+            return True
+        return image in frozen_proper
+
+    def search(h: dict[Term, Term], idx: int) -> bool:
+        if idx == len(q2_vars):
+            return all(
+                proper_ok(a, h) for a in q2.atoms if isinstance(a, ProperAtom)
+            ) and all(
+                order_entailed(a, h) for a in q2.atoms
+                if isinstance(a, OrderAtom)
+            )
+        var = q2_vars[idx]
+        for target in frozen_terms:
+            if target.sort is not var.sort:
+                continue
+            h[var] = target
+            if all(
+                proper_ok(a, h) for a in q2.atoms if isinstance(a, ProperAtom)
+            ) and all(
+                order_entailed(a, h) for a in q2.atoms
+                if isinstance(a, OrderAtom)
+            ):
+                if search(h, idx + 1):
+                    return True
+            del h[var]
+        return False
+
+    return search(dict(head_map), 0)
+
+
+def entailment_to_containment(
+    db: IndefiniteDatabase, query: ConjunctiveQuery
+) -> tuple[RelationalQuery, RelationalQuery]:
+    """Proposition 2.10, direction entailment -> containment.
+
+    ``Q1 = {() : A1 & ... & An}`` is the boolean query whose body conjoins
+    the database's atoms (constants kept verbatim); ``Q2 = {() : phi}``.
+    Then ``D |= phi`` iff ``Q1`` is contained in ``Q2``.
+    """
+    q1 = RelationalQuery(head=(), atoms=tuple(db.atoms()))
+    q2 = RelationalQuery(head=(), atoms=tuple(query.atoms))
+    return q1, q2
+
+
+def boolean_containment_equals_entailment(
+    db: IndefiniteDatabase,
+    query: ConjunctiveQuery,
+    semantics: Semantics = Semantics.FIN,
+) -> tuple[bool, bool]:
+    """Both sides of Proposition 2.10 evaluated independently.
+
+    Returns ``(entailment, containment_of_round_trip)``; the proposition
+    asserts they are always equal.  Containment of the boolean round-trip
+    queries is decided by mapping back through
+    :func:`containment_to_entailment` — which, composed with
+    :func:`entailment_to_containment`, exercises both reductions.
+    """
+    direct = explain(db, query, semantics=semantics).holds
+    q1, q2 = entailment_to_containment(db, query)
+    via_containment = contained(q1, q2, semantics=semantics)
+    return direct, via_containment

@@ -1,0 +1,126 @@
+"""Relational databases with order, and conjunctive queries with inequalities.
+
+Section 2 of the paper connects indefinite-order query answering to the
+optimization problem studied by Klug: *containment of relational
+conjunctive queries with inequalities*.  A relational database with order
+is a finite two-sorted structure whose order relation is a linear order on
+(a superset of) its active order domain — i.e. exactly a model of an
+indefinite order database with a finite object domain.
+
+A relational conjunctive query with inequalities is ``{x : phi(x, y)}``
+with ``phi`` a conjunction of proper and order atoms; its *answer set* in
+a structure ``M`` is the set of tuples ``a`` with ``M |= exists y .
+phi(a, y)``.  With ``x`` empty the answer set is ``{()}`` or ``{}`` — a
+boolean query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+from repro.core.atoms import Atom, ProperAtom
+from repro.core.models import Structure
+from repro.core.query import ConjunctiveQuery
+from repro.core.sorts import Term
+
+
+@dataclass(frozen=True)
+class RelationalQuery:
+    """``{head : exists (rest) . atoms}`` — head variables are free."""
+
+    head: tuple[Term, ...]
+    atoms: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        for v in self.head:
+            if not v.is_var:
+                raise ValueError("head terms must be variables")
+
+    @property
+    def body(self) -> ConjunctiveQuery:
+        """The body as a conjunctive query (all variables existential)."""
+        return ConjunctiveQuery.from_atoms(self.atoms)
+
+    def variables(self) -> set[Term]:
+        """All variables of the body plus head."""
+        return self.body.variables() | set(self.head)
+
+    def __str__(self) -> str:
+        head = ", ".join(str(v) for v in self.head)
+        body = " & ".join(str(a) for a in self.atoms)
+        return f"{{({head}) : {body}}}"
+
+
+def answer_set(
+    query: RelationalQuery, model: Structure
+) -> set[tuple[int | str, ...]]:
+    """``Ans(Q, M)``: head-variable substitutions making the body true."""
+    domains: list[Sequence[int | str]] = []
+    for v in query.head:
+        if v.is_order:
+            domains.append(range(model.order_size))
+        else:
+            domains.append(sorted(model.objects))
+    answers: set[tuple[int | str, ...]] = set()
+    for combo in product(*domains):
+        if _satisfies_with(model, query, dict(zip(query.head, combo))):
+            answers.add(combo)
+    return answers
+
+
+def _satisfies_with(
+    model: Structure, query: RelationalQuery, preassigned: dict[Term, int | str]
+) -> bool:
+    """Model-check the body with some variables preassigned.
+
+    Implemented by enumerating assignments for the remaining variables the
+    same way the naive checker does; small models only.
+    """
+    body = query.body
+    variables = sorted(body.variables() | set(query.head), key=lambda t: t.name)
+    free = [v for v in variables if v not in preassigned]
+
+    def domain(v: Term) -> Sequence[int | str]:
+        if v.is_order:
+            return range(model.order_size)
+        return sorted(model.objects)
+
+    facts = model.fact_dict
+
+    def holds(assignment: dict[Term, int | str]) -> bool:
+        for atom in body.atoms:
+            if isinstance(atom, ProperAtom):
+                tup = tuple(
+                    assignment[t] if t.is_var else model.interpretation[t.name]
+                    for t in atom.args
+                )
+                if tup not in facts.get(atom.pred, frozenset()):
+                    return False
+            else:
+                left = (
+                    assignment[atom.left]
+                    if atom.left.is_var
+                    else model.interpretation[atom.left.name]
+                )
+                right = (
+                    assignment[atom.right]
+                    if atom.right.is_var
+                    else model.interpretation[atom.right.name]
+                )
+                from repro.core.atoms import Rel
+
+                if atom.rel is Rel.LT and not left < right:
+                    return False
+                if atom.rel is Rel.LE and not left <= right:
+                    return False
+                if atom.rel is Rel.NE and not left != right:
+                    return False
+        return True
+
+    for combo in product(*(domain(v) for v in free)):
+        assignment = {**preassigned, **dict(zip(free, combo))}
+        if holds(assignment):
+            return True
+    return False

@@ -1,0 +1,64 @@
+"""Core data model: terms, atoms, databases, queries, models, semantics."""
+
+from repro.core.atoms import OrderAtom, ProperAtom, Rel, chain, le, lt, ne
+from repro.core.database import IndefiniteDatabase, LabeledDag, MonadicDatabase
+from repro.core.entailment import certain_answers, entails, explain
+from repro.core.errors import (
+    InconsistentError,
+    NotConjunctiveError,
+    NotMonadicError,
+    NotSequentialError,
+    ParseError,
+    ReproError,
+    SortError,
+)
+from repro.core.ordergraph import OrderGraph
+from repro.core.query import (
+    ConjunctiveQuery,
+    DisjunctiveQuery,
+    Query,
+    as_conjunctive,
+    as_dnf,
+    eliminate_constants,
+)
+from repro.core.semantics import Semantics, is_tight, transform
+from repro.core.sorts import Sort, Term, obj, objvar, ordc, ordvar
+
+__all__ = [
+    "ConjunctiveQuery",
+    "DisjunctiveQuery",
+    "IndefiniteDatabase",
+    "InconsistentError",
+    "LabeledDag",
+    "MonadicDatabase",
+    "NotConjunctiveError",
+    "NotMonadicError",
+    "NotSequentialError",
+    "OrderAtom",
+    "OrderGraph",
+    "ParseError",
+    "ProperAtom",
+    "Query",
+    "Rel",
+    "ReproError",
+    "Semantics",
+    "Sort",
+    "SortError",
+    "Term",
+    "as_conjunctive",
+    "as_dnf",
+    "certain_answers",
+    "chain",
+    "eliminate_constants",
+    "entails",
+    "explain",
+    "is_tight",
+    "le",
+    "lt",
+    "ne",
+    "obj",
+    "objvar",
+    "ordc",
+    "ordvar",
+    "transform",
+]

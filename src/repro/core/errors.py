@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SortError(ReproError):
+    """A term was used at a position of the wrong sort.
+
+    Raised, for example, when an order constant appears as the argument of a
+    proper predicate position typed as object, or when the two sides of an
+    order atom are not both of order sort.
+    """
+
+
+class InconsistentError(ReproError):
+    """A database or query is inconsistent (its order graph has a '<' cycle).
+
+    Section 2 of the paper: a normalized database or conjunctive query is
+    inconsistent if and only if its order graph contains a cycle through an
+    edge labelled '<' (cycles of only '<=' edges are contracted by rule N1).
+    """
+
+
+class NotMonadicError(ReproError):
+    """An operation requiring monadic predicates was applied to n-ary data."""
+
+
+class NotSequentialError(ReproError):
+    """An operation requiring a sequential query received a branching one."""
+
+
+class NotConjunctiveError(ReproError):
+    """An operation requiring a conjunctive query received a disjunction."""
+
+
+class ParseError(ReproError):
+    """The textual database/query DSL could not be parsed."""

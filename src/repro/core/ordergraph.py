@@ -1,0 +1,411 @@
+"""The order graph of a database or conjunctive query (Section 2).
+
+The order atoms of a database (or the order atoms of a conjunctive query)
+induce a directed graph whose vertices are the order constants (variables)
+and whose edges are labelled '<' or '<='.  This module implements every
+graph-theoretic notion the paper builds on that structure:
+
+* **normalization** (rules N1 and N2): contract cycles of '<='-edges into a
+  single vertex, drop reflexive '<=' atoms; a normalized graph is
+  inconsistent iff it still has a cycle (necessarily through a '<' edge);
+* **fullness**: closure under the two derivation rules (u <= v for every
+  path u ~> v, u < v for every path through a '<' edge);
+* **minimal** vertices (no in-edge) and **minor** vertices (no ascending
+  path ending in the vertex that passes through a '<' edge) — the building
+  blocks of generalized topological sorts;
+* **width**: the maximum cardinality of an antichain, computed exactly via
+  Dilworth's theorem and Hopcroft–Karp matching;
+* inequality pairs (``u != v``) for the Section 7 extension, carried along
+  but not participating in the dag structure.
+
+Vertices are plain strings (order-constant or order-variable names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.atoms import OrderAtom, Rel
+from repro.core.errors import InconsistentError
+from repro.core.sorts import Term
+from repro.substrate.digraph import Digraph
+from repro.substrate.matching import maximum_antichain
+
+
+@dataclass
+class Normalization:
+    """Result of normalizing an :class:`OrderGraph`.
+
+    Attributes:
+        graph: the normalized graph (vertices are canonical representatives).
+        canon: maps every original vertex to its representative.
+        consistent: False when normalization found a '<' cycle.
+    """
+
+    graph: "OrderGraph"
+    canon: dict[str, str]
+    consistent: bool
+
+
+class OrderGraph:
+    """A labelled order graph over string vertices.
+
+    Edge labels are :class:`Rel.LT` or :class:`Rel.LE`; when both are
+    asserted for the same pair the strictly stronger '<' is kept.
+    Inequality constraints (``!=``) are stored separately as unordered
+    pairs since they impose no direction.
+    """
+
+    def __init__(self) -> None:
+        self._edges: dict[tuple[str, str], Rel] = {}
+        self._digraph = Digraph()
+        self._neq: set[frozenset[str]] = set()
+
+    # -- construction ------------------------------------------------------
+
+    def add_vertex(self, v: str) -> None:
+        """Add vertex ``v`` (idempotent)."""
+        self._digraph.add_vertex(v)
+
+    def add_edge(self, u: str, v: str, rel: Rel) -> None:
+        """Add an atom ``u rel v``.
+
+        ``NE`` atoms become unordered pairs; a '<' edge overrides an
+        existing '<=' edge on the same pair (it is strictly stronger).
+        """
+        if rel is Rel.NE:
+            self.add_vertex(u)
+            self.add_vertex(v)
+            if u == v:
+                # u != u is unsatisfiable: record as an inconsistency marker.
+                self._neq.add(frozenset((u,)))
+            else:
+                self._neq.add(frozenset((u, v)))
+            return
+        self._digraph.add_edge(u, v)
+        current = self._edges.get((u, v))
+        if current is None or (current is Rel.LE and rel is Rel.LT):
+            self._edges[(u, v)] = rel
+
+    @classmethod
+    def from_atoms(
+        cls, atoms: Iterable[OrderAtom], extra_vertices: Iterable[str] = ()
+    ) -> "OrderGraph":
+        """Build the order graph of a set of order atoms.
+
+        ``extra_vertices`` adds isolated vertices — order constants that
+        occur only in proper atoms must still appear in the graph.
+        """
+        g = cls()
+        for v in extra_vertices:
+            g.add_vertex(v)
+        for atom in atoms:
+            g.add_edge(atom.left.name, atom.right.name, atom.rel)
+        return g
+
+    def copy(self) -> "OrderGraph":
+        """An independent copy."""
+        g = OrderGraph()
+        for v in self.vertices:
+            g.add_vertex(v)
+        for (u, v), rel in self._edges.items():
+            g.add_edge(u, v, rel)
+        g._neq = set(self._neq)
+        return g
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def vertices(self) -> set[str]:
+        """The vertex set (fresh set)."""
+        return self._digraph.vertices
+
+    @property
+    def neq_pairs(self) -> set[frozenset[str]]:
+        """The ``!=`` pairs (singleton frozenset marks ``u != u``)."""
+        return set(self._neq)
+
+    def edges(self) -> Iterator[tuple[str, str, Rel]]:
+        """Iterate over labelled edges ``(u, v, rel)``."""
+        for (u, v), rel in self._edges.items():
+            yield u, v, rel
+
+    def edge_label(self, u: str, v: str) -> Rel | None:
+        """The label of edge ``(u, v)`` or None."""
+        return self._edges.get((u, v))
+
+    def successors(self, v: str) -> set[str]:
+        """Direct successors of ``v``."""
+        return self._digraph.successors(v)
+
+    def predecessors(self, v: str) -> set[str]:
+        """Direct predecessors of ``v``."""
+        return self._digraph.predecessors(v)
+
+    def to_atoms(self, term_of: dict[str, Term]) -> list[OrderAtom]:
+        """Rebuild order atoms, mapping vertex names through ``term_of``."""
+        atoms = [
+            OrderAtom(term_of[u], rel, term_of[v])
+            for (u, v), rel in sorted(self._edges.items())
+        ]
+        for pair in sorted(self._neq, key=sorted):
+            names = sorted(pair)
+            if len(names) == 1:
+                atoms.append(OrderAtom(term_of[names[0]], Rel.NE, term_of[names[0]]))
+            else:
+                atoms.append(OrderAtom(term_of[names[0]], Rel.NE, term_of[names[1]]))
+        return atoms
+
+    def __len__(self) -> int:
+        return len(self._digraph)
+
+    def __contains__(self, v: str) -> bool:
+        return v in self._digraph
+
+    # -- normalization (rules N1, N2) ----------------------------------------
+
+    def normalize(self) -> Normalization:
+        """Apply rules N1 and N2, reporting consistency.
+
+        N1: if ``u1 <= u2, ..., u_{n-1} <= u_n, u_n <= u1`` then identify
+        ``u1, ..., un``.  N2: delete atoms ``u <= u``.  A cycle through a
+        '<' edge (including a direct ``u < u``) makes the graph
+        inconsistent; so does a recorded ``u != u`` or a ``!=`` pair whose
+        two sides get identified by N1.
+
+        Implementation: contract the strongly connected components of the
+        whole graph.  An SCC with an internal '<' edge witnesses a '<'
+        cycle.  The representative of each SCC is its lexicographically
+        least member, so normalization is deterministic.
+        """
+        components = self._digraph.strongly_connected_components()
+        canon: dict[str, str] = {}
+        consistent = True
+        for comp in components:
+            rep = min(comp)
+            for v in comp:
+                canon[v] = rep
+        # internal '<' edge inside one component -> '<' cycle -> inconsistent
+        for (u, v), rel in self._edges.items():
+            if canon[u] == canon[v] and rel is Rel.LT:
+                consistent = False
+
+        g = OrderGraph()
+        for v in self._digraph.vertices:
+            g.add_vertex(canon[v])
+        for (u, v), rel in self._edges.items():
+            cu, cv = canon[u], canon[v]
+            if cu == cv:
+                continue  # rule N2 (and contracted N1 edges)
+            g.add_edge(cu, cv, rel)
+        for pair in self._neq:
+            names = sorted(pair)
+            if len(names) == 1 or canon[names[0]] == canon[names[1]]:
+                consistent = False
+                g._neq.add(frozenset((canon[names[0]],)))
+            else:
+                g._neq.add(frozenset((canon[names[0]], canon[names[1]])))
+        # The contracted graph can still contain '<' cycles spanning
+        # components only if SCCs were computed wrongly; by construction the
+        # condensation is acyclic, so `consistent` is final.
+        return Normalization(graph=g, canon=canon, consistent=consistent)
+
+    def is_consistent(self) -> bool:
+        """True when the graph admits a compatible linear order.
+
+        Note: ``!=`` pairs between distinct, non-identified vertices never
+        cause inconsistency on their own (a linear order can always pull the
+        two apart unless forced equal).
+        """
+        return self.normalize().consistent
+
+    def require_consistent(self) -> None:
+        """Raise :class:`InconsistentError` unless consistent."""
+        if not self.is_consistent():
+            raise InconsistentError("order graph contains a '<' cycle")
+
+    # -- derived relations / fullness ----------------------------------------
+
+    def reachability(self) -> dict[str, set[str]]:
+        """``reach[v]`` = vertices strictly reachable from ``v`` (any labels)."""
+        return self._digraph.transitive_closure()
+
+    def strict_reachability(self) -> dict[str, set[str]]:
+        """``sreach[v]`` = vertices reachable via a path through a '<' edge.
+
+        These are exactly the pairs with derived atom ``v < w``.
+        Computed by a two-layer reachability: (v, seen_lt) product search.
+        """
+        # w is <-reachable from v iff exists edge (a,b,'<') with a reachable
+        # from v (weakly) and w reachable from b (weakly).
+        reach = self.reachability()
+        weak = {v: reach[v] | {v} for v in reach}
+        out: dict[str, set[str]] = {v: set() for v in weak}
+        for (a, b), rel in self._edges.items():
+            if rel is not Rel.LT:
+                continue
+            for v in weak:
+                if a in weak[v]:
+                    out[v].update(weak[b])
+        return out
+
+    def full(self) -> "OrderGraph":
+        """The full closure: add every derivable ``<=`` and ``<`` edge.
+
+        Rule 1: path u ~> v (u != v) adds ``u <= v``.  Rule 2: a path through
+        a '<' edge adds ``u < v``.  ``!=`` pairs are copied unchanged (the
+        paper's fullness does not derive inequalities).
+        """
+        assert self is not None
+        reach = self.reachability()
+        strict = self.strict_reachability()
+        g = OrderGraph()
+        for v in self.vertices:
+            g.add_vertex(v)
+        for u in self.vertices:
+            for v in reach[u]:
+                if u == v:
+                    continue
+                g.add_edge(u, v, Rel.LT if v in strict[u] else Rel.LE)
+        for u in self.vertices:
+            for v in strict[u]:
+                if u != v:
+                    g.add_edge(u, v, Rel.LT)
+        g._neq = set(self._neq)
+        return g
+
+    def entails_atom(self, u: str, v: str, rel: Rel) -> bool:
+        """Does every compatible linear order satisfy ``u rel v``?
+
+        For a *normalized, consistent* graph: ``u <= v`` is entailed iff
+        there is a path from u to v (or u == v); ``u < v`` iff some such path
+        passes through a '<' edge; ``u != v`` iff ``u < v`` or ``v < u`` is
+        entailed or the pair is recorded as ``!=``.
+        """
+        if rel is Rel.LE:
+            return u == v or v in self.reachability()[u]
+        if rel is Rel.LT:
+            return u != v and v in self.strict_reachability()[u]
+        if u == v:
+            return False
+        return (
+            frozenset((u, v)) in self._neq
+            or v in self.strict_reachability()[u]
+            or u in self.strict_reachability()[v]
+        )
+
+    # -- minimal and minor vertices ------------------------------------------
+
+    def minimal_vertices(self) -> set[str]:
+        """Vertices with no in-edge."""
+        return self._digraph.sources()
+
+    def minor_vertices(self) -> set[str]:
+        """Vertices with no ascending path into them through a '<' edge.
+
+        A vertex v is *minor* iff no path ending at v passes through an edge
+        labelled '<'.  Equivalently: v is not (weakly) reachable from the
+        head of any '<' edge.
+        """
+        lt_heads = {v for (u, v), rel in self._edges.items() if rel is Rel.LT}
+        tainted = self._digraph.reachable_from(lt_heads)
+        return self.vertices - tainted
+
+    def le_predecessor_closure(self, seed: Iterable[str]) -> set[str]:
+        """Close ``seed`` under '<='-predecessors (constraint S2).
+
+        If u is in the set and there is an edge ``v <= u`` then v joins the
+        set.  Used when constructing generalized topological sorts.
+        """
+        out = set(seed)
+        stack = list(out)
+        while stack:
+            u = stack.pop()
+            for v in self._digraph.predecessors(u):
+                if self._edges[(v, u)] is Rel.LE and v not in out:
+                    out.add(v)
+                    stack.append(v)
+        return out
+
+    # -- width ----------------------------------------------------------------
+
+    def is_antichain(self, subset: Iterable[str]) -> bool:
+        """True when no vertex of ``subset`` reaches another."""
+        subset = set(subset)
+        reach = self.reachability()
+        for u in subset:
+            if reach[u] & (subset - {u}):
+                return False
+        return True
+
+    def a_maximum_antichain(self) -> set[str]:
+        """Some maximum-cardinality antichain (Dilworth via matching)."""
+        if not self.vertices:
+            return set()
+        return maximum_antichain(self.vertices, self.reachability())
+
+    def width(self) -> int:
+        """The width: maximum cardinality of an antichain.
+
+        Note: the Section 7 convention applies — ``!=`` pairs are ignored
+        when measuring width.
+        """
+        return len(self.a_maximum_antichain())
+
+    # -- restriction ------------------------------------------------------------
+
+    def induced(self, keep: Iterable[str]) -> "OrderGraph":
+        """The subgraph induced by ``keep`` (labels and ``!=`` restricted)."""
+        keep = set(keep)
+        g = OrderGraph()
+        for v in keep:
+            if v in self:
+                g.add_vertex(v)
+        for (u, v), rel in self._edges.items():
+            if u in keep and v in keep:
+                g.add_edge(u, v, rel)
+        g._neq = {p for p in self._neq if p <= keep}
+        return g
+
+    def up_set(self, sources: Iterable[str]) -> set[str]:
+        """Vertices weakly reachable from ``sources`` (the paper's ``D ^ S``)."""
+        return self._digraph.reachable_from(sources)
+
+    def reduced(self) -> "OrderGraph":
+        """Drop redundant edges (the Section 2 remark on successor counts).
+
+        An edge ``u rel v`` is redundant when the remaining atoms already
+        entail it (e.g. ``u < w`` with ``u < v``, ``v <= w`` present).
+        Edges are examined in deterministic order and removed greedily;
+        the result entails exactly the same order atoms.  The paper notes
+        that in a width-``k`` database the reduced graph has at most
+        ``2k`` successors per vertex (``k`` immediate '<='-successors plus
+        ``k`` immediate '<'-successors) — property-tested in the suite.
+        """
+        g = self.copy()
+        for (a, b), rel in sorted(self._edges.items()):
+            current = g._edges.get((a, b))
+            if current is None:
+                continue
+            # try removing the edge; keep it only if no longer entailed
+            del g._edges[(a, b)]
+            g._digraph._succ[a].discard(b)
+            g._digraph._pred[b].discard(a)
+            if not g.entails_atom(a, b, current):
+                g._digraph.add_edge(a, b)
+                g._edges[(a, b)] = current
+        return g
+
+    def remove_vertices(self, drop: Iterable[str]) -> None:
+        """Delete ``drop`` and all incident edges / '!=' pairs, in place."""
+        drop = set(drop)
+        for v in drop:
+            if v in self._digraph:
+                self._digraph.remove_vertex(v)
+        self._edges = {
+            (u, v): rel
+            for (u, v), rel in self._edges.items()
+            if u not in drop and v not in drop
+        }
+        self._neq = {p for p in self._neq if not (p & drop)}

@@ -1,0 +1,103 @@
+"""The three semantics and the Section 2 reductions between them.
+
+``D |=_O phi`` quantifies over models whose order is of type ``O``:
+
+* ``FIN`` — all finite linear orders;
+* ``Z``  — orders isomorphic to the integers;
+* ``Q``  — dense orders isomorphic to the rationals.
+
+Proposition 2.1 gives the containments ``|=_Fin  <=  |=_Z  <=  |=_Q``; they
+coincide on *tight* queries (Proposition 2.2).  For nontight queries the
+paper reduces both infinite semantics to the finite one:
+
+* **Z** (Proposition 2.3): pad the database with fresh chains
+  ``l1 < ... < ln`` below and ``r1 < ... < rn`` above every order constant,
+  where ``n`` is the number of order variables in the query.  Then
+  ``D |=_Z phi  iff  D' |=_Fin phi``.
+* **Q** (Lemma 2.5 / Corollary 2.6): replace each disjunct by its full
+  closure with the order variables occurring in no proper atom deleted.
+  The result is tight, and ``D |=_Q phi  iff  D |=_Fin phi'``.
+
+These transformations are pure functions from (database, query) to
+(database, query); the dispatcher in :mod:`repro.core.entailment` applies
+them before running any finite-semantics algorithm.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.atoms import OrderAtom, Rel
+from repro.core.database import IndefiniteDatabase
+from repro.core.query import DisjunctiveQuery, Query, as_dnf
+from repro.core.sorts import fresh_names, ordc
+
+
+class Semantics(enum.Enum):
+    """Which class of linear orders models range over."""
+
+    FIN = "fin"
+    Z = "z"
+    Q = "q"
+
+
+def is_tight(query: Query) -> bool:
+    """Tightness: in each disjunct every order variable occurs in a proper
+    atom (Section 2).  Tight queries are semantics-independent
+    (Proposition 2.2)."""
+    return all(d.is_tight() for d in as_dnf(query).disjuncts)
+
+
+def pad_for_integers(
+    db: IndefiniteDatabase, query: Query
+) -> IndefiniteDatabase:
+    """The Proposition 2.3 database transformation ``D -> D'`` for Z.
+
+    Adds chains of ``n`` fresh order constants strictly below and strictly
+    above every existing order constant, where ``n`` is the number of
+    distinct order variables of the query.  (With no order constants in
+    ``D`` the two chains are still linked to each other so the padded
+    database has the intended shape.)
+    """
+    dnf = as_dnf(query)
+    n = max(
+        (len(d.order_variables()) for d in dnf.disjuncts),
+        default=0,
+    )
+    if n == 0:
+        return db
+    taken = set(db.order_constants) | set(db.object_constants)
+    lows = [ordc(x) for x in fresh_names("_zlo", n, taken)]
+    highs = [ordc(x) for x in fresh_names("_zhi", n, taken)]
+    atoms: list[OrderAtom] = []
+    atoms.extend(OrderAtom(a, Rel.LT, b) for a, b in zip(lows, lows[1:]))
+    atoms.extend(OrderAtom(a, Rel.LT, b) for a, b in zip(highs, highs[1:]))
+    atoms.append(OrderAtom(lows[-1], Rel.LT, highs[0]))
+    for u in sorted(db.order_constants):
+        atoms.append(OrderAtom(lows[-1], Rel.LT, ordc(u)))
+        atoms.append(OrderAtom(ordc(u), Rel.LT, highs[0]))
+    return db.union(IndefiniteDatabase.from_atoms(atoms))
+
+
+def tighten_for_rationals(query: Query) -> DisjunctiveQuery:
+    """The Lemma 2.5 query transformation ``phi -> phi'`` for Q.
+
+    Each disjunct is replaced by its full closure with the order variables
+    occurring in no proper atom (and all atoms mentioning them) removed.
+    The result is tight, so by Corollary 2.6 finite-model evaluation of the
+    transformed query decides the dense-order semantics of the original.
+    """
+    dnf = as_dnf(query)
+    return DisjunctiveQuery(tuple(d.tightened() for d in dnf.disjuncts))
+
+
+def transform(
+    db: IndefiniteDatabase, query: Query, semantics: Semantics
+) -> tuple[IndefiniteDatabase, DisjunctiveQuery]:
+    """Reduce ``(db, query, semantics)`` to an equivalent FIN instance."""
+    dnf = as_dnf(query)
+    if semantics is Semantics.FIN or is_tight(dnf):
+        return db, dnf
+    if semantics is Semantics.Z:
+        return pad_for_integers(db, dnf), dnf
+    return db, tighten_for_rationals(dnf)

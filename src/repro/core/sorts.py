@@ -1,0 +1,111 @@
+"""Two-sorted terms: constants and variables of object and order sort.
+
+The paper works in a two-sorted first-order language: a sort of *objects*
+(agents, propositional letters, truth-value constants, ...) and an *order*
+sort representing points of a linearly ordered domain.  Terms are constants
+or variables, each carrying its sort.  The language has no function symbols.
+
+Use the module-level constructors rather than instantiating :class:`Term`
+directly::
+
+    from repro.core.sorts import obj, ordc, objvar, ordvar
+
+    a  = obj("A")        # object constant
+    u  = ordc("u")       # order constant
+    x  = objvar("x")     # object variable
+    t1 = ordvar("t1")    # order variable
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Sort(enum.Enum):
+    """The two sorts of the language."""
+
+    OBJECT = "object"
+    ORDER = "order"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sort.{self.name}"
+
+
+@dataclass(frozen=True, order=True)
+class Term:
+    """A constant or variable of a given sort.
+
+    Attributes:
+        name: the symbol's name. Names are the identity of a term together
+            with its sort and variable-ness; two terms with equal fields are
+            the same term.
+        sort: :class:`Sort.OBJECT` or :class:`Sort.ORDER`.
+        is_var: True for variables, False for constants.
+    """
+
+    name: str
+    sort: Sort
+    is_var: bool = False
+
+    @property
+    def is_const(self) -> bool:
+        """True when this term is a constant."""
+        return not self.is_var
+
+    @property
+    def is_order(self) -> bool:
+        """True when this term is of order sort."""
+        return self.sort is Sort.ORDER
+
+    @property
+    def is_object(self) -> bool:
+        """True when this term is of object sort."""
+        return self.sort is Sort.OBJECT
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        kind = "var" if self.is_var else "const"
+        return f"{self.sort.value}-{kind}({self.name})"
+
+
+def obj(name: str) -> Term:
+    """An object constant."""
+    return Term(name, Sort.OBJECT, is_var=False)
+
+
+def ordc(name: str) -> Term:
+    """An order constant (the paper's "special sort of null value")."""
+    return Term(name, Sort.ORDER, is_var=False)
+
+
+def objvar(name: str) -> Term:
+    """An object variable."""
+    return Term(name, Sort.OBJECT, is_var=True)
+
+
+def ordvar(name: str) -> Term:
+    """An order variable."""
+    return Term(name, Sort.ORDER, is_var=True)
+
+
+def fresh_names(prefix: str, count: int, taken: set[str]) -> list[str]:
+    """Generate ``count`` names starting with ``prefix`` avoiding ``taken``.
+
+    Used by the constant-elimination construction and by the Z-semantics
+    reduction (Proposition 2.3), both of which need constants/variables that
+    do not clash with those already in a database or query.
+
+    The returned names are added to ``taken`` so repeated calls stay fresh.
+    """
+    out: list[str] = []
+    i = 0
+    while len(out) < count:
+        candidate = f"{prefix}{i}"
+        if candidate not in taken:
+            taken.add(candidate)
+            out.append(candidate)
+        i += 1
+    return out

@@ -1,0 +1,23 @@
+"""Flexi-words, the subword relation, and well-quasi-order machinery."""
+
+from repro.flexiwords.flexiword import FlexiWord, Letter, Word, all_words, letter
+from repro.flexiwords.subword import (
+    flexi_entails,
+    flexi_equiv,
+    flexi_le,
+    is_subword,
+    word_model_satisfies,
+)
+
+__all__ = [
+    "FlexiWord",
+    "Letter",
+    "Word",
+    "all_words",
+    "flexi_entails",
+    "flexi_equiv",
+    "flexi_le",
+    "is_subword",
+    "letter",
+    "word_model_satisfies",
+]

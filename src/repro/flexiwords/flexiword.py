@@ -1,0 +1,226 @@
+"""Flexi-words over a set of monadic predicates (Section 4).
+
+Given a set ``Pred`` of monadic predicates and the alphabet
+``A = powerset(Pred)``, the set ``FW(Pred) = A . ({<, <=} . A)*`` of
+*flexi-words* consists of finite sequences ``a1 r1 a2 r2 ... r_{n-1} an``
+with each ``ai`` a subset of ``Pred`` and each ``ri`` one of '<', '<='.
+
+A flexi-word simultaneously represents (Section 4):
+
+* a **sequential query** ``exists t1..tn [t1 r1 t2 /\\ ... /\\ Psi]``;
+* a **width-one monadic database** (unique up to renaming of constants);
+* when every separator is '<', a **finite model** — a *word* whose letters
+  are the label sets of the model's points.
+
+This module provides the data type plus conversions; the order relation
+between flexi-words (``p <= q`` iff ``q |= p``) lives in
+:mod:`repro.flexiwords.subword`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.atoms import Rel
+from repro.core.errors import ParseError
+
+Letter = frozenset[str]
+Word = tuple[Letter, ...]
+
+
+def letter(*preds: str) -> Letter:
+    """A letter: a (possibly empty) set of predicate names."""
+    return frozenset(preds)
+
+
+@dataclass(frozen=True)
+class FlexiWord:
+    """An element of FW(Pred): letters joined by '<' / '<=' separators."""
+
+    letters: tuple[Letter, ...]
+    rels: tuple[Rel, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.rels) != max(0, len(self.letters) - 1):
+            raise ValueError(
+                f"flexi-word needs {max(0, len(self.letters) - 1)} separators, "
+                f"got {len(self.rels)}"
+            )
+        if any(r is Rel.NE for r in self.rels):
+            raise ValueError("flexi-word separators must be '<' or '<='")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "FlexiWord":
+        """The empty flexi-word (the empty query / empty database)."""
+        return cls((), ())
+
+    @classmethod
+    def word(cls, letters: Iterable[Iterable[str]]) -> "FlexiWord":
+        """A *word*: all separators strict '<'."""
+        letters = tuple(frozenset(a) for a in letters)
+        return cls(letters, tuple(Rel.LT for _ in range(max(0, len(letters) - 1))))
+
+    @classmethod
+    def singleton(cls, preds: Iterable[str]) -> "FlexiWord":
+        """A one-letter flexi-word."""
+        return cls((frozenset(preds),), ())
+
+    @classmethod
+    def from_pairs(
+        cls, first: Iterable[str], *pairs: tuple[Rel, Iterable[str]]
+    ) -> "FlexiWord":
+        """Build ``first r1 a1 r2 a2 ...`` from alternating (rel, letter) pairs."""
+        letters = [frozenset(first)]
+        rels = []
+        for rel, preds in pairs:
+            rels.append(rel)
+            letters.append(frozenset(preds))
+        return cls(tuple(letters), tuple(rels))
+
+    @classmethod
+    def parse(cls, text: str) -> "FlexiWord":
+        """Parse e.g. ``"{P,Q} < {P} <= {R}"`` (empty letter: ``{}``)."""
+        text = text.strip()
+        if not text:
+            return cls.empty()
+        tokens: list[str] = []
+        i = 0
+        while i < len(text):
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+            elif ch == "{":
+                j = text.find("}", i)
+                if j < 0:
+                    raise ParseError(f"unclosed letter in flexi-word: {text!r}")
+                tokens.append(text[i : j + 1])
+                i = j + 1
+            elif text.startswith("<=", i):
+                tokens.append("<=")
+                i += 2
+            elif ch == "<":
+                tokens.append("<")
+                i += 1
+            else:
+                raise ParseError(f"unexpected character {ch!r} in flexi-word")
+        letters: list[Letter] = []
+        rels: list[Rel] = []
+        expect_letter = True
+        for tok in tokens:
+            if expect_letter:
+                if not tok.startswith("{"):
+                    raise ParseError(f"expected a letter, got {tok!r}")
+                inner = tok[1:-1].strip()
+                letters.append(
+                    frozenset(p.strip() for p in inner.split(",") if p.strip())
+                )
+            else:
+                rels.append(Rel.LT if tok == "<" else Rel.LE)
+            expect_letter = not expect_letter
+        if expect_letter:
+            raise ParseError("flexi-word must end with a letter")
+        return cls(tuple(letters), tuple(rels))
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    def __bool__(self) -> bool:
+        return bool(self.letters)
+
+    def __str__(self) -> str:
+        if not self.letters:
+            return "(empty)"
+        parts = ["{" + ",".join(sorted(self.letters[0])) + "}"]
+        for rel, a in zip(self.rels, self.letters[1:]):
+            parts.append(str(rel))
+            parts.append("{" + ",".join(sorted(a)) + "}")
+        return " ".join(parts)
+
+    @property
+    def is_word(self) -> bool:
+        """True when every separator is strict '<'."""
+        return all(r is Rel.LT for r in self.rels)
+
+    @property
+    def predicates(self) -> frozenset[str]:
+        """All predicate names occurring in the letters."""
+        out: set[str] = set()
+        for a in self.letters:
+            out |= a
+        return frozenset(out)
+
+    def size(self) -> int:
+        """Total number of atoms represented (labels plus separators)."""
+        return sum(len(a) for a in self.letters) + len(self.rels)
+
+    # -- slicing ---------------------------------------------------------------
+
+    def suffix(self, start: int) -> "FlexiWord":
+        """The flexi-word from letter index ``start`` on."""
+        if start <= 0:
+            return self
+        return FlexiWord(self.letters[start:], self.rels[start:])
+
+    def prefix(self, end: int) -> "FlexiWord":
+        """The first ``end`` letters."""
+        if end >= len(self.letters):
+            return self
+        return FlexiWord(self.letters[:end], self.rels[: max(0, end - 1)])
+
+    def concat(self, rel: Rel, other: "FlexiWord") -> "FlexiWord":
+        """``self rel other`` (either side empty returns the other)."""
+        if not self.letters:
+            return other
+        if not other.letters:
+            return self
+        return FlexiWord(
+            self.letters + other.letters, self.rels + (rel,) + other.rels
+        )
+
+    # -- semantics ---------------------------------------------------------------
+
+    def models(self) -> Iterator[Word]:
+        """All minimal models of this flexi-word viewed as a database.
+
+        A width-one database's minimal models merge maximal runs of letters
+        joined by '<='-separators that the model chooses to identify; a '<'
+        separator always forces a new point.  Each model is a *word*
+        (tuple of letters, implicitly strictly increasing).
+        """
+        if not self.letters:
+            yield ()
+            return
+        le_positions = [i for i, r in enumerate(self.rels) if r is Rel.LE]
+        for choice in product((False, True), repeat=len(le_positions)):
+            merge = {pos: c for pos, c in zip(le_positions, choice)}
+            blocks: list[set[str]] = [set(self.letters[0])]
+            for i, a in enumerate(self.letters[1:]):
+                if merge.get(i, False):
+                    blocks[-1] |= a
+                else:
+                    blocks.append(set(a))
+            yield tuple(frozenset(b) for b in blocks)
+
+    def strictest_model(self) -> Word:
+        """The model that merges nothing (every letter its own point)."""
+        return tuple(self.letters)
+
+
+def all_words(predicates: Sequence[str], length: int) -> Iterator[FlexiWord]:
+    """All words of ``length`` letters over subsets of ``predicates``.
+
+    Used by exhaustive tests and by the wqo basis search.  The number of
+    words is ``(2^|predicates|)^length`` — keep parameters tiny.
+    """
+    subsets = [
+        frozenset(p for p, bit in zip(predicates, bits) if bit)
+        for bits in product((0, 1), repeat=len(predicates))
+    ]
+    for combo in product(subsets, repeat=length):
+        yield FlexiWord.word(combo)

@@ -1,0 +1,108 @@
+"""The subword relation and the flexi-word quasi-order (Sections 4 and 6).
+
+Two related comparisons live here:
+
+* :func:`is_subword` — Proposition 4.5: for *words* ``p``, ``q`` (strict
+  separators only), ``q |= p`` iff ``p`` is a subword of ``q``, where
+  ``p = a1...an`` is a subword of ``q = b1...bm`` iff there are indices
+  ``i1 < ... < in`` with ``aj`` a subset of ``b_{ij}`` for all j.
+
+* :func:`flexi_entails` — the general case ``q |= p`` for flexi-words,
+  decided by a specialization of the SEQ algorithm (Fig. 6) to width-one
+  databases.  This gives the quasi-order of Section 6:
+  ``p <= q  iff  q |= p`` (:func:`flexi_le`), which Lemma 6.3 proves to be
+  a well-quasi-order.
+
+The width-one specialization here is written independently from the general
+SEQ implementation in :mod:`repro.algorithms.seq`; the two are
+cross-validated in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Rel
+from repro.flexiwords.flexiword import FlexiWord, Word
+
+
+def is_subword(p: Word | FlexiWord, q: Word | FlexiWord) -> bool:
+    """Is ``p`` a subword of ``q`` (letters compared by set containment)?
+
+    Both arguments must be *words* (all separators '<') when given as
+    flexi-words.  Greedy matching is complete for the subword relation.
+    """
+    p_letters = _word_letters(p)
+    q_letters = _word_letters(q)
+    i = 0
+    for b in q_letters:
+        if i < len(p_letters) and p_letters[i] <= b:
+            i += 1
+    return i == len(p_letters)
+
+
+def _word_letters(w: Word | FlexiWord) -> tuple[frozenset[str], ...]:
+    if isinstance(w, FlexiWord):
+        if not w.is_word:
+            raise ValueError("subword relation requires words ('<' separators)")
+        return w.letters
+    return tuple(frozenset(a) for a in w)
+
+
+def flexi_entails(q: FlexiWord, p: FlexiWord) -> bool:
+    """Does the width-one database ``q`` entail the sequential query ``p``?
+
+    Implements the three cases of Lemma 4.2 specialized to width one:
+
+    * Case I — the (unique) minimal vertex of ``q`` does not support the
+      first letter of ``p``: drop it and continue;
+    * Case II — it does and the next separator of ``p`` is '<': drop the
+      *minor* prefix of ``q`` (its maximal '<='-connected initial run) and
+      advance ``p``;
+    * Case III — it does and the next separator is '<=': advance ``p``
+      keeping ``q``.
+
+    ``p`` exhausted means entailed; ``q`` exhausted first means not.
+    """
+    qi = 0  # index of the current minimal letter of q
+    pj = 0  # index of the next letter of p to satisfy
+    n, m = len(q.letters), len(p.letters)
+    while True:
+        if pj >= m:
+            return True
+        if qi >= n:
+            return False
+        a = p.letters[pj]
+        if not a <= q.letters[qi]:
+            qi += 1  # Case I: remove the offending minimal vertex
+            continue
+        if pj == m - 1:
+            return True
+        if p.rels[pj] is Rel.LT:
+            # Case II: delete the minor prefix (letters joined by '<=')
+            while qi < n - 1 and q.rels[qi] is Rel.LE:
+                qi += 1
+            qi += 1
+            pj += 1
+        else:
+            # Case III
+            pj += 1
+
+
+def flexi_le(p: FlexiWord, q: FlexiWord) -> bool:
+    """The Section 6 quasi-order: ``p <= q`` iff ``q |= p``."""
+    return flexi_entails(q, p)
+
+
+def flexi_equiv(p: FlexiWord, q: FlexiWord) -> bool:
+    """Equivalence under the quasi-order (mutual entailment)."""
+    return flexi_le(p, q) and flexi_le(q, p)
+
+
+def word_model_satisfies(word: Word, p: FlexiWord) -> bool:
+    """Does the finite model ``word`` satisfy the sequential query ``p``?
+
+    A finite model is a word; satisfaction of a sequential query in a model
+    equals entailment by the corresponding width-one database, except that
+    '<='-separated query letters may land on the same point.  Decided by a
+    greedy earliest-match scan.
+    """
+    return flexi_entails(FlexiWord.word(word), p)

@@ -1,0 +1,94 @@
+"""Databases and queries containing inequality ``!=`` (Section 7).
+
+The paper's observation: ``u != v`` can be eliminated by replacing it with
+the disjunction ``u < v  v  v < u``.  For *queries* this multiplies the
+number of disjuncts by two per '!=' atom but keeps entailment intact; for
+*databases* it splits the database into exponentially many '!='-free
+databases, all of which must entail the query.  Both expansions are
+implemented here, together with a direct entailment wrapper.  (Section 7
+shows the blowup is unavoidable in general: with '!=' the PTIME cases
+collapse — see :mod:`repro.reductions.coloring` for the 3-colorability
+reductions behind Theorem 7.1.)
+
+The width of a ``[<, <=, !=]``-database is, per the paper's convention,
+the width of the ``[<, <=]``-database obtained by deleting the '!=' atoms
+(:class:`repro.core.ordergraph.OrderGraph` already ignores them).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.core.atoms import OrderAtom, Rel
+from repro.core.database import IndefiniteDatabase
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery, Query, as_dnf
+
+
+def expand_conjunct_neq(cq: ConjunctiveQuery) -> list[ConjunctiveQuery]:
+    """Replace each ``u != v`` by one of ``u < v`` / ``v < u`` in all ways."""
+    neq_atoms = [a for a in cq.order_atoms if a.rel is Rel.NE]
+    if not neq_atoms:
+        return [cq]
+    base = [a for a in cq.atoms if not (isinstance(a, OrderAtom) and a.rel is Rel.NE)]
+    out: list[ConjunctiveQuery] = []
+    for choice in product((False, True), repeat=len(neq_atoms)):
+        atoms = list(base)
+        for flip, atom in zip(choice, neq_atoms):
+            if flip:
+                atoms.append(OrderAtom(atom.right, Rel.LT, atom.left))
+            else:
+                atoms.append(OrderAtom(atom.left, Rel.LT, atom.right))
+        out.append(ConjunctiveQuery.from_atoms(atoms, cq.extra_order_vars))
+    return out
+
+
+def expand_query_neq(query: Query) -> DisjunctiveQuery:
+    """Eliminate '!=' from a query by DNF expansion.
+
+    The number of disjuncts grows by a factor of ``2^m`` where ``m`` is the
+    per-disjunct count of '!=' atoms — exponential in the query, which is
+    acceptable under data complexity (the query is fixed) and is exactly
+    the blowup the paper warns about for combined complexity.
+    """
+    dnf = as_dnf(query)
+    disjuncts: list[ConjunctiveQuery] = []
+    for d in dnf.disjuncts:
+        disjuncts.extend(expand_conjunct_neq(d))
+    return DisjunctiveQuery(tuple(disjuncts))
+
+
+def expand_database_neq(db: IndefiniteDatabase) -> list[IndefiniteDatabase]:
+    """Split a '!='-database into '!='-free databases covering all models.
+
+    Every model of ``db`` is a model of (at least) one expansion, and every
+    model of an expansion is a model of ``db``; hence ``db |= phi`` iff all
+    expansions entail ``phi``.  Inconsistent expansions are dropped.
+    """
+    neq_atoms = sorted(a for a in db.order_atoms if a.rel is Rel.NE)
+    base = frozenset(a for a in db.order_atoms if a.rel is not Rel.NE)
+    if not neq_atoms:
+        return [db]
+    out: list[IndefiniteDatabase] = []
+    for choice in product((False, True), repeat=len(neq_atoms)):
+        atoms = set(base)
+        for flip, atom in zip(choice, neq_atoms):
+            if flip:
+                atoms.add(OrderAtom(atom.right, Rel.LT, atom.left))
+            else:
+                atoms.add(OrderAtom(atom.left, Rel.LT, atom.right))
+        candidate = IndefiniteDatabase(db.proper_atoms, frozenset(atoms))
+        if candidate.is_consistent():
+            out.append(candidate)
+    return out
+
+
+def entails_with_neq(db: IndefiniteDatabase, query: Query, **kwargs) -> bool:
+    """Entailment for '!='-databases via the expansion reduction.
+
+    ``db |= phi`` iff every '!='-free expansion entails ``phi``.  Keyword
+    arguments are forwarded to :func:`repro.core.entailment.entails`, so
+    the monadic fast paths apply to each expansion.
+    """
+    from repro.core.entailment import entails
+
+    return all(entails(d, query, **kwargs) for d in expand_database_neq(db))

@@ -1,0 +1,148 @@
+"""Allen's interval algebra, encoded into the point algebra.
+
+The introduction of the paper situates indefinite order databases against
+Allen's 13 primitive interval relations and the point-based remedy of
+Vilain, Kautz & van Beek.  This module provides that substrate: each of
+the 13 relations between intervals ``I = [I-, I+]`` and ``J = [J-, J+]``
+is a conjunction of point-algebra constraints over the four endpoints, so
+interval networks translate to :class:`repro.pointalgebra.pa.PointNetwork`
+instances — and, when the constraints stay within ``< / <= / !=``, to
+indefinite order databases whose entailed queries our algorithms answer.
+
+Relation names follow Allen: ``before, meets, overlaps, starts, during,
+finishes`` plus ``equal`` and the six converses (suffix ``_i``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.atoms import OrderAtom, lt, le
+from repro.core.sorts import ordc
+from repro.pointalgebra.pa import (
+    ANY,
+    EQ,
+    GE,
+    GT,
+    LE,
+    LT,
+    PARelation,
+    PointNetwork,
+)
+
+#: endpoint constraints per Allen relation, as PA relations on the pairs
+#: (I-, J-), (I-, J+), (I+, J-), (I+, J+).
+_ALLEN: dict[str, tuple[PARelation, PARelation, PARelation, PARelation]] = {
+    "before": (LT, LT, LT, LT),
+    "meets": (LT, LT, EQ, LT),
+    "overlaps": (LT, LT, GT, LT),
+    "starts": (EQ, LT, GT, LT),
+    "during": (GT, LT, GT, LT),
+    "finishes": (GT, LT, GT, EQ),
+    "equal": (EQ, LT, GT, EQ),
+}
+
+
+def allen_relations() -> list[str]:
+    """All 13 relation names."""
+    return sorted(_ALLEN) + sorted(f"{r}_i" for r in _ALLEN if r != "equal")
+
+
+def endpoint_constraints(
+    relation: str, i_name: str, j_name: str
+) -> list[tuple[str, str, PARelation]]:
+    """The endpoint constraints of ``I relation J``.
+
+    Interval ``X`` has endpoints ``X-`` named ``X.lo`` and ``X+`` named
+    ``X.hi``; the constraint ``lo < hi`` for each interval is included.
+    """
+    if relation.endswith("_i"):
+        base = relation[:-2]
+        return endpoint_constraints(base, j_name, i_name)
+    if relation not in _ALLEN:
+        raise ValueError(f"unknown Allen relation {relation!r}")
+    c = _ALLEN[relation]
+    ilo, ihi = f"{i_name}.lo", f"{i_name}.hi"
+    jlo, jhi = f"{j_name}.lo", f"{j_name}.hi"
+    return [
+        (ilo, ihi, LT),
+        (jlo, jhi, LT),
+        (ilo, jlo, c[0]),
+        (ilo, jhi, c[1]),
+        (ihi, jlo, c[2]),
+        (ihi, jhi, c[3]),
+    ]
+
+
+class IntervalNetwork:
+    """A network of intervals constrained by disjunctions of Allen relations."""
+
+    def __init__(self) -> None:
+        self._constraints: list[tuple[str, frozenset[str], str]] = []
+        self._intervals: set[str] = set()
+
+    def constrain(self, i: str, relations: Iterable[str], j: str) -> None:
+        """Assert ``i (r1 | r2 | ...) j``."""
+        rels = frozenset(relations)
+        unknown = rels - set(allen_relations())
+        if unknown:
+            raise ValueError(f"unknown Allen relations: {sorted(unknown)}")
+        self._intervals.add(i)
+        self._intervals.add(j)
+        self._constraints.append((i, rels, j))
+
+    def to_point_network(self) -> PointNetwork:
+        """The endpoint PA network (disjunctions become PA unions).
+
+        A disjunction of Allen relations projects to the pointwise union
+        of the endpoint constraints — this is the (incomplete but sound)
+        point-based approximation of Vilain-Kautz-van Beek that the paper
+        cites; exact reasoning over full Allen disjunctions is NP-hard.
+        """
+        net = PointNetwork()
+        for interval in sorted(self._intervals):
+            net.constrain(f"{interval}.lo", f"{interval}.hi", LT)
+        for i, rels, j in self._constraints:
+            merged: dict[tuple[str, str], PARelation] = {}
+            for r in rels:
+                for u, v, pa in endpoint_constraints(r, i, j):
+                    key = (u, v)
+                    merged[key] = merged.get(key, frozenset()) | pa
+            for (u, v), pa in merged.items():
+                net.constrain(u, v, pa)
+        return net
+
+    def consistent_approximation(self) -> bool:
+        """Point-based consistency (sound: False means truly inconsistent)."""
+        return self.to_point_network().is_consistent()
+
+
+def interval_database_atoms(
+    facts: Iterable[tuple[str, str, str]]
+) -> list[OrderAtom]:
+    """Order atoms for *definite* Allen facts usable in a database.
+
+    Each fact ``(i, relation, j)`` contributes its endpoint constraints;
+    only '<' / '<=' / '=' projections are representable (equalities become
+    a pair of '<=' atoms).  Raises on relations needing '>' (use the
+    converse fact instead) — keeps the output a legal ``[<, <=]``-database.
+    """
+    atoms: list[OrderAtom] = []
+    for i, relation, j in facts:
+        for u, v, pa in endpoint_constraints(relation, i, j):
+            if pa == LT:
+                atoms.append(lt(ordc(u), ordc(v)))
+            elif pa == EQ:
+                atoms.append(le(ordc(u), ordc(v)))
+                atoms.append(le(ordc(v), ordc(u)))
+            elif pa == GT:
+                atoms.append(lt(ordc(v), ordc(u)))
+            elif pa == LE:
+                atoms.append(le(ordc(u), ordc(v)))
+            elif pa == GE:
+                atoms.append(le(ordc(v), ordc(u)))
+            elif pa == ANY:
+                continue
+            else:
+                raise ValueError(f"unrepresentable endpoint relation {set(pa)}")
+    return atoms

@@ -1,0 +1,263 @@
+"""The point algebra: qualitative relations over linearly ordered points.
+
+The related-work substrate the paper positions itself against (Vilain,
+Kautz & van Beek; Ullman §14.2; van Beek & Cohen): constraints between
+points are subsets of ``{<, =, >}`` ("u is before, equal to, or after v"),
+closed under converse, intersection, and composition.  Deriving the
+strongest implied relation between two points — e.g. to decide whether a
+``[<, <=, !=]``-constraint set is consistent, or to compute the order
+atoms entailed by a database (the *full closure* of Section 2 extended
+with '!=') — is polynomial time via the path-consistency algorithm
+implemented here.
+
+Relations are frozensets over the characters ``'<' '=' '>'``::
+
+    LT  = {'<'}          (the atom u < v)
+    LE  = {'<', '='}     (u <= v)
+    NE  = {'<', '>'}     (u != v)
+    ANY = {'<', '=', '>'}
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Hashable, Iterable
+
+from repro.core.atoms import OrderAtom, Rel
+
+PARelation = frozenset[str]
+
+LT: PARelation = frozenset("<")
+GT: PARelation = frozenset(">")
+EQ: PARelation = frozenset("=")
+LE: PARelation = frozenset("<=")
+GE: PARelation = frozenset(">=")
+NE: PARelation = frozenset("<>")
+ANY: PARelation = frozenset("<=>")
+EMPTY: PARelation = frozenset()
+
+_BASE_COMPOSE: dict[tuple[str, str], PARelation] = {
+    ("<", "<"): LT,
+    ("<", "="): LT,
+    ("<", ">"): ANY,
+    ("=", "<"): LT,
+    ("=", "="): EQ,
+    ("=", ">"): GT,
+    (">", "<"): ANY,
+    (">", "="): GT,
+    (">", ">"): GT,
+}
+
+
+def compose(r1: PARelation, r2: PARelation) -> PARelation:
+    """Relation composition: possible relations of (u, w) given (u, v), (v, w)."""
+    out: set[str] = set()
+    for a, b in iter_product(r1, r2):
+        out |= _BASE_COMPOSE[(a, b)]
+    return frozenset(out)
+
+
+def converse(r: PARelation) -> PARelation:
+    """The converse relation (swap < and >)."""
+    swap = {"<": ">", ">": "<", "=": "="}
+    return frozenset(swap[c] for c in r)
+
+
+def from_rel(rel: Rel) -> PARelation:
+    """The PA relation of an order-atom relation symbol."""
+    if rel is Rel.LT:
+        return LT
+    if rel is Rel.LE:
+        return LE
+    return NE
+
+
+def to_order_rel(r: PARelation) -> Rel | None:
+    """The strongest order-atom relation expressing ``r``, if any."""
+    if r == LT:
+        return Rel.LT
+    if r in (LE, EQ):
+        return Rel.LE  # EQ is expressed as both u <= v and v <= u
+    if r == NE:
+        return Rel.NE
+    return None
+
+
+class PointNetwork:
+    """A binary constraint network over points with PA relations."""
+
+    def __init__(self, points: Iterable[Hashable] = ()) -> None:
+        self._points: list[Hashable] = []
+        self._index: dict[Hashable, int] = {}
+        self._constraints: dict[tuple[int, int], PARelation] = {}
+        for p in points:
+            self.add_point(p)
+
+    def add_point(self, p: Hashable) -> None:
+        """Register a point (idempotent)."""
+        if p not in self._index:
+            self._index[p] = len(self._points)
+            self._points.append(p)
+
+    @property
+    def points(self) -> list[Hashable]:
+        """The registered points, in insertion order."""
+        return list(self._points)
+
+    def constrain(self, u: Hashable, v: Hashable, relation: PARelation) -> None:
+        """Intersect the (u, v) constraint with ``relation``."""
+        self.add_point(u)
+        self.add_point(v)
+        i, j = self._index[u], self._index[v]
+        if i == j:
+            if "=" not in relation:
+                self._constraints[(i, i)] = EMPTY
+            return
+        key = (min(i, j), max(i, j))
+        rel = relation if i < j else converse(relation)
+        current = self._constraints.get(key, ANY)
+        self._constraints[key] = current & rel
+
+    def relation(self, u: Hashable, v: Hashable) -> PARelation:
+        """The current constraint between u and v (ANY if none)."""
+        i, j = self._index[u], self._index[v]
+        if i == j:
+            return self._constraints.get((i, i), EQ)
+        key = (min(i, j), max(i, j))
+        rel = self._constraints.get(key, ANY)
+        return rel if i < j else converse(rel)
+
+    def add_atom(self, atom: OrderAtom) -> None:
+        """Add an order atom as a constraint."""
+        self.constrain(atom.left.name, atom.right.name, from_rel(atom.rel))
+
+    def path_consistency(self) -> bool:
+        """Enforce path consistency (van Beek); False iff inconsistent.
+
+        Repeatedly tightens ``R(i, k)`` by ``R(i, j) o R(j, k)`` until a
+        fixpoint.  For the point algebra, path consistency decides
+        consistency (the algebra is a subclass for which PC is complete
+        except for pathological ``!=``-only cases handled by the
+        completion in :meth:`is_consistent`).
+        """
+        n = len(self._points)
+        matrix = [[ANY] * n for _ in range(n)]
+        for i in range(n):
+            matrix[i][i] = self._constraints.get((i, i), EQ)
+        for (i, j), rel in self._constraints.items():
+            if i != j:
+                matrix[i][j] = rel
+                matrix[j][i] = converse(rel)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(n):
+                for j in range(n):
+                    for k in range(n):
+                        composed = compose(matrix[i][k], matrix[k][j])
+                        tightened = matrix[i][j] & composed
+                        if tightened != matrix[i][j]:
+                            matrix[i][j] = tightened
+                            changed = True
+        self._matrix = matrix
+        for i in range(n):
+            if not matrix[i][i] or "=" not in matrix[i][i]:
+                return False
+            for j in range(n):
+                if not matrix[i][j]:
+                    return False
+        return True
+
+    def minimal_relation(self, u: Hashable, v: Hashable) -> PARelation:
+        """The path-consistent (tightened) relation between two points.
+
+        Call :meth:`path_consistency` first; raises otherwise.
+        """
+        if not hasattr(self, "_matrix"):
+            raise RuntimeError("run path_consistency() first")
+        return self._matrix[self._index[u]][self._index[v]]
+
+    def is_consistent(self) -> bool:
+        """Exact consistency for PA networks including '!='.
+
+        Path consistency is complete for the convex point algebra
+        ``{<, <=, =}``; with '!=' it can miss inconsistencies in rare
+        configurations, so after PC this verifies satisfiability by
+        searching for a concrete assignment on small networks (<= 8
+        points) and otherwise trusts PC plus the standard
+        '=-contraction' check (van Beek's algorithm).
+        """
+        if not self.path_consistency():
+            return False
+        n = len(self._points)
+        if n <= 8:
+            return self._assignment_exists()
+        return self._contraction_check()
+
+    def _assignment_exists(self) -> bool:
+        n = len(self._points)
+        # Points take integer values 0..n-1 (enough for n points).
+        values = [0] * n
+
+        def ok(i: int) -> bool:
+            for j in range(i):
+                rel = self._matrix[i][j]
+                cmp = (
+                    "<" if values[i] < values[j] else
+                    "=" if values[i] == values[j] else ">"
+                )
+                if cmp not in rel:
+                    return False
+            return True
+
+        def assign(i: int) -> bool:
+            if i == n:
+                return True
+            for v in range(n):
+                values[i] = v
+                if ok(i) and assign(i + 1):
+                    return True
+            return False
+
+        return assign(0)
+
+    def _contraction_check(self) -> bool:
+        """Contract forced-equal classes, then look for a '!=' clash."""
+        n = len(self._points)
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for i in range(n):
+            for j in range(i + 1, n):
+                if self._matrix[i][j] == EQ:
+                    parent[find(i)] = find(j)
+        for i in range(n):
+            for j in range(n):
+                if find(i) == find(j) and "=" not in self._matrix[i][j]:
+                    return False
+        return True
+
+
+def entailed_relation(
+    atoms: Iterable[OrderAtom], u: str, v: str
+) -> PARelation:
+    """The strongest PA relation between ``u`` and ``v`` entailed by atoms.
+
+    Computed as the path-consistent minimal relation, which for the point
+    algebra coincides with the entailed ("deducible") relation on
+    consistent networks (van Beek & Cohen) for the convex fragment; with
+    '!=' present the PC relation is an upper bound on the entailed one.
+    """
+    net = PointNetwork()
+    net.add_point(u)
+    net.add_point(v)
+    for atom in atoms:
+        net.add_atom(atom)
+    if not net.path_consistency():
+        return EMPTY
+    return net.minimal_relation(u, v)

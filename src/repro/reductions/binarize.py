@@ -1,0 +1,145 @@
+"""Signature reductions: indexed families and high arities eliminated.
+
+Two transformations the paper sketches after Theorem 3.3 to show its
+lower bound needs only a *fixed, finite set of binary predicates*:
+
+1. :func:`eliminate_indexed_family` — an indexed predicate family
+   ``P_0, P_1, ...`` is replaced by three fixed predicates using chain
+   encoding: the fact ``P_i(u, v)`` becomes
+   ``P(u, v, c_0), R(c_0, c_1), ..., R(c_{i-1}, c_i), Q(c_i)`` over fresh
+   chain constants, and each query occurrence of ``P_i`` becomes the
+   corresponding chain pattern with fresh variables.  A chain pattern of
+   length ``i`` matches exactly the chains of length ``i`` (the ``Q``
+   endpoint pins the length).
+
+2. :func:`reify` — the classical reduction of n-ary predicates to binary:
+   each fact ``P(a_1, ..., a_n)`` with ``n >= 3`` becomes a fresh object
+   ``e`` with binary facts ``P.arg1(e, a_1), ..., P.argn(e, a_n)``; query
+   atoms become the same pattern over a fresh existential ``e`` variable.
+   Distinct facts get distinct reification constants, so a query match
+   binds all positions of one original fact.
+
+Composing the two turns the Theorem 3.3 instance into one over a fixed
+binary signature while preserving entailment — verified in the tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.atoms import Atom, ProperAtom
+from repro.core.database import IndefiniteDatabase
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery, Query, as_dnf
+from repro.core.sorts import Term, obj, objvar
+
+_INDEXED = re.compile(r"^([A-Za-z]+?)(\d+)$")
+
+
+def eliminate_indexed_family(
+    db: IndefiniteDatabase,
+    query: Query,
+    family: str,
+    chain_pred: str = "Rchain",
+    end_pred: str = "Qend",
+) -> tuple[IndefiniteDatabase, DisjunctiveQuery]:
+    """Replace ``family0, family1, ...`` predicates by chain encoding.
+
+    Every predicate named ``<family><i>`` of arity ``k`` becomes the fixed
+    predicate ``<family>`` of arity ``k + 1`` whose extra argument anchors
+    a length-``i`` ``chain_pred`` chain ending in ``end_pred``.
+    """
+    counter = [0]
+
+    def fresh_const() -> Term:
+        counter[0] += 1
+        return obj(f"_ch{counter[0]}")
+
+    new_db_atoms: list[Atom] = []
+    for atom in db.atoms():
+        index = _family_index(atom, family)
+        if index is None:
+            new_db_atoms.append(atom)
+            continue
+        chain = [fresh_const() for _ in range(index + 1)]
+        new_db_atoms.append(ProperAtom(family, atom.args + (chain[0],)))
+        for a, b in zip(chain, chain[1:]):
+            new_db_atoms.append(ProperAtom(chain_pred, (a, b)))
+        new_db_atoms.append(ProperAtom(end_pred, (chain[-1],)))
+    new_db = IndefiniteDatabase.from_atoms(new_db_atoms)
+
+    var_counter = [0]
+
+    def fresh_var() -> Term:
+        var_counter[0] += 1
+        return objvar(f"_chv{var_counter[0]}")
+
+    new_disjuncts = []
+    for d in as_dnf(query).disjuncts:
+        atoms: list[Atom] = []
+        for atom in d.atoms:
+            index = _family_index(atom, family)
+            if index is None:
+                atoms.append(atom)
+                continue
+            chain = [fresh_var() for _ in range(index + 1)]
+            atoms.append(ProperAtom(family, atom.args + (chain[0],)))
+            for a, b in zip(chain, chain[1:]):
+                atoms.append(ProperAtom(chain_pred, (a, b)))
+            atoms.append(ProperAtom(end_pred, (chain[-1],)))
+        new_disjuncts.append(
+            ConjunctiveQuery.from_atoms(atoms, d.extra_order_vars)
+        )
+    return new_db, DisjunctiveQuery(tuple(new_disjuncts))
+
+
+def _family_index(atom: Atom, family: str) -> int | None:
+    if not isinstance(atom, ProperAtom):
+        return None
+    match = _INDEXED.match(atom.pred)
+    if match and match.group(1) == family:
+        return int(match.group(2))
+    return None
+
+
+def reify(
+    db: IndefiniteDatabase, query: Query, min_arity: int = 3
+) -> tuple[IndefiniteDatabase, DisjunctiveQuery]:
+    """The n-ary-to-binary reduction: reify wide facts through fresh objects."""
+    counter = [0]
+    new_db_atoms: list[Atom] = []
+    for atom in db.atoms():
+        if not isinstance(atom, ProperAtom) or atom.arity < min_arity:
+            new_db_atoms.append(atom)
+            continue
+        counter[0] += 1
+        entity = obj(f"_e{counter[0]}")
+        for pos, arg in enumerate(atom.args, start=1):
+            new_db_atoms.append(
+                ProperAtom(f"{atom.pred}.arg{pos}", (entity, arg))
+            )
+    new_db = IndefiniteDatabase.from_atoms(new_db_atoms)
+
+    var_counter = [0]
+    new_disjuncts = []
+    for d in as_dnf(query).disjuncts:
+        atoms: list[Atom] = []
+        for atom in d.atoms:
+            if not isinstance(atom, ProperAtom) or atom.arity < min_arity:
+                atoms.append(atom)
+                continue
+            var_counter[0] += 1
+            entity = objvar(f"_ev{var_counter[0]}")
+            for pos, arg in enumerate(atom.args, start=1):
+                atoms.append(ProperAtom(f"{atom.pred}.arg{pos}", (entity, arg)))
+        new_disjuncts.append(
+            ConjunctiveQuery.from_atoms(atoms, d.extra_order_vars)
+        )
+    return new_db, DisjunctiveQuery(tuple(new_disjuncts))
+
+
+def fixed_binary_signature(
+    db: IndefiniteDatabase, query: Query, family: str = "P"
+) -> tuple[IndefiniteDatabase, DisjunctiveQuery]:
+    """Compose both reductions: indexed family out, then arities to <= 2."""
+    db2, q2 = eliminate_indexed_family(db, query, family)
+    return reify(db2, q2)

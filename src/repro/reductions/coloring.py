@@ -1,0 +1,95 @@
+"""Theorem 7.1: inequality makes the monadic PTIME cases collapse.
+
+Both parts reduce from graph 3-colorability:
+
+1. **NP-hard expression complexity of a fixed width-one ``[<]``-database
+   for conjunctive monadic ``[!=]``-queries.**  The database is three
+   ``P``-labelled points in a chain; the query assigns every graph vertex
+   a point and demands adjacent vertices get distinct points::
+
+       D  =  P(u1), P(u2), P(u3), u1 < u2 < u3
+       Phi = exists v1..vn . /\\ P(v_i)  &  /\\_{(i,j) in E} v_i != v_j
+
+   ``D |= Phi`` iff the graph is 3-colorable.
+
+2. **co-NP-hard data complexity of a fixed *sequential* query on monadic
+   ``[!=]``-databases.**  The database asserts ``P`` of one order constant
+   per graph vertex plus ``v_i != v_j`` per edge; the fixed query asks for
+   four strictly increasing ``P`` points.  Models with three or fewer
+   points are exactly the 3-colorings, so the query is entailed iff the
+   graph is *not* 3-colorable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.atoms import ProperAtom, lt, ne
+from repro.core.database import IndefiniteDatabase
+from repro.core.query import ConjunctiveQuery
+from repro.core.sorts import ordc, ordvar
+from repro.reductions.sat import three_colorable
+
+Graph = tuple[Sequence[str], Sequence[tuple[str, str]]]
+
+
+def part1_database() -> IndefiniteDatabase:
+    """The fixed chain of three ``P`` points."""
+    u1, u2, u3 = ordc("u1"), ordc("u2"), ordc("u3")
+    return IndefiniteDatabase.of(
+        ProperAtom("P", (u1,)),
+        ProperAtom("P", (u2,)),
+        ProperAtom("P", (u3,)),
+        lt(u1, u2),
+        lt(u2, u3),
+    )
+
+
+def part1_query(graph: Graph) -> ConjunctiveQuery:
+    """The coloring query for ``graph``."""
+    vertices, edges = graph
+    atoms = [ProperAtom("P", (ordvar(v),)) for v in vertices]
+    atoms.extend(ne(ordvar(a), ordvar(b)) for a, b in edges)
+    return ConjunctiveQuery.from_atoms(atoms)
+
+
+def part1_claim(graph: Graph) -> tuple[IndefiniteDatabase, ConjunctiveQuery, bool]:
+    """``(D, Phi, expected)``: expected = graph 3-colorable."""
+    vertices, edges = graph
+    return part1_database(), part1_query(graph), three_colorable(vertices, edges)
+
+
+def part2_query() -> ConjunctiveQuery:
+    """The fixed sequential query: four strictly increasing ``P`` points."""
+    t1, t2, t3, t4 = (ordvar(f"t{i}") for i in range(1, 5))
+    return ConjunctiveQuery.of(
+        ProperAtom("P", (t1,)),
+        ProperAtom("P", (t2,)),
+        ProperAtom("P", (t3,)),
+        ProperAtom("P", (t4,)),
+        lt(t1, t2),
+        lt(t2, t3),
+        lt(t3, t4),
+    )
+
+
+def part2_database(graph: Graph) -> IndefiniteDatabase:
+    """The ``[!=]``-database encoding ``graph``."""
+    vertices, edges = graph
+    atoms = [ProperAtom("P", (ordc(v),)) for v in vertices]
+    atoms.extend(ne(ordc(a), ordc(b)) for a, b in edges)
+    return IndefiniteDatabase.from_atoms(atoms)
+
+
+def part2_claim(graph: Graph) -> tuple[IndefiniteDatabase, ConjunctiveQuery, bool]:
+    """``(D, Phi, expected)``: expected = graph NOT 3-colorable.
+
+    Caveat (also in the paper): with fewer than four vertices the query can
+    never be satisfied, matching "not 3-colorable = False" trivially.
+    """
+    vertices, edges = graph
+    return (
+        part2_database(graph),
+        part2_query(),
+        not three_colorable(vertices, edges),
+    )

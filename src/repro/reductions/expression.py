@@ -1,0 +1,45 @@
+"""Theorem 3.4: NP-hard expression complexity.
+
+A *fixed* database — the truth-table database ``E`` of Theorem 3.3 — has
+NP-hard expression complexity: the query
+
+    ``exists x z1..zn . Istrue(x) & Val(alpha, z, x)``
+
+is entailed by ``E`` iff the propositional formula ``alpha`` is
+satisfiable.  (``E`` contains no order atoms at all, so this is really the
+classical NP-hardness of conjunctive-query evaluation, inherited by
+indefinite order databases.)
+"""
+
+from __future__ import annotations
+
+from repro.core.atoms import Atom, ProperAtom
+from repro.core.database import IndefiniteDatabase
+from repro.core.query import ConjunctiveQuery
+from repro.core.sorts import Term, objvar
+from repro.reductions.pi2 import _FreshVars, truth_table_database, val_atoms
+from repro.reductions.sat import Formula, formula_variables, sat_formula
+
+
+def fixed_database() -> IndefiniteDatabase:
+    """The fixed database ``E`` (truth tables over constants t, f)."""
+    return truth_table_database()
+
+
+def build_query(formula: Formula) -> ConjunctiveQuery:
+    """The satisfiability query for ``formula``."""
+    fresh = _FreshVars()
+    z: dict[str, Term] = {
+        name: objvar(f"z_{name}") for name in sorted(formula_variables(formula))
+    }
+    atoms: list[Atom]
+    atoms, out = val_atoms(formula, z, fresh)
+    atoms.append(ProperAtom("Istrue", (out,)))
+    return ConjunctiveQuery.from_atoms(atoms)
+
+
+def reduction_claim(
+    formula: Formula,
+) -> tuple[IndefiniteDatabase, ConjunctiveQuery, bool]:
+    """``(E, query, expected_entailment)``: expected = alpha satisfiable."""
+    return fixed_database(), build_query(formula), sat_formula(formula)

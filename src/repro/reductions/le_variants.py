@@ -1,0 +1,164 @@
+"""The ``[<=]``-only variants of the lower-bound gadgets.
+
+The paper notes (after Theorems 3.2 and 4.6) that both lower bounds also
+hold for ``[<=]``-databases and ``[<=]``-queries — order indefiniteness
+alone, with no strict atom anywhere, is already intractable.  The
+constructions:
+
+* **Theorem 3.2 variant** — the ternary-permutation gadget: the component
+  ``D(u, v, w)`` asserts ``P(x, y, z)`` for every *permutation*
+  ``(x, y, z)`` of the order constants ``(u, v, w)`` (no order atoms at
+  all), and ``phi(x) = exists y z . P(x, y, z) & x <= y <= z`` holds of
+  whichever constant is placed first.  Placing ``u < v < w`` makes
+  ``phi(u)`` hold exclusively, and symmetrically — properties D1/D2 again.
+
+* **Theorem 4.6 variant** — the ladder with '<=' edges: to stop a
+  ``[<=]``-path from sliding along another, columns alternate two new
+  marker predicates ``P`` and ``Q``; a flexi-word
+  ``[P,R1][Q,R2][P,R3]...`` is then entailed by a same-shape word only if
+  the words are equal, and the proof goes through unchanged.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Sequence
+
+from repro.core.atoms import Atom, ProperAtom, le
+from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.ordergraph import OrderGraph
+from repro.core.query import ConjunctiveQuery
+from repro.core.sorts import obj, objvar, ordc, ordvar
+from repro.reductions.monotone3sat import MonotoneSatInstance, _complement
+from repro.reductions.sat import dnf_is_tautology
+from repro.reductions.tautology import Disjunct
+
+
+# -- Theorem 3.2, [<=] variant -------------------------------------------------
+
+
+def _le_gadget(u: str, v: str, w: str) -> list[Atom]:
+    """``D(u, v, w)``: all six permutations as ternary ``P`` facts."""
+    consts = [ordc(u), ordc(v), ordc(w)]
+    return [ProperAtom("P", perm) for perm in permutations(consts)]
+
+
+def build_database_le(instance: MonotoneSatInstance) -> IndefiniteDatabase:
+    """The ``[<=]``-database of the Theorem 3.2 variant.
+
+    Carriers are now *order* constants (the gadget's u/v/w), linked to the
+    propositional letters by ``Q(letter, carrier)`` facts exactly as
+    before; the database contains no order atoms whatsoever.
+    """
+    atoms: list[Atom] = []
+
+    def add_component(idx: int, clause, negated: bool) -> None:
+        tag = f"n{idx}" if negated else f"p{idx}"
+        u, v, w = f"u_{tag}", f"v_{tag}", f"w_{tag}"
+        atoms.extend(_le_gadget(u, v, w))
+        for letter, carrier in zip(clause, (u, v, w)):
+            name = _complement(letter) if negated else letter
+            atoms.append(ProperAtom("Q", (obj(name), ordc(carrier))))
+
+    for i, cl in enumerate(instance.positive):
+        add_component(i, cl, negated=False)
+    for i, cl in enumerate(instance.negative):
+        add_component(i, cl, negated=True)
+    for letter in instance.letters:
+        atoms.append(ProperAtom("Comp", (obj(letter), obj(_complement(letter)))))
+    return IndefiniteDatabase.from_atoms(atoms)
+
+
+def build_query_le() -> ConjunctiveQuery:
+    """The fixed ``[<=]``-query of the variant.
+
+    ``exists x y . psi(x) & Comp(x, y) & psi(y)`` with
+    ``psi(x) = exists t y z . Q(x, t) & P(t, y, z) & t <= y <= z``.
+    """
+    x, y = objvar("x"), objvar("y")
+    t1, a1, b1 = ordvar("t1"), ordvar("a1"), ordvar("b1")
+    t2, a2, b2 = ordvar("t2"), ordvar("a2"), ordvar("b2")
+    return ConjunctiveQuery.of(
+        ProperAtom("Comp", (x, y)),
+        ProperAtom("Q", (x, t1)),
+        ProperAtom("P", (t1, a1, b1)),
+        le(t1, a1), le(a1, b1),
+        ProperAtom("Q", (y, t2)),
+        ProperAtom("P", (t2, a2, b2)),
+        le(t2, a2), le(a2, b2),
+    )
+
+
+def reduction_claim_le(
+    instance: MonotoneSatInstance,
+) -> tuple[IndefiniteDatabase, ConjunctiveQuery, bool]:
+    """``(database, query, expected)``: expected = instance unsatisfiable."""
+    return build_database_le(instance), build_query_le(), not instance.satisfiable()
+
+
+# -- Theorem 4.6, [<=] variant ----------------------------------------------
+
+
+def _marker(column: int) -> str:
+    return "Podd" if column % 2 == 0 else "Qeven"
+
+
+def build_query_dag_le(n_letters: int, prefix: str = "q") -> LabeledDag:
+    """The '<='-edged ladder with alternating column markers."""
+    graph = OrderGraph()
+    labels: dict[str, frozenset[str]] = {}
+    from repro.core.atoms import Rel
+
+    for j in range(n_letters):
+        for row in ("T", "F"):
+            name = f"{prefix}_{row}{j}"
+            graph.add_vertex(name)
+            labels[name] = frozenset({row, _marker(j)})
+    for j in range(n_letters - 1):
+        for row1 in ("T", "F"):
+            for row2 in ("T", "F"):
+                graph.add_edge(
+                    f"{prefix}_{row1}{j}", f"{prefix}_{row2}{j + 1}", Rel.LE
+                )
+    return LabeledDag(graph, labels)
+
+
+def build_database_dag_le(
+    disjuncts: Sequence[Disjunct], n_letters: int
+) -> LabeledDag:
+    """``D(alpha)`` with '<=' edges and alternating markers."""
+    graph = OrderGraph()
+    labels: dict[str, frozenset[str]] = {}
+    from repro.core.atoms import Rel
+
+    for i, disjunct in enumerate(disjuncts):
+        columns: list[list[str]] = []
+        for j in range(n_letters):
+            letter = f"p{j}"
+            required = disjunct.get(letter)
+            keep: list[tuple[str, str]] = []
+            if required is not False:
+                keep.append((f"d{i}_T{j}", "T"))
+            if required is not True:
+                keep.append((f"d{i}_F{j}", "F"))
+            for name, row in keep:
+                graph.add_vertex(name)
+                labels[name] = frozenset({row, _marker(j)})
+            columns.append([name for name, _ in keep])
+        for j in range(n_letters - 1):
+            for a in columns[j]:
+                for b in columns[j + 1]:
+                    graph.add_edge(a, b, Rel.LE)
+    return LabeledDag(graph, labels)
+
+
+def reduction_claim_le_tautology(
+    disjuncts: Sequence[Disjunct], n_letters: int
+) -> tuple[LabeledDag, ConjunctiveQuery, bool]:
+    """``(D(alpha), Phi(alpha), expected)`` for the ``[<=]`` variant."""
+    dag = build_database_dag_le(disjuncts, n_letters)
+    qdag = build_query_dag_le(n_letters)
+    from repro.core.entailment import _dag_to_query
+
+    letters = [f"p{j}" for j in range(n_letters)]
+    return dag, _dag_to_query(qdag), dnf_is_tautology(disjuncts, letters)

@@ -1,0 +1,171 @@
+"""Theorem 3.2: co-NP-hard data complexity via monotone 3SAT (Figures 3, 4).
+
+The reduction maps a monotone 3SAT instance — a set ``S`` of positive
+3-clauses and a set ``S'`` of negative 3-clauses — to a ``[<]``-database
+``D`` such that ``D |= Phi_32`` iff ``S u S'`` is unsatisfiable, where
+``Phi_32`` is a *fixed* conjunctive query (so this witnesses hardness of
+*data* complexity).
+
+Per clause ``i`` the database contains the disjunction gadget
+``D(a_i, b_i, c_i; u_i, v_i, w_i, t_i)`` of Figure 3::
+
+    P(u,a) P(u,b)   u < v   P(v,a) P(v,c)   v < w   P(w,b) P(w,c)
+    P(t,a) P(t,b) P(t,c)          (t unconstrained)
+
+with ``phi(x) = exists t1<t2<t3 . P(t1,x) & P(t2,x) & P(t3,x)`` detecting
+"x has three increasing witnesses".  Property D1: in every model one of
+``phi(a)``, ``phi(b)``, ``phi(c)`` holds (place ``t`` anywhere).  Property
+D2: each can be made to hold exclusively (``t = w`` gives only ``phi(a)``,
+``t = v`` only ``phi(b)``, ``t = u`` only ``phi(c)``).  The disjunction is
+transmitted to the propositional letters by ``Q`` facts, and positive and
+negative occurrences are connected with ``Comp(l, l-bar)`` facts.
+
+``bounded_width=True`` builds the Figure 4 layout: the gadgets' ``u,v,w``
+chains concatenated into one line and the ``t_i`` into a parallel second
+line, giving a database of width **two** while preserving the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.atoms import OrderAtom, ProperAtom, lt
+from repro.core.database import IndefiniteDatabase
+from repro.core.query import ConjunctiveQuery
+from repro.core.sorts import obj, objvar, ordc, ordvar
+from repro.reductions.sat import Clause, is_satisfiable
+
+Triple = tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class MonotoneSatInstance:
+    """A monotone 3SAT instance: positive and negative clause lists."""
+
+    positive: tuple[Triple, ...]
+    negative: tuple[Triple, ...]
+
+    @property
+    def letters(self) -> list[str]:
+        """All propositional letters mentioned."""
+        out: set[str] = set()
+        for c in self.positive + self.negative:
+            out.update(c)
+        return sorted(out)
+
+    def clauses(self) -> list[Clause]:
+        """The instance as CNF clauses for the reference solver."""
+        cnf: list[Clause] = []
+        for c in self.positive:
+            cnf.append(frozenset((l, True) for l in c))
+        for c in self.negative:
+            cnf.append(frozenset((l, False) for l in c))
+        return cnf
+
+    def satisfiable(self) -> bool:
+        """Ground truth via DPLL."""
+        return is_satisfiable(self.clauses())
+
+
+def _complement(letter: str) -> str:
+    return f"not_{letter}"
+
+
+def _gadget(
+    a: str, b: str, c: str, u: str, v: str, w: str, t: str
+) -> list[ProperAtom | OrderAtom]:
+    """The Figure 3 component ``D(a, b, c; u, v, w, t)``."""
+    au, av, aw, at = ordc(u), ordc(v), ordc(w), ordc(t)
+    oa, ob, oc = obj(a), obj(b), obj(c)
+    return [
+        ProperAtom("P", (au, oa)),
+        ProperAtom("P", (au, ob)),
+        lt(au, av),
+        ProperAtom("P", (av, oa)),
+        ProperAtom("P", (av, oc)),
+        lt(av, aw),
+        ProperAtom("P", (aw, ob)),
+        ProperAtom("P", (aw, oc)),
+        ProperAtom("P", (at, oa)),
+        ProperAtom("P", (at, ob)),
+        ProperAtom("P", (at, oc)),
+    ]
+
+
+def build_database(
+    instance: MonotoneSatInstance, bounded_width: bool = False
+) -> IndefiniteDatabase:
+    """The database ``D(S) u D(S') u F`` of Theorem 3.2."""
+    atoms: list[ProperAtom | OrderAtom] = []
+    components: list[tuple[str, str, str, str]] = []  # (u, v, w, t) names
+
+    def add_component(idx: int, clause: Triple, negated: bool) -> None:
+        tag = f"n{idx}" if negated else f"p{idx}"
+        a, b, c = f"a_{tag}", f"b_{tag}", f"c_{tag}"
+        u, v, w, t = f"u_{tag}", f"v_{tag}", f"w_{tag}", f"t_{tag}"
+        atoms.extend(_gadget(a, b, c, u, v, w, t))
+        components.append((u, v, w, t))
+        carriers = (a, b, c)
+        for letter, carrier in zip(clause, carriers):
+            name = _complement(letter) if negated else letter
+            atoms.append(ProperAtom("Q", (obj(name), obj(carrier))))
+
+    for i, cl in enumerate(instance.positive):
+        add_component(i, cl, negated=False)
+    for i, cl in enumerate(instance.negative):
+        add_component(i, cl, negated=True)
+
+    for letter in instance.letters:
+        atoms.append(
+            ProperAtom("Comp", (obj(letter), obj(_complement(letter))))
+        )
+
+    if bounded_width and components:
+        # Figure 4: concatenate the u<v<w chains into one line and the t_i
+        # into a parallel line; the whole database then has width two.
+        for (u1, v1, w1, t1), (u2, v2, w2, t2) in zip(
+            components, components[1:]
+        ):
+            atoms.append(lt(ordc(w1), ordc(u2)))
+            atoms.append(lt(ordc(t1), ordc(t2)))
+    return IndefiniteDatabase.from_atoms(atoms)
+
+
+def build_query() -> ConjunctiveQuery:
+    """The *fixed* query of Theorem 3.2.
+
+    ``exists x y . psi(x) & Comp(x, y) & psi(y)`` with
+    ``psi(x) = exists w . Q(x, w) & phi(w)`` and ``phi`` the
+    three-increasing-witnesses test.  Its size does not depend on the SAT
+    instance — the hallmark of a data-complexity lower bound.
+    """
+    x, y = objvar("x"), objvar("y")
+    w1, w2 = objvar("w1"), objvar("w2")
+    t1, t2, t3 = ordvar("t1"), ordvar("t2"), ordvar("t3")
+    s1, s2, s3 = ordvar("s1"), ordvar("s2"), ordvar("s3")
+    return ConjunctiveQuery.of(
+        ProperAtom("Comp", (x, y)),
+        ProperAtom("Q", (x, w1)),
+        ProperAtom("P", (t1, w1)),
+        ProperAtom("P", (t2, w1)),
+        ProperAtom("P", (t3, w1)),
+        lt(t1, t2),
+        lt(t2, t3),
+        ProperAtom("Q", (y, w2)),
+        ProperAtom("P", (s1, w2)),
+        ProperAtom("P", (s2, w2)),
+        ProperAtom("P", (s3, w2)),
+        lt(s1, s2),
+        lt(s2, s3),
+    )
+
+
+def reduction_claim(
+    instance: MonotoneSatInstance, bounded_width: bool = False
+) -> tuple[IndefiniteDatabase, ConjunctiveQuery, bool]:
+    """Build the instance and the claimed answer.
+
+    Returns ``(database, query, expected_entailment)`` where the expected
+    entailment is "the instance is unsatisfiable" (Theorem 3.2).
+    """
+    db = build_database(instance, bounded_width)
+    return db, build_query(), not instance.satisfiable()

@@ -1,0 +1,154 @@
+"""Theorem 3.3: Pi2p-hard combined complexity via Pi2-QBF.
+
+Maps a quantified boolean formula ``forall p1..pn exists q1..qm [alpha]``
+to a database/query pair with ``D |= Phi`` iff the formula is true.  Via
+Proposition 2.10 this also gives the Pi2p-hardness of containment of
+relational conjunctive queries with inequalities, resolving Klug's open
+problem — see :mod:`repro.containment.containment`.
+
+Construction:
+
+* per universal variable ``p_i`` the binary-disjunction gadget
+  ``D_i = { P_i(u_i, t), P_i(v_i, f), u_i < v_i, P_i(w_i, t), P_i(w_i, f) }``
+  with ``phi_i(x) = exists a < b . P_i(a, x) & P_i(b, x)`` — in every model
+  ``phi_i(t)`` or ``phi_i(f)`` holds (merge ``w_i`` up or down to make
+  exactly one hold);
+* the truth-table database ``E`` over object constants ``t`` and ``f``
+  (``And``, ``Or``, ``Not``, ``Istrue``);
+* the query ``Val(alpha, z, x)`` defined by structural recursion on
+  ``alpha``, asserting "the value of alpha under assignment z is x", with
+  the equality of the base case eliminated by substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.atoms import Atom, ProperAtom, lt
+from repro.core.database import IndefiniteDatabase
+from repro.core.query import ConjunctiveQuery
+from repro.core.sorts import Term, obj, objvar, ordvar
+from repro.reductions.sat import Formula, formula_variables, pi2_true
+
+TRUE, FALSE = obj("t"), obj("f")
+
+
+def truth_table_database() -> IndefiniteDatabase:
+    """The database ``E`` of Theorem 3.3 (also used by Theorem 3.4)."""
+    t, f = TRUE, FALSE
+    rows: list[ProperAtom] = [ProperAtom("Istrue", (t,))]
+    for a, b in ((t, t), (t, f), (f, t), (f, f)):
+        conj = t if (a, b) == (t, t) else f
+        disj = f if (a, b) == (f, f) else t
+        rows.append(ProperAtom("And", (a, b, conj)))
+        rows.append(ProperAtom("Or", (a, b, disj)))
+    rows.append(ProperAtom("Not", (t, f)))
+    rows.append(ProperAtom("Not", (f, t)))
+    return IndefiniteDatabase.from_atoms(rows)
+
+
+class _FreshVars:
+    def __init__(self) -> None:
+        self.counter = 0
+
+    def next(self, prefix: str) -> Term:
+        self.counter += 1
+        return objvar(f"{prefix}{self.counter}")
+
+
+def val_atoms(
+    formula: Formula, z: dict[str, Term], fresh: _FreshVars
+) -> tuple[list[Atom], Term]:
+    """The Val construction: atoms plus the term denoting alpha's value.
+
+    ``Val(p_i, z, x)`` would be ``x = z_i``; instead of using equality the
+    variable ``z_i`` itself is returned as the value term (the elimination
+    noted in the paper).
+    """
+    tag = formula[0]
+    if tag == "var":
+        return [], z[formula[1]]
+    if tag == "not":
+        sub_atoms, sub_val = val_atoms(formula[1], z, fresh)
+        out = fresh.next("val")
+        return sub_atoms + [ProperAtom("Not", (sub_val, out))], out
+    left_atoms, left_val = val_atoms(formula[1], z, fresh)
+    right_atoms, right_val = val_atoms(formula[2], z, fresh)
+    out = fresh.next("val")
+    pred = "And" if tag == "and" else "Or"
+    return (
+        left_atoms + right_atoms + [ProperAtom(pred, (left_val, right_val, out))],
+        out,
+    )
+
+
+def universal_gadget(index: int) -> list[Atom]:
+    """The component ``D_i`` simulating the choice of ``p_i``'s value."""
+    from repro.core.sorts import ordc
+
+    cu, cv, cw = ordc(f"u{index}"), ordc(f"v{index}"), ordc(f"w{index}")
+    pred = f"P{index}"
+    return [
+        ProperAtom(pred, (cu, TRUE)),
+        ProperAtom(pred, (cv, FALSE)),
+        lt(cu, cv),
+        ProperAtom(pred, (cw, TRUE)),
+        ProperAtom(pred, (cw, FALSE)),
+    ]
+
+
+def phi_i_atoms(index: int, value_var: Term) -> list[Atom]:
+    """``phi_i(x) = exists a < b . P_i(a, x) & P_i(b, x)`` as atoms."""
+    a = ordvar(f"g{index}_a")
+    b = ordvar(f"g{index}_b")
+    pred = f"P{index}"
+    return [
+        ProperAtom(pred, (a, value_var)),
+        ProperAtom(pred, (b, value_var)),
+        lt(a, b),
+    ]
+
+
+def build(
+    universals: Sequence[str], existentials: Sequence[str], formula: Formula
+) -> tuple[IndefiniteDatabase, ConjunctiveQuery]:
+    """The Theorem 3.3 instance for ``forall u . exists e . formula``."""
+    missing = formula_variables(formula) - set(universals) - set(existentials)
+    if missing:
+        raise ValueError(f"unquantified variables: {sorted(missing)}")
+
+    db = truth_table_database()
+    for i in range(len(universals)):
+        db = db.union(IndefiniteDatabase.from_atoms(universal_gadget(i)))
+
+    fresh = _FreshVars()
+    z: dict[str, Term] = {}
+    atoms: list[Atom] = []
+    for i, name in enumerate(universals):
+        z[name] = objvar(f"z{i}")
+        atoms.extend(phi_i_atoms(i, z[name]))
+    for j, name in enumerate(existentials):
+        z[name] = objvar(f"e{j}")
+    val, out = val_atoms(formula, z, fresh)
+    atoms.extend(val)
+    atoms.append(ProperAtom("Istrue", (out,)))
+    return db, ConjunctiveQuery.from_atoms(atoms)
+
+
+@dataclass(frozen=True)
+class Pi2Instance:
+    """A Pi2 quantified boolean formula with its reduction artifacts."""
+
+    universals: tuple[str, ...]
+    existentials: tuple[str, ...]
+    formula: Formula
+
+    def truth(self) -> bool:
+        """Ground truth via exhaustive evaluation."""
+        return pi2_true(self.universals, self.existentials, self.formula)
+
+    def reduction(self) -> tuple[IndefiniteDatabase, ConjunctiveQuery, bool]:
+        """``(database, query, expected_entailment)`` per Theorem 3.3."""
+        db, query = build(self.universals, self.existentials, self.formula)
+        return db, query, self.truth()

@@ -1,0 +1,203 @@
+"""Reference propositional solvers: the ground truth for every reduction.
+
+The lower-bound theorems of the paper reduce *from* these problems:
+
+* monotone 3SAT (Theorem 3.2) — :func:`sat_dpll` on clause sets;
+* Pi2-quantified boolean formulas (Theorem 3.3) — :func:`pi2_true`;
+* propositional satisfiability (Theorem 3.4) — :func:`sat_formula`;
+* DNF tautology (Theorem 4.6) — :func:`dnf_is_tautology`;
+* graph 3-colorability (Theorem 7.1) — :func:`three_colorable`.
+
+All implemented from scratch.  Clauses are frozensets of literals; a
+literal is ``(name, polarity)``.  Formulas (for the Val construction of
+Theorem 3.3) are a tiny AST: ``("var", name)``, ``("not", f)``,
+``("and", f, g)``, ``("or", f, g)``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+Literal = tuple[str, bool]
+Clause = frozenset[Literal]
+Formula = tuple  # ("var", name) | ("not", f) | ("and", f, g) | ("or", f, g)
+
+
+def clause(*literals: Literal) -> Clause:
+    """Build a clause."""
+    return frozenset(literals)
+
+
+def sat_dpll(clauses: Iterable[Clause]) -> dict[str, bool] | None:
+    """DPLL satisfiability: a model as ``{var: bool}`` or None.
+
+    Unit propagation plus pure-literal elimination plus branching on the
+    most frequent variable.
+    """
+    clauses = [frozenset(c) for c in clauses]
+    assignment: dict[str, bool] = {}
+
+    def simplify(cls: list[Clause], var: str, value: bool) -> list[Clause] | None:
+        out = []
+        for c in cls:
+            if (var, value) in c:
+                continue
+            reduced = frozenset(l for l in c if l != (var, not value))
+            if not reduced:
+                return None  # empty clause: conflict
+            out.append(reduced)
+        return out
+
+    def solve(cls: list[Clause], partial: dict[str, bool]) -> dict[str, bool] | None:
+        while True:
+            units = [next(iter(c)) for c in cls if len(c) == 1]
+            if not units:
+                break
+            var, value = units[0]
+            partial = {**partial, var: value}
+            reduced = simplify(cls, var, value)
+            if reduced is None:
+                return None
+            cls = reduced
+        if not cls:
+            return partial
+        # pure literal elimination
+        polarity: dict[str, set[bool]] = {}
+        for c in cls:
+            for var, value in c:
+                polarity.setdefault(var, set()).add(value)
+        pures = [(v, next(iter(ps))) for v, ps in polarity.items() if len(ps) == 1]
+        if pures:
+            var, value = pures[0]
+            reduced = simplify(cls, var, value)
+            if reduced is None:
+                return None
+            return solve(reduced, {**partial, var: value})
+        counts: dict[str, int] = {}
+        for c in cls:
+            for var, _ in c:
+                counts[var] = counts.get(var, 0) + 1
+        var = max(counts, key=lambda v: (counts[v], v))
+        for value in (True, False):
+            reduced = simplify(cls, var, value)
+            if reduced is not None:
+                result = solve(reduced, {**partial, var: value})
+                if result is not None:
+                    return result
+        return None
+
+    return solve(clauses, assignment)
+
+
+def is_satisfiable(clauses: Iterable[Clause]) -> bool:
+    """CNF satisfiability."""
+    return sat_dpll(clauses) is not None
+
+
+def eval_formula(formula: Formula, assignment: dict[str, bool]) -> bool:
+    """Evaluate a formula AST under a total assignment."""
+    tag = formula[0]
+    if tag == "var":
+        return assignment[formula[1]]
+    if tag == "not":
+        return not eval_formula(formula[1], assignment)
+    if tag == "and":
+        return eval_formula(formula[1], assignment) and eval_formula(
+            formula[2], assignment
+        )
+    if tag == "or":
+        return eval_formula(formula[1], assignment) or eval_formula(
+            formula[2], assignment
+        )
+    raise ValueError(f"unknown formula tag {tag!r}")
+
+
+def formula_variables(formula: Formula) -> set[str]:
+    """The variable names of a formula AST."""
+    tag = formula[0]
+    if tag == "var":
+        return {formula[1]}
+    if tag == "not":
+        return formula_variables(formula[1])
+    return formula_variables(formula[1]) | formula_variables(formula[2])
+
+
+def sat_formula(formula: Formula) -> bool:
+    """Satisfiability of a formula AST (exhaustive — formulas stay small)."""
+    variables = sorted(formula_variables(formula))
+    for values in product((False, True), repeat=len(variables)):
+        if eval_formula(formula, dict(zip(variables, values))):
+            return True
+    return False
+
+
+def pi2_true(
+    universals: Sequence[str], existentials: Sequence[str], formula: Formula
+) -> bool:
+    """Truth of ``forall p . exists q . formula`` (Pi2-SAT).
+
+    Exhaustive over the universal block, exhaustive over the existential
+    block — exactly the definition, usable as ground truth on small inputs.
+    """
+    for uvals in product((False, True), repeat=len(universals)):
+        base = dict(zip(universals, uvals))
+        found = False
+        for evals in product((False, True), repeat=len(existentials)):
+            assignment = {**base, **dict(zip(existentials, evals))}
+            if eval_formula(formula, assignment):
+                found = True
+                break
+        if not found:
+            return False
+    return True
+
+
+def dnf_is_tautology(
+    disjuncts: Sequence[dict[str, bool]], letters: Sequence[str]
+) -> bool:
+    """Is the DNF (each disjunct a partial assignment it requires) valid?
+
+    A valuation satisfies the DNF iff it extends some disjunct.  Decided by
+    checking the complement CNF for unsatisfiability via DPLL.
+    """
+    # not(DNF) in CNF: one clause per disjunct, negating its literals.
+    cnf = [
+        frozenset((var, not value) for var, value in d.items())
+        for d in disjuncts
+    ]
+    model = sat_dpll(cnf)
+    if model is None:
+        return True
+    # Variables absent from the CNF are unconstrained; any completion
+    # falsifies every disjunct, so the DNF is not a tautology.
+    return False
+
+
+def three_colorable(
+    vertices: Sequence[str], edges: Sequence[tuple[str, str]]
+) -> bool:
+    """Graph 3-colorability by backtracking with degree-ordered vertices."""
+    adjacency: dict[str, set[str]] = {v: set() for v in vertices}
+    for u, v in edges:
+        if u == v:
+            return False  # a self-loop can never be properly colored
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    order = sorted(vertices, key=lambda v: -len(adjacency[v]))
+    color: dict[str, int] = {}
+
+    def assign(i: int) -> bool:
+        if i == len(order):
+            return True
+        v = order[i]
+        used = {color[w] for w in adjacency[v] if w in color}
+        for c in range(3):
+            if c not in used:
+                color[v] = c
+                if assign(i + 1):
+                    return True
+                del color[v]
+        return False
+
+    return assign(0)

@@ -1,0 +1,113 @@
+"""Theorem 4.6: co-NP-hard *monadic* combined complexity (Figures 7, 8).
+
+Reduction from DNF tautology, entirely within monadic ``[<]``-databases
+and width-two ``[<]``-queries over the two fixed predicates ``T``, ``F``:
+
+* the query ``Phi(alpha)`` is the two-row ladder of Figure 7 — columns
+  ``1..m`` (one per propositional letter), each column holding a
+  ``T``-labelled and an ``F``-labelled vertex, with '<' edges from every
+  vertex of column ``j`` to every vertex of column ``j+1``.  Its paths are
+  exactly the words ``{T,F}^m``, i.e. all valuations;
+
+* the database ``D(alpha)`` has one disconnected component per disjunct,
+  the sub-ladder retaining in column ``j`` only the vertices compatible
+  with the disjunct's literal on letter ``j`` (Figure 8 shows the
+  component for ``p1 & not p3 & p4``).  Its paths are exactly the
+  valuations that satisfy ``alpha``.
+
+Since all paths have length ``m``, path subsumption degenerates to
+equality and ``D(alpha) |= Phi(alpha)`` iff every valuation satisfies some
+disjunct — iff ``alpha`` is a tautology.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.atoms import Rel
+from repro.core.database import LabeledDag
+from repro.core.ordergraph import OrderGraph
+from repro.core.query import ConjunctiveQuery
+from repro.reductions.sat import dnf_is_tautology
+
+Disjunct = dict[str, bool]
+
+
+def letters_of(disjuncts: Sequence[Disjunct], n_letters: int | None = None) -> list[str]:
+    """The letter universe ``p0..p{m-1}`` covering all disjuncts."""
+    mentioned = {v for d in disjuncts for v in d}
+    count = n_letters if n_letters is not None else (
+        max((int(v[1:]) for v in mentioned), default=-1) + 1
+    )
+    return [f"p{j}" for j in range(count)]
+
+
+def build_query_dag(n_letters: int, prefix: str = "q") -> LabeledDag:
+    """The Figure 7 ladder ``Phi(alpha)`` as a labelled dag (width two)."""
+    graph = OrderGraph()
+    labels: dict[str, frozenset[str]] = {}
+    for j in range(n_letters):
+        for row, pred in (("T", "T"), ("F", "F")):
+            name = f"{prefix}_{row}{j}"
+            graph.add_vertex(name)
+            labels[name] = frozenset({pred})
+    for j in range(n_letters - 1):
+        for row1 in ("T", "F"):
+            for row2 in ("T", "F"):
+                graph.add_edge(
+                    f"{prefix}_{row1}{j}", f"{prefix}_{row2}{j + 1}", Rel.LT
+                )
+    return LabeledDag(graph, labels)
+
+
+def build_query(n_letters: int) -> ConjunctiveQuery:
+    """``Phi(alpha)`` as a conjunctive query object."""
+    from repro.core.sorts import ordvar
+
+    dag = build_query_dag(n_letters)
+    from repro.core.atoms import ProperAtom
+
+    atoms = []
+    for v, preds in sorted(dag.labels.items()):
+        for p in sorted(preds):
+            atoms.append(ProperAtom(p, (ordvar(v),)))
+    term_of = {v: ordvar(v) for v in dag.graph.vertices}
+    atoms.extend(dag.graph.to_atoms(term_of))
+    return ConjunctiveQuery.from_atoms(atoms)
+
+
+def build_database_dag(
+    disjuncts: Sequence[Disjunct], n_letters: int
+) -> LabeledDag:
+    """``D(alpha)``: one Figure 8 component per disjunct."""
+    graph = OrderGraph()
+    labels: dict[str, frozenset[str]] = {}
+    for i, disjunct in enumerate(disjuncts):
+        columns: list[list[str]] = []
+        for j in range(n_letters):
+            letter = f"p{j}"
+            keep: list[tuple[str, str]] = []
+            required = disjunct.get(letter)
+            if required is not False:
+                keep.append((f"d{i}_T{j}", "T"))
+            if required is not True:
+                keep.append((f"d{i}_F{j}", "F"))
+            for name, pred in keep:
+                graph.add_vertex(name)
+                labels[name] = frozenset({pred})
+            columns.append([name for name, _ in keep])
+        for j in range(n_letters - 1):
+            for a in columns[j]:
+                for b in columns[j + 1]:
+                    graph.add_edge(a, b, Rel.LT)
+    return LabeledDag(graph, labels)
+
+
+def reduction_claim(
+    disjuncts: Sequence[Disjunct], n_letters: int
+) -> tuple[LabeledDag, ConjunctiveQuery, bool]:
+    """``(D(alpha), Phi(alpha), expected)``: expected = alpha is a tautology."""
+    db = build_database_dag(disjuncts, n_letters)
+    query = build_query(n_letters)
+    letters = letters_of(disjuncts, n_letters)
+    return db, query, dnf_is_tautology(disjuncts, letters)

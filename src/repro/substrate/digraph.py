@@ -1,0 +1,193 @@
+"""From-scratch directed-graph utilities used by the order-graph machinery.
+
+Deliberately minimal and dependency-free: vertices are arbitrary hashable
+objects, edges are stored as adjacency sets.  Provides exactly the
+operations the paper's constructions need — reachability, strongly connected
+components (for normalization rule N1), topological sorting, and transitive
+closure (for fullness and width).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable
+
+Vertex = Hashable
+
+
+class Digraph:
+    """A simple directed graph over hashable vertices."""
+
+    def __init__(self) -> None:
+        self._succ: dict[Vertex, set[Vertex]] = {}
+        self._pred: dict[Vertex, set[Vertex]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Add vertex ``v`` (idempotent)."""
+        self._succ.setdefault(v, set())
+        self._pred.setdefault(v, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add edge ``u -> v`` (idempotent), adding endpoints as needed."""
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+
+    def copy(self) -> "Digraph":
+        """An independent copy of this graph."""
+        g = Digraph()
+        for v in self._succ:
+            g.add_vertex(v)
+        for u, vs in self._succ.items():
+            for v in vs:
+                g.add_edge(u, v)
+        return g
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Delete ``v`` and all incident edges."""
+        for u in self._pred.pop(v, set()):
+            self._succ[u].discard(v)
+        for w in self._succ.pop(v, set()):
+            self._pred[w].discard(v)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def vertices(self) -> set[Vertex]:
+        """The vertex set (a fresh set)."""
+        return set(self._succ)
+
+    def successors(self, v: Vertex) -> set[Vertex]:
+        """Direct successors of ``v``."""
+        return set(self._succ.get(v, ()))
+
+    def predecessors(self, v: Vertex) -> set[Vertex]:
+        """Direct predecessors of ``v``."""
+        return set(self._pred.get(v, ()))
+
+    def edges(self) -> Iterable[tuple[Vertex, Vertex]]:
+        """Iterate over all edges ``(u, v)``."""
+        for u, vs in self._succ.items():
+            for v in vs:
+                yield (u, v)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    # -- algorithms ---------------------------------------------------------
+
+    def reachable_from(self, sources: Iterable[Vertex]) -> set[Vertex]:
+        """Vertices reachable from ``sources`` (including the sources)."""
+        seen: set[Vertex] = set()
+        stack = [s for s in sources if s in self._succ]
+        seen.update(stack)
+        while stack:
+            u = stack.pop()
+            for v in self._succ[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen
+
+    def sources(self) -> set[Vertex]:
+        """Vertices with no incoming edge (the paper's *minimal* vertices)."""
+        return {v for v, ps in self._pred.items() if not ps}
+
+    def sinks(self) -> set[Vertex]:
+        """Vertices with no outgoing edge."""
+        return {v for v, ss in self._succ.items() if not ss}
+
+    def strongly_connected_components(self) -> list[set[Vertex]]:
+        """Tarjan's algorithm, iterative (order of components arbitrary)."""
+        index: dict[Vertex, int] = {}
+        low: dict[Vertex, int] = {}
+        on_stack: set[Vertex] = set()
+        stack: list[Vertex] = []
+        result: list[set[Vertex]] = []
+        counter = 0
+
+        for root in self._succ:
+            if root in index:
+                continue
+            # Iterative Tarjan: work items are (vertex, iterator position).
+            work: list[tuple[Vertex, list[Vertex], int]] = [
+                (root, sorted(self._succ[root], key=repr), 0)
+            ]
+            index[root] = low[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                v, succs, i = work[-1]
+                advanced = False
+                while i < len(succs):
+                    w = succs[i]
+                    i += 1
+                    if w not in index:
+                        index[w] = low[w] = counter
+                        counter += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work[-1] = (v, succs, i)
+                        work.append((w, sorted(self._succ[w], key=repr), 0))
+                        advanced = True
+                        break
+                    if w in on_stack:
+                        low[v] = min(low[v], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if low[v] == index[v]:
+                    component: set[Vertex] = set()
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.add(w)
+                        if w == v:
+                            break
+                    result.append(component)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[v])
+        return result
+
+    def topological_order(self) -> list[Vertex]:
+        """Kahn's algorithm; raises ``ValueError`` if the graph has a cycle."""
+        indeg = {v: len(ps) for v, ps in self._pred.items()}
+        queue = deque(sorted((v for v, d in indeg.items() if d == 0), key=repr))
+        order: list[Vertex] = []
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v in sorted(self._succ[u], key=repr):
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    queue.append(v)
+        if len(order) != len(self._succ):
+            raise ValueError("graph has a cycle; no topological order exists")
+        return order
+
+    def is_acyclic(self) -> bool:
+        """True when the graph is a dag."""
+        try:
+            self.topological_order()
+        except ValueError:
+            return False
+        return True
+
+    def transitive_closure(self) -> dict[Vertex, set[Vertex]]:
+        """Map each vertex to the set of vertices strictly reachable from it.
+
+        The vertex itself is included only if it lies on a cycle.
+        """
+        closure: dict[Vertex, set[Vertex]] = {}
+        for v in self._succ:
+            reach = self.reachable_from(self._succ[v])
+            closure[v] = reach
+        return closure

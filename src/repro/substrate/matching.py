@@ -1,0 +1,141 @@
+"""Hopcroft–Karp bipartite maximum matching, plus König vertex cover.
+
+This is the substrate for computing database *width* (maximum antichain of
+the order dag) via Dilworth's theorem: the width of a dag equals the size of
+a maximum antichain, which by Mirsky/Dilworth duality can be computed as
+``n - |maximum matching|`` in the bipartite *split graph* of the dag's
+transitive closure, and the antichain itself is recovered from a König
+minimum vertex cover.
+
+Implemented from scratch (no networkx) per the reproduction ground rules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping
+
+Node = Hashable
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    left: Iterable[Node], adjacency: Mapping[Node, Iterable[Node]]
+) -> dict[Node, Node]:
+    """Maximum matching of a bipartite graph.
+
+    Args:
+        left: the left vertex set.
+        adjacency: for each left vertex, its right neighbours.
+
+    Returns:
+        A dict mapping matched left vertices to their right partners.
+    """
+    left = list(left)
+    adj = {u: list(adjacency.get(u, ())) for u in left}
+    match_l: dict[Node, Node] = {}
+    match_r: dict[Node, Node] = {}
+    dist: dict[Node, float] = {}
+
+    def bfs() -> bool:
+        queue: deque[Node] = deque()
+        for u in left:
+            if u not in match_l:
+                dist[u] = 0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                w = match_r.get(v)
+                if w is None:
+                    found = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found
+
+    def dfs(u: Node) -> bool:
+        for v in adj[u]:
+            w = match_r.get(v)
+            if w is None or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_l[u] = v
+                match_r[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    while bfs():
+        for u in left:
+            if u not in match_l:
+                dfs(u)
+    return match_l
+
+
+def koenig_vertex_cover(
+    left: Iterable[Node],
+    adjacency: Mapping[Node, Iterable[Node]],
+    matching: Mapping[Node, Node],
+) -> tuple[set[Node], set[Node]]:
+    """Minimum vertex cover from a maximum matching (König's theorem).
+
+    Returns:
+        ``(cover_left, cover_right)`` — left/right vertices in the cover.
+
+    The construction: let ``Z`` be the set of vertices reachable from
+    unmatched left vertices by alternating paths (non-matching edges
+    left-to-right, matching edges right-to-left).  The cover is
+    ``(L \\ Z) u (R n Z)``.
+    """
+    left = list(left)
+    adj = {u: list(adjacency.get(u, ())) for u in left}
+    match_r = {v: u for u, v in matching.items()}
+
+    z_left: set[Node] = {u for u in left if u not in matching}
+    z_right: set[Node] = set()
+    queue = deque(z_left)
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if matching.get(u) == v:
+                continue  # only non-matching edges go left -> right
+            if v not in z_right:
+                z_right.add(v)
+                w = match_r.get(v)
+                if w is not None and w not in z_left:
+                    z_left.add(w)
+                    queue.append(w)
+
+    cover_left = {u for u in left if u not in z_left}
+    cover_right = set(z_right)
+    return cover_left, cover_right
+
+
+def maximum_antichain(
+    vertices: Iterable[Node], reach: Mapping[Node, set[Node]]
+) -> set[Node]:
+    """A maximum antichain of a dag given its strict reachability relation.
+
+    Args:
+        vertices: all dag vertices.
+        reach: ``reach[v]`` = vertices strictly reachable from ``v``.
+
+    Returns:
+        A maximum-cardinality set of pairwise unreachable vertices.
+
+    Uses Dilworth via the split bipartite graph: left copy ``(v, 'L')``
+    connects to right copy ``(w, 'R')`` when ``w in reach[v]``.  A maximum
+    antichain is the complement of a minimum vertex cover projected back to
+    the original vertices (a vertex is excluded if either copy is covered).
+    """
+    vertices = list(vertices)
+    adjacency = {v: [w for w in reach.get(v, ())] for v in vertices}
+    matching = hopcroft_karp(vertices, adjacency)
+    cover_left, cover_right = koenig_vertex_cover(vertices, adjacency, matching)
+    antichain = {
+        v for v in vertices if v not in cover_left and v not in cover_right
+    }
+    return antichain

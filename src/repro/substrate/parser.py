@@ -1,0 +1,159 @@
+"""A small text DSL for databases and queries.
+
+Database text is a sequence of atoms separated by ``;`` or newlines, with
+optional sort declarations (``#`` starts a comment)::
+
+    order: u1 u2 u3 u4
+    object: A B
+    IC(u1, u2, A); IC(u3, u4, B)
+    u1 < u2; u2 < u3; u3 < u4
+
+Query text is a disjunction (``|``) of conjunctions (``&``) of atoms; all
+identifiers not declared as constants of the enclosing database are
+variables::
+
+    P(t1) & t1 < t2 & Q(t2) | R(s)
+
+Sort inference: a name on either side of ``<``, ``<=`` or ``!=`` is order-
+sorted; anything else defaults to object sort unless declared.  Inference
+runs over the whole text first, so ``P(t) & t < s`` types ``t`` correctly
+inside ``P(t)`` too.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.core.atoms import Atom, OrderAtom, ProperAtom, Rel
+from repro.core.database import IndefiniteDatabase
+from repro.core.errors import ParseError
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.core.sorts import Sort, Term
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_.']*"
+_ATOM_RE = re.compile(rf"^({_NAME})\s*\(([^()]*)\)$")
+_ORDER_RE = re.compile(rf"^({_NAME})\s*(<=|<|!=)\s*({_NAME})$")
+_DECL_RE = re.compile(r"^(order|object)\s*:\s*(.*)$")
+
+_REL_OF = {"<": Rel.LT, "<=": Rel.LE, "!=": Rel.NE}
+
+
+def _statements(text: str) -> Iterable[str]:
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0]
+        for part in line.split(";"):
+            part = part.strip()
+            if part:
+                yield part
+
+
+def _infer_order_names(statements: list[str]) -> set[str]:
+    order: set[str] = set()
+    for stmt in statements:
+        m = _ORDER_RE.match(stmt)
+        if m:
+            order.add(m.group(1))
+            order.add(m.group(3))
+    return order
+
+
+def parse_database(text: str) -> IndefiniteDatabase:
+    """Parse database text into an :class:`IndefiniteDatabase`."""
+    statements = list(_statements(text))
+    declared: dict[str, Sort] = {}
+    body: list[str] = []
+    for stmt in statements:
+        decl = _DECL_RE.match(stmt)
+        if decl:
+            sort = Sort.ORDER if decl.group(1) == "order" else Sort.OBJECT
+            for name in decl.group(2).split():
+                declared[name] = sort
+        else:
+            body.append(stmt)
+    inferred_order = _infer_order_names(body)
+
+    def term(name: str) -> Term:
+        name = name.strip()
+        if not re.fullmatch(_NAME, name):
+            raise ParseError(f"invalid constant name {name!r}")
+        sort = declared.get(
+            name, Sort.ORDER if name in inferred_order else Sort.OBJECT
+        )
+        return Term(name, sort, is_var=False)
+
+    atoms: list[Atom] = []
+    for stmt in body:
+        atoms.append(_parse_atom(stmt, term))
+    return IndefiniteDatabase.from_atoms(atoms)
+
+
+def parse_query(text: str, database: IndefiniteDatabase | None = None) -> DisjunctiveQuery:
+    """Parse query text into a :class:`DisjunctiveQuery`.
+
+    Names matching constants of ``database`` (when given) are parsed as
+    constants of the corresponding sort; everything else is a variable.
+    """
+    db_objects = set(database.object_constants) if database else set()
+    db_orders = set(database.order_constants) if database else set()
+    signatures: dict[str, tuple[Sort, ...]] = {}
+    if database is not None:
+        for atom in database.proper_atoms:
+            signatures[atom.pred] = tuple(t.sort for t in atom.args)
+
+    disjunct_texts = [d.strip() for d in text.split("|")]
+    if not any(disjunct_texts):
+        raise ParseError("empty query text")
+
+    disjuncts: list[ConjunctiveQuery] = []
+    for dtext in disjunct_texts:
+        stmts = [s.strip() for s in dtext.split("&") if s.strip()]
+        if not stmts:
+            raise ParseError(f"empty disjunct in query: {text!r}")
+        # Two inference sources for variable sorts: order-atom occurrence,
+        # and position in a predicate whose signature the database fixes.
+        inferred_order = _infer_order_names(stmts)
+        for stmt in stmts:
+            m = _ATOM_RE.match(stmt)
+            if not m:
+                continue
+            sig = signatures.get(m.group(1))
+            if sig is None:
+                continue
+            args = [a.strip() for a in m.group(2).split(",") if a.strip()]
+            for name, sort in zip(args, sig):
+                if sort is Sort.ORDER:
+                    inferred_order.add(name)
+
+        def term(name: str) -> Term:
+            if name in db_orders:
+                return Term(name, Sort.ORDER, is_var=False)
+            if name in db_objects:
+                return Term(name, Sort.OBJECT, is_var=False)
+            sort = Sort.ORDER if name in inferred_order else Sort.OBJECT
+            return Term(name, sort, is_var=True)
+
+        atoms = [_parse_atom(s, term) for s in stmts]
+        disjuncts.append(ConjunctiveQuery.from_atoms(atoms))
+    return DisjunctiveQuery(tuple(disjuncts))
+
+
+def _parse_atom(stmt: str, term) -> Atom:
+    order_match = _ORDER_RE.match(stmt)
+    if order_match:
+        left, rel, right = order_match.groups()
+        lterm, rterm = term(left), term(right)
+        if not (lterm.is_order and rterm.is_order):
+            raise ParseError(
+                f"order atom between non-order terms: {stmt!r} "
+                "(declare the names with 'order:' or check the database)"
+            )
+        return OrderAtom(lterm, _REL_OF[rel], rterm)
+    atom_match = _ATOM_RE.match(stmt)
+    if atom_match:
+        pred, arg_text = atom_match.groups()
+        arg_names = [a.strip() for a in arg_text.split(",") if a.strip()]
+        if not arg_names:
+            raise ParseError(f"predicate with no arguments: {stmt!r}")
+        return ProperAtom(pred, tuple(term(a) for a in arg_names))
+    raise ParseError(f"cannot parse atom {stmt!r}")

@@ -1,0 +1,281 @@
+"""Synthetic workload generators for tests and benchmarks.
+
+The paper has no empirical section, so workloads are synthesized to
+instantiate exactly the constructions it discusses:
+
+* random monadic databases / queries over small predicate sets (the
+  brute-force cross-validation harness);
+* *k-observer* databases — disjoint unions of k linear chains, the
+  paper's motivating example of width-k data (Section 2);
+* gene-alignment instances (Example 1.2);
+* random propositional workloads (monotone 3SAT, DNF, Pi2-QBF, graphs)
+  feeding the lower-bound reductions of Sections 3, 4 and 7.
+
+All generators take a ``random.Random`` so every test and benchmark is
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.atoms import OrderAtom, ProperAtom, Rel
+from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.ordergraph import OrderGraph
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.core.sorts import obj, objvar, ordc, ordvar
+from repro.flexiwords.flexiword import FlexiWord
+
+DEFAULT_PREDS = ("P", "Q", "R")
+
+
+def random_letter(
+    rng: random.Random, preds: Sequence[str], empty_ok: bool = True
+) -> frozenset[str]:
+    """A random subset of ``preds`` (possibly empty unless ``empty_ok`` is False)."""
+    while True:
+        picked = frozenset(p for p in preds if rng.random() < 0.5)
+        if picked or empty_ok:
+            return picked
+
+
+def random_flexiword(
+    rng: random.Random,
+    length: int,
+    preds: Sequence[str] = DEFAULT_PREDS,
+    le_prob: float = 0.3,
+    empty_ok: bool = True,
+) -> FlexiWord:
+    """A random flexi-word of ``length`` letters."""
+    letters = tuple(random_letter(rng, preds, empty_ok) for _ in range(length))
+    rels = tuple(
+        Rel.LE if rng.random() < le_prob else Rel.LT
+        for _ in range(max(0, length - 1))
+    )
+    return FlexiWord(letters, rels)
+
+
+def random_labeled_dag(
+    rng: random.Random,
+    n_vertices: int,
+    preds: Sequence[str] = DEFAULT_PREDS,
+    edge_prob: float = 0.3,
+    le_prob: float = 0.3,
+    empty_ok: bool = True,
+    prefix: str = "u",
+) -> LabeledDag:
+    """A random labelled dag (edges only forward in a random vertex order)."""
+    names = [f"{prefix}{i}" for i in range(n_vertices)]
+    graph = OrderGraph()
+    for name in names:
+        graph.add_vertex(name)
+    for i in range(n_vertices):
+        for j in range(i + 1, n_vertices):
+            if rng.random() < edge_prob:
+                rel = Rel.LE if rng.random() < le_prob else Rel.LT
+                graph.add_edge(names[i], names[j], rel)
+    labels = {name: random_letter(rng, preds, empty_ok) for name in names}
+    return LabeledDag(graph, labels)
+
+
+def random_monadic_database(
+    rng: random.Random,
+    n_vertices: int,
+    preds: Sequence[str] = DEFAULT_PREDS,
+    edge_prob: float = 0.3,
+    le_prob: float = 0.3,
+) -> IndefiniteDatabase:
+    """A random monadic :class:`IndefiniteDatabase`."""
+    return random_labeled_dag(
+        rng, n_vertices, preds, edge_prob, le_prob, empty_ok=True
+    ).to_database()
+
+
+def random_observer_dag(
+    rng: random.Random,
+    observers: int,
+    chain_length: int,
+    preds: Sequence[str] = DEFAULT_PREDS,
+    le_prob: float = 0.2,
+) -> LabeledDag:
+    """A width-``observers`` database: one linear report per observer."""
+    chains = [
+        random_flexiword(rng, chain_length, preds, le_prob, empty_ok=False)
+        for _ in range(observers)
+    ]
+    return LabeledDag.from_chains(chains)
+
+
+def random_conjunctive_monadic_query(
+    rng: random.Random,
+    n_vars: int,
+    preds: Sequence[str] = DEFAULT_PREDS,
+    edge_prob: float = 0.4,
+    le_prob: float = 0.3,
+    empty_ok: bool = True,
+) -> ConjunctiveQuery:
+    """A random conjunctive monadic query as a random labelled dag."""
+    dag = random_labeled_dag(
+        rng, n_vars, preds, edge_prob, le_prob, empty_ok, prefix="t"
+    )
+    atoms: list = []
+    for v, label in dag.labels.items():
+        for p in sorted(label):
+            atoms.append(ProperAtom(p, (ordvar(v),)))
+    term_of = {v: ordvar(v) for v in dag.graph.vertices}
+    atoms.extend(dag.graph.to_atoms(term_of))
+    return ConjunctiveQuery.from_atoms(
+        atoms, {ordvar(v) for v in dag.graph.vertices}
+    )
+
+
+def random_sequential_query(
+    rng: random.Random,
+    n_vars: int,
+    preds: Sequence[str] = DEFAULT_PREDS,
+    le_prob: float = 0.3,
+    empty_ok: bool = True,
+) -> ConjunctiveQuery:
+    """A random sequential monadic query."""
+    word = random_flexiword(rng, n_vars, preds, le_prob, empty_ok)
+    return ConjunctiveQuery.from_flexiword(word)
+
+
+def random_disjunctive_monadic_query(
+    rng: random.Random,
+    n_disjuncts: int,
+    n_vars: int,
+    preds: Sequence[str] = DEFAULT_PREDS,
+    edge_prob: float = 0.4,
+    le_prob: float = 0.3,
+) -> DisjunctiveQuery:
+    """A random disjunctive monadic query."""
+    return DisjunctiveQuery(
+        tuple(
+            random_conjunctive_monadic_query(
+                rng, n_vars, preds, edge_prob, le_prob
+            )
+            for _ in range(n_disjuncts)
+        )
+    )
+
+
+def random_nary_database(
+    rng: random.Random,
+    n_order: int,
+    n_objects: int,
+    n_facts: int,
+    preds: Sequence[tuple[str, int]] = (("B", 2),),
+    edge_prob: float = 0.3,
+    le_prob: float = 0.3,
+) -> IndefiniteDatabase:
+    """A random database with binary-and-up predicates mixing both sorts.
+
+    Each predicate signature alternates (order, object, order, ...)
+    starting with an order argument.
+    """
+    order_names = [f"u{i}" for i in range(n_order)]
+    object_names = [f"a{i}" for i in range(n_objects)]
+    atoms: list = []
+    for _ in range(n_facts):
+        pred, arity = preds[rng.randrange(len(preds))]
+        args = []
+        for pos in range(arity):
+            if pos % 2 == 0:
+                args.append(ordc(rng.choice(order_names)))
+            else:
+                args.append(obj(rng.choice(object_names)))
+        atoms.append(ProperAtom(pred, tuple(args)))
+    for i in range(n_order):
+        for j in range(i + 1, n_order):
+            if rng.random() < edge_prob:
+                rel = Rel.LE if rng.random() < le_prob else Rel.LT
+                atoms.append(OrderAtom(ordc(order_names[i]), rel, ordc(order_names[j])))
+    return IndefiniteDatabase.from_atoms(atoms)
+
+
+def random_nary_query(
+    rng: random.Random,
+    n_atoms: int,
+    n_order_vars: int,
+    n_object_vars: int,
+    preds: Sequence[tuple[str, int]] = (("B", 2),),
+    order_atom_prob: float = 0.5,
+) -> ConjunctiveQuery:
+    """A random conjunctive query over the same signature."""
+    order_vars = [ordvar(f"t{i}") for i in range(n_order_vars)]
+    object_vars = [objvar(f"x{i}") for i in range(n_object_vars)]
+    atoms: list = []
+    for _ in range(n_atoms):
+        pred, arity = preds[rng.randrange(len(preds))]
+        args = []
+        for pos in range(arity):
+            if pos % 2 == 0:
+                args.append(rng.choice(order_vars))
+            else:
+                args.append(rng.choice(object_vars))
+        atoms.append(ProperAtom(pred, tuple(args)))
+    for i in range(n_order_vars):
+        for j in range(i + 1, n_order_vars):
+            if rng.random() < order_atom_prob:
+                rel = Rel.LT if rng.random() < 0.7 else Rel.LE
+                atoms.append(OrderAtom(order_vars[i], rel, order_vars[j]))
+    return ConjunctiveQuery.from_atoms(atoms)
+
+
+# -- propositional workloads for the reductions -------------------------------
+
+
+def random_monotone_clauses(
+    rng: random.Random, n_letters: int, n_clauses: int
+) -> tuple[list[tuple[str, str, str]], list[tuple[str, str, str]]]:
+    """Random monotone 3SAT instance: (positive clauses, negative clauses).
+
+    Letters are ``p0 .. p{n-1}``; each clause is a triple of letters, used
+    positively in the first list and negatively in the second.
+    """
+    letters = [f"p{i}" for i in range(n_letters)]
+    positive = [
+        tuple(rng.choice(letters) for _ in range(3)) for _ in range(n_clauses)
+    ]
+    negative = [
+        tuple(rng.choice(letters) for _ in range(3)) for _ in range(n_clauses)
+    ]
+    return positive, negative
+
+
+def random_dnf(
+    rng: random.Random, n_letters: int, n_disjuncts: int, literals_per: int = 3
+) -> list[dict[str, bool]]:
+    """A random DNF: each disjunct maps letters to required polarity."""
+    out: list[dict[str, bool]] = []
+    for _ in range(n_disjuncts):
+        conj: dict[str, bool] = {}
+        for _ in range(literals_per):
+            conj[f"p{rng.randrange(n_letters)}"] = rng.random() < 0.5
+        out.append(conj)
+    return out
+
+
+def random_graph(
+    rng: random.Random, n_vertices: int, edge_prob: float = 0.4
+) -> tuple[list[str], list[tuple[str, str]]]:
+    """A random undirected graph for the 3-colorability reductions."""
+    vertices = [f"v{i}" for i in range(n_vertices)]
+    edges = [
+        (vertices[i], vertices[j])
+        for i in range(n_vertices)
+        for j in range(i + 1, n_vertices)
+        if rng.random() < edge_prob
+    ]
+    return vertices, edges
+
+
+def gene_sequences(
+    rng: random.Random, count: int, length: int
+) -> list[str]:
+    """Random base sequences over {C, G, A, T} (Example 1.2)."""
+    return [
+        "".join(rng.choice("CGAT") for _ in range(length)) for _ in range(count)
+    ]

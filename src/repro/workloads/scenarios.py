@@ -1,0 +1,100 @@
+"""Named scenario builders: the paper's running examples as reusable data.
+
+Each function deterministically constructs one of the scenarios the paper
+uses to motivate indefinite order databases, in a form directly consumable
+by the entailment API.  The example scripts construct these inline for
+exposition; tests and benchmarks import them from here.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from repro.core.atoms import Atom, ProperAtom, lt
+from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.core.sorts import obj, objvar, ordc, ordvar
+from repro.flexiwords.flexiword import FlexiWord
+
+
+def espionage_database() -> IndefiniteDatabase:
+    """Example 1.1: the guard's log plus agent A's testimony."""
+    z = [ordc(f"z{i}") for i in range(1, 5)]
+    u = [ordc(f"u{i}") for i in range(1, 5)]
+    a, b = obj("A"), obj("B")
+    return IndefiniteDatabase.of(
+        ProperAtom("IC", (z[0], z[1], a)),
+        ProperAtom("IC", (z[2], z[3], b)),
+        lt(z[0], z[1]), lt(z[1], z[2]), lt(z[2], z[3]),
+        ProperAtom("IC", (u[0], u[2], a)),
+        ProperAtom("IC", (u[1], u[3], b)),
+        lt(u[0], u[1]), lt(u[1], u[2]), lt(u[2], u[3]),
+    )
+
+
+def espionage_integrity() -> DisjunctiveQuery:
+    """Example 1.1's overlap-violation query ``Psi``."""
+    from repro.applications.intervals import overlap_violation
+
+    return overlap_violation("IC", extra_args=1)
+
+
+def espionage_twice(agent: str | None = None) -> ConjunctiveQuery:
+    """``Phi(agent)`` (or ``exists x . Phi(x)`` when agent is None)."""
+    from repro.applications.intervals import twice_query
+
+    arg = obj(agent) if agent is not None else objvar("x")
+    return twice_query("IC", arg)
+
+
+def alignment_database(sequences: Sequence[str]) -> LabeledDag:
+    """Example 1.2: base sequences as a width-k monadic database."""
+    chains = [FlexiWord.word([c] for c in seq) for seq in sequences]
+    return LabeledDag.from_chains(chains)
+
+
+def alignment_mismatch_violation(
+    alphabet: Sequence[str] = "CGAT",
+) -> DisjunctiveQuery:
+    """No two distinct symbols may be aligned."""
+    t = ordvar("t")
+    disjuncts = []
+    for a, b in combinations(sorted(alphabet), 2):
+        disjuncts.append(
+            ConjunctiveQuery.of(ProperAtom(a, (t,)), ProperAtom(b, (t,)))
+        )
+    return DisjunctiveQuery(tuple(disjuncts))
+
+
+def seriation_database(
+    types: Sequence[str], graves: Sequence[set[str]]
+) -> IndefiniteDatabase:
+    """Archaeological seriation: interval endpoints + grave overlaps."""
+    atoms: list[Atom] = []
+    for t in types:
+        s, e = ordc(f"{t}.s"), ordc(f"{t}.e")
+        atoms.append(ProperAtom(f"Start_{t}", (s,)))
+        atoms.append(ProperAtom(f"End_{t}", (e,)))
+        atoms.append(lt(s, e))
+    for grave in graves:
+        for a, b in combinations(sorted(grave), 2):
+            atoms.append(lt(ordc(f"{a}.s"), ordc(f"{b}.e")))
+            atoms.append(lt(ordc(f"{b}.s"), ordc(f"{a}.e")))
+    return IndefiniteDatabase.from_atoms(atoms)
+
+
+def plan_database(streams: Sequence[Sequence[str]]) -> IndefiniteDatabase:
+    """Nonlinear planning: one linear action stream per list."""
+    chains = [
+        FlexiWord.word([action] for action in stream) for stream in streams
+    ]
+    return LabeledDag.from_chains(chains, prefix="s").to_database()
+
+
+def before_query(first: str, second: str) -> ConjunctiveQuery:
+    """``exists a b . first(a) & a < b & second(b)``."""
+    a, b = ordvar("a"), ordvar("b")
+    return ConjunctiveQuery.of(
+        ProperAtom(first, (a,)), ProperAtom(second, (b,)), lt(a, b)
+    )

@@ -1,0 +1,94 @@
+"""Test-local reference implementations, independent of the library code.
+
+Every fast algorithm in the library is validated against these naive,
+obviously-correct procedures: satisfaction is decided by exhaustive search
+over variable assignments, and entailment by exhaustive enumeration of
+minimal models.  Nothing here shares code with the implementations under
+test beyond the basic data types.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.core.atoms import Rel
+from repro.core.database import LabeledDag
+from repro.core.models import iter_minimal_words
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery, Query, as_dnf
+from repro.flexiwords.flexiword import FlexiWord, Word
+
+
+def naive_word_satisfies_flexi(word: Word, p: FlexiWord) -> bool:
+    """Word model vs sequential query by exhaustive assignment search."""
+    m = len(p.letters)
+    n = len(word)
+    if m == 0:
+        return True
+
+    def extend(j: int, prev: int) -> bool:
+        if j == m:
+            return True
+        lo = prev
+        if j > 0 and p.rels[j - 1] is Rel.LT:
+            lo = prev + 1
+        for pos in range(lo, n):
+            if p.letters[j] <= word[pos]:
+                if extend(j + 1, pos):
+                    return True
+        return False
+
+    return extend(0, 0)
+
+
+def naive_word_satisfies_dag(word: Word, qdag: LabeledDag) -> bool:
+    """Word model vs conjunctive monadic query by exhaustive assignment."""
+    dag = qdag.normalized()
+    variables = sorted(dag.graph.vertices)
+    n = len(word)
+    for assignment in product(range(n), repeat=len(variables)):
+        pos = dict(zip(variables, assignment))
+        ok = True
+        for v in variables:
+            if not dag.labels[v] <= word[pos[v]]:
+                ok = False
+                break
+        if not ok:
+            continue
+        for u, v, rel in dag.graph.edges():
+            if rel is Rel.LT and not pos[u] < pos[v]:
+                ok = False
+                break
+            if rel is Rel.LE and not pos[u] <= pos[v]:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def naive_entails_flexi(dag: LabeledDag, p: FlexiWord) -> bool:
+    """Monadic database vs sequential query: enumerate all minimal models."""
+    return all(
+        naive_word_satisfies_flexi(word, p) for word in iter_minimal_words(dag)
+    )
+
+
+def naive_entails_query(dag: LabeledDag, query: Query) -> bool:
+    """Monadic database vs (disjunctive) monadic query by enumeration."""
+    dnf = as_dnf(query).normalized()
+    qdags = [d.monadic_dag() for d in dnf.disjuncts]
+    for word in iter_minimal_words(dag):
+        if not any(naive_word_satisfies_dag(word, q) for q in qdags):
+            return False
+    return True
+
+
+def naive_countermodels(dag: LabeledDag, query: Query) -> set[Word]:
+    """All minimal-model words falsifying the query."""
+    dnf = as_dnf(query).normalized()
+    qdags = [d.monadic_dag() for d in dnf.disjuncts]
+    out: set[Word] = set()
+    for word in iter_minimal_words(dag):
+        if not any(naive_word_satisfies_dag(word, q) for q in qdags):
+            out.add(word)
+    return out

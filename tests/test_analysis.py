@@ -1,0 +1,88 @@
+"""Tests for the Tables 1-2 complexity classifier."""
+
+from __future__ import annotations
+
+from repro.analysis import classify
+from repro.core.atoms import ProperAtom, le, lt, ne
+from repro.core.database import IndefiniteDatabase
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.core.sorts import obj, objvar, ordc, ordvar
+
+u, v = ordc("u"), ordc("v")
+t1, t2, t3 = ordvar("t1"), ordvar("t2"), ordvar("t3")
+
+
+def P(t):
+    return ProperAtom("P", (t,))
+
+
+def Q(t):
+    return ProperAtom("Q", (t,))
+
+
+class TestClassification:
+    def test_sequential_monadic(self):
+        db = IndefiniteDatabase.of(P(u), Q(v), lt(u, v))
+        q = ConjunctiveQuery.of(P(t1), Q(t2), lt(t1, t2))
+        profile = classify(db, q)
+        assert profile.monadic and profile.sequential and profile.conjunctive
+        assert "PTIME" in profile.data_complexity
+        assert profile.algorithm.startswith("SEQ")
+        assert "Corollary 4.3" in profile.references
+
+    def test_nonsequential_monadic(self):
+        db = IndefiniteDatabase.of(P(u), Q(v))
+        q = ConjunctiveQuery.of(P(t1), Q(t2), P(t3), lt(t1, t2), lt(t1, t3))
+        profile = classify(db, q)
+        assert profile.monadic and not profile.sequential
+        assert "Theorem 4.7" in profile.algorithm
+        assert "PTIME" in profile.data_complexity
+
+    def test_disjunctive_monadic(self):
+        db = IndefiniteDatabase.of(P(u), Q(v))
+        q = DisjunctiveQuery.of(
+            ConjunctiveQuery.of(P(t1)), ConjunctiveQuery.of(Q(t1))
+        )
+        profile = classify(db, q)
+        assert profile.monadic and not profile.conjunctive
+        assert "wqo" in profile.data_complexity
+        assert "Theorem 5.3" in profile.algorithm
+
+    def test_nary(self):
+        db = IndefiniteDatabase.of(ProperAtom("R", (u, obj("a"))))
+        q = ConjunctiveQuery.of(ProperAtom("R", (t1, objvar("x"))))
+        profile = classify(db, q)
+        assert not profile.monadic
+        assert profile.data_complexity == "co-NP-complete"
+        assert profile.combined_complexity == "Pi2p-complete"
+
+    def test_neq(self):
+        db = IndefiniteDatabase.of(P(u), P(v), ne(u, v))
+        q = ConjunctiveQuery.of(P(t1))
+        profile = classify(db, q)
+        assert profile.has_neq
+        assert "Theorem 7.1" in profile.references
+
+    def test_width_reported(self):
+        db = IndefiniteDatabase.of(P(u), P(v), P(ordc("w")))
+        q = ConjunctiveQuery.of(P(t1))
+        assert classify(db, q).width == 3
+
+    def test_tightness_flag(self):
+        db = IndefiniteDatabase.of(P(u))
+        tight = ConjunctiveQuery.of(P(t1))
+        loose = ConjunctiveQuery.of(P(t1), lt(t1, t2))
+        assert classify(db, tight).tight
+        assert not classify(db, loose).tight
+
+    def test_summary_renders(self):
+        db = IndefiniteDatabase.of(P(u), Q(v), lt(u, v))
+        q = ConjunctiveQuery.of(P(t1), Q(t2), lt(t1, t2))
+        text = classify(db, q).summary()
+        assert "sequential" in text and "SEQ" in text
+
+    def test_constants_eliminated_before_classification(self):
+        db = IndefiniteDatabase.of(P(u), Q(v), lt(u, v))
+        q = ConjunctiveQuery.of(P(u))  # constant in query
+        profile = classify(db, q)
+        assert profile.monadic  # Const_u guard is still order-monadic

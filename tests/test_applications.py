@@ -1,0 +1,82 @@
+"""Tests for the interval application layer (Example 1.1 as a library)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.intervals import (
+    entails_under_integrity,
+    integrity_satisfiable,
+    interval_database,
+    interval_fact,
+    overlap_violation,
+    twice_query,
+)
+from repro.core.atoms import lt
+from repro.core.database import IndefiniteDatabase
+from repro.core.semantics import Semantics
+from repro.core.sorts import obj, objvar, ordc
+
+
+class TestBuilders:
+    def test_interval_fact(self):
+        atoms = interval_fact("IC", "a", "b", "agent")
+        assert len(atoms) == 2  # fact + endpoint order atom
+        db = IndefiniteDatabase.from_atoms(atoms)
+        assert db.order_constants == {"a", "b"}
+        assert db.object_constants == {"agent"}
+
+    def test_nonstrict(self):
+        atoms = interval_fact("IC", "a", "b", strict=False)
+        assert len(atoms) == 1
+
+    def test_interval_database(self):
+        db = interval_database(
+            "Busy", [("a1", "a2", "alice"), ("b1", "b2", "bob")]
+        )
+        assert db.size() == 4
+
+
+class TestEspionageViaLibrary:
+    """Example 1.1 rebuilt entirely through the application layer."""
+
+    def db(self) -> IndefiniteDatabase:
+        guard = interval_database(
+            "IC", [("z1", "z2", "A"), ("z3", "z4", "B")]
+        )
+        testimony = interval_database(
+            "IC", [("u1", "u3", "A"), ("u2", "u4", "B")]
+        )
+        extra = IndefiniteDatabase.of(
+            lt(ordc("z2"), ordc("z3")),
+            lt(ordc("u1"), ordc("u2")),
+            lt(ordc("u2"), ordc("u3")),
+            lt(ordc("u3"), ordc("u4")),
+        )
+        return guard | testimony | extra
+
+    def test_integrity_is_satisfiable(self):
+        """The evidence is consistent with the non-overlap constraint."""
+        assert integrity_satisfiable(self.db(), overlap_violation("IC"))
+
+    def test_someone_entered_twice(self):
+        psi = overlap_violation("IC")
+        assert entails_under_integrity(
+            self.db(), twice_query("IC", objvar("x")), psi
+        )
+
+    def test_no_specific_agent_pinned(self):
+        psi = overlap_violation("IC")
+        for agent in ("A", "B"):
+            assert not entails_under_integrity(
+                self.db(), twice_query("IC", obj(agent)), psi
+            )
+
+    def test_finite_semantics_differs(self):
+        """Under FIN the nontight violation query cannot fire on adjacent
+        points, so the deduction fails — the dense default matters."""
+        psi = overlap_violation("IC")
+        assert not entails_under_integrity(
+            self.db(), twice_query("IC", objvar("x")), psi,
+            semantics=Semantics.FIN,
+        )

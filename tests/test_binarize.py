@@ -1,0 +1,119 @@
+"""Tests for the fixed-signature reductions (remark after Theorem 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atoms import ProperAtom, lt
+from repro.core.database import IndefiniteDatabase
+from repro.core.entailment import entails
+from repro.core.query import ConjunctiveQuery
+from repro.core.sorts import obj, objvar, ordc, ordvar
+from repro.reductions.binarize import (
+    eliminate_indexed_family,
+    fixed_binary_signature,
+    reify,
+)
+from repro.reductions.pi2 import Pi2Instance
+
+u, v = ordc("u"), ordc("v")
+t1, t2 = ordvar("t1"), ordvar("t2")
+
+
+class TestIndexedFamily:
+    def build(self):
+        db = IndefiniteDatabase.of(
+            ProperAtom("P0", (u, obj("a"))),
+            ProperAtom("P1", (v, obj("a"))),
+            lt(u, v),
+        )
+        q_yes = ConjunctiveQuery.of(
+            ProperAtom("P0", (t1, objvar("x"))),
+            ProperAtom("P1", (t2, objvar("x"))),
+            lt(t1, t2),
+        )
+        q_no = ConjunctiveQuery.of(
+            ProperAtom("P1", (t1, objvar("x"))),
+            ProperAtom("P0", (t2, objvar("x"))),
+            lt(t1, t2),
+        )
+        return db, q_yes, q_no
+
+    def test_preserves_entailment(self):
+        db, q_yes, q_no = self.build()
+        for q, expected in ((q_yes, True), (q_no, False)):
+            assert entails(db, q) == expected
+            db2, q2 = eliminate_indexed_family(db, q, "P")
+            assert entails(db2, q2) == expected
+
+    def test_family_predicates_gone(self):
+        db, q_yes, _ = self.build()
+        db2, q2 = eliminate_indexed_family(db, q_yes, "P")
+        assert not any(p.startswith("P0") or p.startswith("P1")
+                       for p in db2.predicates)
+        assert "P" in db2.predicates
+
+    def test_chain_lengths_distinguish(self):
+        """A P1 query pattern must not match a P0 fact."""
+        db = IndefiniteDatabase.of(ProperAtom("P0", (u, obj("a"))))
+        q = ConjunctiveQuery.of(ProperAtom("P1", (t1, objvar("x"))))
+        db2, q2 = eliminate_indexed_family(db, q, "P")
+        assert not entails(db2, q2)
+        q_same = ConjunctiveQuery.of(ProperAtom("P0", (t1, objvar("x"))))
+        db3, q3 = eliminate_indexed_family(db, q_same, "P")
+        assert entails(db3, q3)
+
+
+class TestReify:
+    def test_preserves_entailment(self):
+        db = IndefiniteDatabase.of(
+            ProperAtom("T", (u, obj("a"), obj("b"))),
+            ProperAtom("T", (v, obj("b"), obj("c"))),
+            lt(u, v),
+        )
+        q = ConjunctiveQuery.of(
+            ProperAtom("T", (t1, objvar("x"), objvar("y"))),
+            ProperAtom("T", (t2, objvar("y"), objvar("z"))),
+            lt(t1, t2),
+        )
+        assert entails(db, q)
+        db2, q2 = reify(db, q)
+        assert entails(db2, q2)
+        assert max(db2.predicates.values()) <= 2
+
+    def test_no_cross_fact_mixing(self):
+        """Reification must not let a query mix positions of two facts."""
+        db = IndefiniteDatabase.of(
+            ProperAtom("T", (u, obj("a"), obj("b"))),
+            ProperAtom("T", (u, obj("c"), obj("d"))),
+        )
+        q = ConjunctiveQuery.of(
+            ProperAtom("T", (t1, objvar("x"), objvar("y"))),
+        )
+        q_mixed = ConjunctiveQuery.of(
+            ProperAtom("T", (t1, obj("a"), obj("d"))),
+        )
+        assert not entails(db, q_mixed)
+        db2, q2 = reify(db, q_mixed)
+        assert not entails(db2, q2)
+        db3, q3 = reify(db, q)
+        assert entails(db3, q3)
+
+
+class TestPi2FixedSignature:
+    @pytest.mark.parametrize(
+        "universals,existentials,formula",
+        [
+            (("p",), ("q",), ("or", ("var", "p"), ("var", "q"))),
+            (("p",), ("q",), ("and", ("var", "p"), ("var", "q"))),
+        ],
+    )
+    def test_theorem33_under_fixed_signature(
+        self, universals, existentials, formula
+    ):
+        """The Theorem 3.3 instance survives the signature reduction."""
+        inst = Pi2Instance(tuple(universals), tuple(existentials), formula)
+        db, query, expected = inst.reduction()
+        db2, q2 = fixed_binary_signature(db, query, family="P")
+        assert max(db2.predicates.values()) <= 2
+        assert entails(db2, q2) == expected

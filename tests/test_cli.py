@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+DB_TEXT = """
+# two sensors
+Boot(u1); Crash(u2); u1 < u2
+Ping(v1); v1 < v2; Timeout(v2)
+"""
+
+
+@pytest.fixture
+def db_file(tmp_path: pathlib.Path) -> str:
+    path = tmp_path / "db.txt"
+    path.write_text(DB_TEXT)
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_entailed(self, db_file, capsys):
+        code = main(["query", db_file, "Boot(a) & a < b & Crash(b)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "entailed: True" in out
+
+    def test_not_entailed_with_countermodel(self, db_file, capsys):
+        code = main(
+            ["query", db_file, "Boot(a) & a < b & Ping(b)", "--countermodel"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "entailed: False" in out
+        assert "countermodel:" in out
+
+    def test_semantics_flag(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("P(u)\n")
+        q = "P(t) & t < s & s < r & P(r)"
+        assert main(["query", str(empty), q, "--semantics", "q"]) == 1
+
+    def test_query_from_file(self, db_file, tmp_path, capsys):
+        qfile = tmp_path / "q.txt"
+        qfile.write_text("Boot(a) & a < b & Crash(b)")
+        assert main(["query", db_file, str(qfile)]) == 0
+
+    def test_method_flag(self, db_file, capsys):
+        code = main(
+            ["query", db_file, "Boot(a) & a < b & Crash(b)",
+             "--method", "bruteforce"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0 and "method:   bruteforce" in out
+
+
+class TestOtherCommands:
+    def test_models_count(self, db_file, capsys):
+        assert main(["models", db_file]) == 0
+        assert "minimal models: 13" in capsys.readouterr().out
+
+    def test_models_list(self, db_file, capsys):
+        assert main(["models", db_file, "--list", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "listed 3 minimal models" in out
+
+    def test_classify(self, db_file, capsys):
+        assert main(["classify", db_file, "Boot(a) & a < b & Crash(b)"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out and "SEQ" in out
+
+    def test_width(self, db_file, capsys):
+        assert main(["width", db_file]) == 0
+        assert "width: 2" in capsys.readouterr().out
+
+    def test_inconsistent_database(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("u < v; v < u\n")
+        assert main(["models", str(bad)]) == 1

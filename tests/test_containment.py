@@ -1,0 +1,178 @@
+"""Tests for query containment (Proposition 2.10 / Klug's problem)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.containment.containment import (
+    boolean_containment_equals_entailment,
+    containment_to_entailment,
+    contained,
+    counterexample,
+    entailment_to_containment,
+    homomorphism_contained,
+)
+from repro.containment.relational import RelationalQuery, answer_set
+from repro.core.atoms import ProperAtom, le, lt
+from repro.core.entailment import entails
+from repro.core.models import iter_minimal_models
+from repro.core.semantics import Semantics
+from repro.core.sorts import objvar, ordvar
+
+x, y, z, u = ordvar("x"), ordvar("y"), ordvar("z"), ordvar("u")
+d = objvar("d")
+
+
+def emp(s, dept):
+    return ProperAtom("Emp", (s, dept))
+
+
+class TestContainmentBasics:
+    def test_adding_atoms_shrinks(self):
+        q1 = RelationalQuery((d,), (emp(x, d), emp(y, d), lt(x, y)))
+        q2 = RelationalQuery((d,), (emp(x, d),))
+        assert contained(q1, q2)
+        assert not contained(q2, q1)
+
+    def test_le_vs_lt(self):
+        q_le = RelationalQuery((d,), (emp(x, d), emp(y, d), le(x, y)))
+        q_lt = RelationalQuery((d,), (emp(x, d), emp(y, d), lt(x, y)))
+        assert contained(q_lt, q_le)
+        assert not contained(q_le, q_lt)
+
+    def test_self_containment(self):
+        q = RelationalQuery((d,), (emp(x, d), emp(y, d), lt(x, y)))
+        assert contained(q, q)
+
+    def test_unsatisfiable_q1(self):
+        q1 = RelationalQuery((), (emp(x, d), lt(x, x)))
+        q2 = RelationalQuery((), (emp(y, d),))
+        assert contained(q1, q2)
+
+    def test_head_arity_mismatch(self):
+        q1 = RelationalQuery((d,), (emp(x, d),))
+        q2 = RelationalQuery((), (emp(x, d),))
+        with pytest.raises(ValueError):
+            contained(q1, q2)
+
+
+class TestCounterexamples:
+    def test_counterexample_is_checked(self):
+        q_le = RelationalQuery((d,), (emp(x, d), emp(y, d), le(x, y)))
+        q_lt = RelationalQuery((d,), (emp(x, d), emp(y, d), lt(x, y)))
+        witness = counterexample(q_le, q_lt)
+        assert witness is not None
+        assert witness.tuple_ in answer_set(q_le, witness.model)
+        assert witness.tuple_ not in answer_set(q_lt, witness.model)
+
+    def test_no_counterexample_when_contained(self):
+        q1 = RelationalQuery((d,), (emp(x, d), lt(x, y), emp(y, d)))
+        q2 = RelationalQuery((d,), (emp(x, d),))
+        assert counterexample(q1, q2) is None
+
+
+class TestProposition210:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_round_trip_equivalence(self, seed):
+        """Entailment == containment of the translated queries."""
+        rng = random.Random(seed)
+        from repro.workloads.generators import (
+            random_conjunctive_monadic_query,
+            random_monadic_database,
+        )
+
+        for _ in range(10):
+            db = random_monadic_database(rng, rng.randrange(1, 4))
+            q = random_conjunctive_monadic_query(
+                rng, rng.randrange(1, 3), empty_ok=False
+            )
+            normalized = q.normalized()
+            if normalized is None:
+                continue
+            direct, via = boolean_containment_equals_entailment(db, normalized)
+            assert direct == via
+
+    def test_entailment_to_containment_shape(self):
+        from repro.core.atoms import ProperAtom
+        from repro.core.database import IndefiniteDatabase
+        from repro.core.sorts import ordc
+
+        db = IndefiniteDatabase.of(
+            ProperAtom("P", (ordc("u"),)), lt(ordc("u"), ordc("v"))
+        )
+        q1, q2 = entailment_to_containment(
+            db, ConjunctiveQuery_of_P()
+        )
+        assert q1.head == () and q2.head == ()
+        assert len(q1.atoms) == db.size()
+
+
+def ConjunctiveQuery_of_P():
+    from repro.core.query import ConjunctiveQuery
+
+    return ConjunctiveQuery.of(ProperAtom("P", (ordvar("t"),)))
+
+
+class TestHomomorphismTest:
+    def test_sound_on_random_instances(self):
+        """homomorphism_contained -> contained (soundness)."""
+        rng = random.Random(42)
+        preds = [("R", 2)]
+        from repro.workloads.generators import random_nary_query
+
+        for _ in range(25):
+            q1 = RelationalQuery(
+                (), random_nary_query(rng, 2, 2, 1, preds).atoms
+            )
+            q2 = RelationalQuery(
+                (), random_nary_query(rng, 2, 2, 1, preds).atoms
+            )
+            if homomorphism_contained(q1, q2):
+                assert contained(q1, q2)
+
+    def test_complete_without_inequalities(self):
+        """For inequality-free queries the two tests agree (Chandra-Merlin)."""
+        rng = random.Random(7)
+        from repro.core.sorts import objvar
+
+        def rand_query():
+            n_obj = rng.randrange(1, 3)
+            variables = [objvar(f"o{i}") for i in range(3)]
+            atoms = []
+            for _ in range(rng.randrange(1, 4)):
+                a, b = rng.choice(variables), rng.choice(variables)
+                atoms.append(ProperAtom("E", (a, b)))
+            return RelationalQuery((), tuple(atoms))
+
+        for _ in range(40):
+            q1, q2 = rand_query(), rand_query()
+            assert homomorphism_contained(q1, q2) == contained(q1, q2)
+
+    def test_incomplete_with_totality_case_split(self):
+        qa = RelationalQuery(
+            (), (ProperAtom("A", (x,)), ProperAtom("C", (u,)))
+        )
+        # "u <= x or x <= u" is valid, so QA is contained in neither
+        # single query but the homomorphism test and containment agree
+        # on each separately; the disjunction needs the entailment view.
+        qb = RelationalQuery(
+            (), (ProperAtom("A", (x,)), ProperAtom("C", (u,)), le(x, u))
+        )
+        assert contained(qa, qb) == homomorphism_contained(qa, qb) == False
+
+
+class TestSemanticsParameter:
+    def test_dense_vs_finite_containment(self):
+        """Over Q, 'strictly between' can always be realized by a fresh
+        point, so a nontight middle variable changes the verdict."""
+        # Q1: two employees x < y.  Q2: additionally some point strictly
+        # between them (not required to be an employee!).
+        q1 = RelationalQuery((), (emp(x, d), emp(y, d), lt(x, y)))
+        q2 = RelationalQuery(
+            (), (emp(x, d), emp(y, d), lt(x, z), lt(z, y))
+        )
+        assert not contained(q1, q2, semantics=Semantics.FIN)
+        assert not contained(q1, q2, semantics=Semantics.Z)
+        assert contained(q1, q2, semantics=Semantics.Q)

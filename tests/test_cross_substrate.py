@@ -1,0 +1,126 @@
+"""Cross-substrate validation: two independent implementations must agree.
+
+The library contains two ways to derive entailed order relations — the
+order-graph reachability of Section 2 and the point-algebra path
+consistency of the related-work substrate — and two ways to state gadget
+families (strict and ``[<=]``-only).  These tests pit them against each
+other on random inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.atoms import OrderAtom, Rel
+from repro.core.models import count_minimal_models
+from repro.core.ordergraph import OrderGraph
+from repro.core.sorts import ordc
+from repro.pointalgebra.pa import (
+    EMPTY,
+    PointNetwork,
+    entailed_relation,
+    from_rel,
+    to_order_rel,
+)
+
+
+def random_atoms(rng: random.Random, names, count, rels) -> list[OrderAtom]:
+    atoms = []
+    for _ in range(count):
+        x, y = rng.sample(names, 2)
+        atoms.append(OrderAtom(ordc(x), rng.choice(rels), ordc(y)))
+    return atoms
+
+
+class TestGraphVsPointAlgebra:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_entailed_relations_agree(self, seed):
+        """OrderGraph.entails_atom == path-consistency minimal relation,
+        on consistent [<, <=] constraint sets."""
+        rng = random.Random(seed)
+        names = ["a", "b", "c", "d"]
+        for _ in range(30):
+            atoms = random_atoms(
+                rng, names, rng.randrange(1, 6), [Rel.LT, Rel.LE]
+            )
+            graph = OrderGraph.from_atoms(atoms)
+            if not graph.is_consistent():
+                net = PointNetwork()
+                for atom in atoms:
+                    net.add_atom(atom)
+                assert not net.is_consistent()
+                continue
+            norm = graph.normalize()
+            for x in names:
+                for y in names:
+                    if x == y or x not in graph or y not in graph:
+                        continue
+                    pa_rel = entailed_relation(atoms, x, y)
+                    cx, cy = norm.canon.get(x, x), norm.canon.get(y, y)
+                    for rel in (Rel.LT, Rel.LE):
+                        graph_says = norm.graph.entails_atom(cx, cy, rel)
+                        # the graph entails x rel y iff the PA minimal
+                        # relation is at least as strong as rel
+                        pa_says = pa_rel <= from_rel(rel) and (
+                            cx != cy or rel is Rel.LE
+                        )
+                        if cx == cy:
+                            pa_says = rel is Rel.LE
+                        assert graph_says == pa_says, (
+                            f"{x} {rel} {y}: graph={graph_says} pa={pa_rel}"
+                            f" atoms={atoms}"
+                        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_consistency_agrees_with_model_count(self, seed):
+        """PA consistency == existence of a minimal model, with '!='."""
+        rng = random.Random(100 + seed)
+        names = ["a", "b", "c"]
+        for _ in range(30):
+            atoms = random_atoms(
+                rng, names, rng.randrange(1, 5), [Rel.LT, Rel.LE, Rel.NE]
+            )
+            net = PointNetwork()
+            for atom in atoms:
+                net.add_atom(atom)
+            graph = OrderGraph.from_atoms(atoms)
+            has_model = count_minimal_models(graph) > 0
+            assert net.is_consistent() == has_model, atoms
+
+
+class TestToOrderRel:
+    def test_roundtrip(self):
+        for rel in (Rel.LT, Rel.LE, Rel.NE):
+            assert to_order_rel(from_rel(rel)) == rel
+
+    def test_unexpressible(self):
+        from repro.pointalgebra.pa import ANY, GE
+
+        assert to_order_rel(ANY) is None
+        assert to_order_rel(GE) is None
+
+
+class TestStrictVsLeGadgets:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_theorem32_variants_agree(self, seed):
+        """The strict and [<=] Theorem 3.2 reductions give the same verdict."""
+        from repro.core.entailment import entails
+        from repro.reductions.le_variants import reduction_claim_le
+        from repro.reductions.monotone3sat import (
+            MonotoneSatInstance,
+            reduction_claim,
+        )
+
+        rng = random.Random(200 + seed)
+        letters = ["p", "q"]
+        instance = MonotoneSatInstance(
+            positive=(tuple(rng.choice(letters) for _ in range(3)),),
+            negative=(tuple(rng.choice(letters) for _ in range(3)),),
+        )
+        db1, q1, expected = reduction_claim(instance, bounded_width=True)
+        db2, q2, expected2 = reduction_claim_le(instance)
+        assert expected == expected2
+        assert entails(db1, q1) == expected
+        assert entails(db2, q2) == expected

@@ -1,0 +1,115 @@
+"""Tests for IndefiniteDatabase and the LabeledDag view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atoms import ProperAtom, le, lt, ne
+from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.errors import InconsistentError, NotMonadicError, SortError
+from repro.core.sorts import obj, objvar, ordc
+from repro.flexiwords.flexiword import FlexiWord
+
+u, v, w = ordc("u"), ordc("v"), ordc("w")
+
+
+def P(t):
+    return ProperAtom("P", (t,))
+
+
+class TestDatabaseBasics:
+    def test_groundness_enforced(self):
+        with pytest.raises(SortError):
+            IndefiniteDatabase.of(ProperAtom("P", (objvar("x"),)))
+
+    def test_constant_partition(self):
+        db = IndefiniteDatabase.of(
+            ProperAtom("R", (u, obj("a"))), lt(u, v)
+        )
+        assert db.order_constants == {"u", "v"}
+        assert db.object_constants == {"a"}
+        assert db.predicates == {"R": 2}
+
+    def test_union_and_renaming(self):
+        d1 = IndefiniteDatabase.of(P(u))
+        d2 = IndefiniteDatabase.of(P(v), lt(u, v))
+        combined = d1 | d2
+        assert combined.size() == 3
+        renamed = combined.renamed("_x")
+        assert renamed.order_constants == {"u_x", "v_x"}
+
+    def test_normalization_rewrites_proper_atoms(self):
+        db = IndefiniteDatabase.of(P(u), P(v), le(u, v), le(v, u))
+        norm, canon = db.normalized()
+        assert len(norm.order_constants) == 1
+        assert canon["v"] == canon["u"]
+
+    def test_normalization_raises_on_inconsistency(self):
+        db = IndefiniteDatabase.of(lt(u, v), lt(v, u))
+        with pytest.raises(InconsistentError):
+            db.normalized()
+
+    def test_width(self):
+        db = IndefiniteDatabase.of(P(u), P(v), P(w), lt(u, v))
+        assert db.width() == 2
+
+
+class TestMonadicView:
+    def test_monadic_conversion(self):
+        db = IndefiniteDatabase.of(P(u), ProperAtom("Q", (u,)), lt(u, v))
+        dag = db.monadic()
+        assert dag.labels["u"] == {"P", "Q"}
+        assert dag.labels["v"] == frozenset()
+
+    def test_non_monadic_rejected(self):
+        db = IndefiniteDatabase.of(ProperAtom("R", (u, obj("a"))))
+        with pytest.raises(NotMonadicError):
+            db.monadic()
+        db2 = IndefiniteDatabase.of(ProperAtom("P", (obj("a"),)))
+        with pytest.raises(NotMonadicError):
+            db2.monadic()
+
+    def test_roundtrip(self):
+        dag = LabeledDag.from_flexiword(FlexiWord.parse("{P} < {Q,R} <= {}"))
+        again = dag.to_database().monadic()
+        assert {str(p) for p in again.iter_paths()} == {
+            str(p) for p in dag.iter_paths()
+        }
+
+    def test_from_chains_width(self):
+        dag = LabeledDag.from_chains(
+            [FlexiWord.parse("{P} < {Q}"), FlexiWord.parse("{R}")]
+        )
+        assert dag.width() == 2
+        assert len(dag.vertices) == 3
+
+    def test_paths_of_branching_dag(self):
+        from repro.core.ordergraph import OrderGraph
+        from repro.core.atoms import Rel
+
+        g = OrderGraph()
+        g.add_edge("a", "b", Rel.LT)
+        g.add_edge("a", "c", Rel.LE)
+        dag = LabeledDag(
+            g, {"a": frozenset("P"), "b": frozenset("Q"), "c": frozenset("R")}
+        )
+        paths = {str(p) for p in dag.iter_paths()}
+        assert paths == {"{P} < {Q}", "{P} <= {R}"}
+
+    def test_normalized_merges_labels(self):
+        from repro.core.ordergraph import OrderGraph
+        from repro.core.atoms import Rel
+
+        g = OrderGraph()
+        g.add_edge("a", "b", Rel.LE)
+        g.add_edge("b", "a", Rel.LE)
+        dag = LabeledDag(g, {"a": frozenset("P"), "b": frozenset("Q")})
+        norm = dag.normalized()
+        assert len(norm.vertices) == 1
+        assert norm.labels["a"] == {"P", "Q"}
+
+    def test_restrict(self):
+        dag = LabeledDag.from_flexiword(FlexiWord.parse("{P} < {Q} < {R}"))
+        sub = dag.restrict({"w0", "w2"})
+        assert len(sub.vertices) == 2
+        assert sub.graph.edge_label("w0", "w2") is None

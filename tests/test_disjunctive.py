@@ -1,0 +1,123 @@
+"""Tests for the Theorem 5.3 search and countermodel enumeration."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import naive_countermodels, naive_entails_query
+from repro.algorithms.disjunctive import (
+    iter_countermodels,
+    theorem53,
+    theorem53_entails,
+)
+from repro.core.database import LabeledDag
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.flexiwords.flexiword import FlexiWord
+from repro.workloads.generators import (
+    random_disjunctive_monadic_query,
+    random_labeled_dag,
+    random_observer_dag,
+)
+
+
+def dag_of(word: str) -> LabeledDag:
+    return LabeledDag.from_flexiword(FlexiWord.parse(word))
+
+
+def seq_query(word: str) -> ConjunctiveQuery:
+    return ConjunctiveQuery.from_flexiword(FlexiWord.parse(word))
+
+
+class TestTheorem53Basics:
+    def test_single_disjunct_simple(self):
+        d = dag_of("{P} < {Q}")
+        assert theorem53_entails(d, seq_query("{P} < {Q}"))
+        assert not theorem53_entails(d, seq_query("{Q} < {P}"))
+
+    def test_true_disjunction_from_incomparable(self):
+        # P and Q incomparable: "P <= Q or Q <= P" holds in every model
+        # (either order, or both at one point).
+        d = LabeledDag.from_chains([FlexiWord.parse("{P}"), FlexiWord.parse("{Q}")])
+        q = DisjunctiveQuery.of(seq_query("{P} <= {Q}"), seq_query("{Q} <= {P}"))
+        assert theorem53_entails(d, q)
+        # Neither disjunct is entailed on its own.
+        assert not theorem53_entails(d, seq_query("{P} <= {Q}"))
+        assert not theorem53_entails(d, seq_query("{Q} <= {P}"))
+
+    def test_strict_disjunction_fails_on_merge(self):
+        # "P < Q or Q < P" fails in the model that merges the two points.
+        d = LabeledDag.from_chains([FlexiWord.parse("{P}"), FlexiWord.parse("{Q}")])
+        q = DisjunctiveQuery.of(seq_query("{P} < {Q}"), seq_query("{Q} < {P}"))
+        result = theorem53(d, q)
+        assert not result.holds
+        assert result.countermodel == (frozenset({"P", "Q"}),)
+
+    def test_empty_database(self):
+        empty = LabeledDag.from_flexiword(FlexiWord.empty())
+        assert not theorem53_entails(empty, seq_query("{}"))
+        assert theorem53_entails(empty, ConjunctiveQuery.of())
+
+    def test_countermodel_word_is_valid(self):
+        rng = random.Random(5)
+        from repro.core.models import iter_minimal_words
+
+        for _ in range(150):
+            dag = random_labeled_dag(rng, rng.randrange(0, 5))
+            q = random_disjunctive_monadic_query(
+                rng, rng.randrange(1, 3), rng.randrange(0, 3)
+            )
+            result = theorem53(dag, q)
+            if result.holds:
+                continue
+            assert result.countermodel in set(iter_minimal_words(dag))
+            assert result.countermodel in naive_countermodels(dag, q)
+
+
+class TestTheorem53AgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_agreement(self, seed):
+        rng = random.Random(3000 + seed)
+        for _ in range(40):
+            dag = random_labeled_dag(rng, rng.randrange(0, 5))
+            q = random_disjunctive_monadic_query(
+                rng, rng.randrange(1, 4), rng.randrange(0, 3)
+            )
+            expected = naive_entails_query(dag, q)
+            assert theorem53_entails(dag, q) == expected, (
+                f"dag={dag.to_database()} q={q}"
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_observer_databases(self, seed):
+        rng = random.Random(4000 + seed)
+        for _ in range(15):
+            dag = random_observer_dag(rng, observers=2, chain_length=2)
+            q = random_disjunctive_monadic_query(rng, 2, 2)
+            expected = naive_entails_query(dag, q)
+            assert theorem53_entails(dag, q) == expected
+
+
+class TestCountermodelEnumeration:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_enumerates_exactly_the_countermodels(self, seed):
+        rng = random.Random(5000 + seed)
+        for _ in range(25):
+            dag = random_labeled_dag(rng, rng.randrange(0, 5))
+            q = random_disjunctive_monadic_query(
+                rng, rng.randrange(1, 3), rng.randrange(0, 3)
+            )
+            expected = naive_countermodels(dag, q)
+            got = set(iter_countermodels(dag, q))
+            assert got == expected, f"dag={dag.to_database()} q={q}"
+
+    def test_scheduling_style_enumeration(self):
+        # Two observers; enumerate every model violating "P strictly
+        # before R" — i.e. the schedules satisfying the negated constraint.
+        dag = LabeledDag.from_chains(
+            [FlexiWord.parse("{P} < {Q}"), FlexiWord.parse("{R}")]
+        )
+        bad = set(iter_countermodels(dag, seq_query("{P} < {R}")))
+        assert bad == naive_countermodels(dag, seq_query("{P} < {R}"))
+        assert bad  # R can come first, so violations exist

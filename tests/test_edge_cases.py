@@ -1,0 +1,194 @@
+"""Edge-case and API-surface coverage across modules."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.bruteforce import (
+    EntailmentWitness,
+    count_countermodels,
+    entails_bruteforce,
+)
+from repro.algorithms.disjunctive import iter_countermodels
+from repro.algorithms.seq import seq_entails_disjunctive
+from repro.core.atoms import ProperAtom, atom_constants, atom_variables, chain, le, lt, ne
+from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.errors import NotSequentialError
+from repro.core.models import iter_minimal_models
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.core.sorts import Sort, Term, fresh_names, obj, objvar, ordc, ordvar
+from repro.flexiwords.flexiword import FlexiWord
+
+u, v = ordc("u"), ordc("v")
+t1, t2 = ordvar("t1"), ordvar("t2")
+
+
+def P(t):
+    return ProperAtom("P", (t,))
+
+
+def Q(t):
+    return ProperAtom("Q", (t,))
+
+
+class TestSorts:
+    def test_term_predicates(self):
+        assert obj("a").is_object and obj("a").is_const
+        assert ordvar("t").is_order and ordvar("t").is_var
+        assert str(ordc("u")) == "u"
+        assert "order" in repr(ordc("u"))
+
+    def test_fresh_names_avoid_taken(self):
+        taken = {"x0", "x1"}
+        names = fresh_names("x", 2, taken)
+        assert names == ["x2", "x3"]
+        assert {"x2", "x3"} <= taken
+
+
+class TestAtoms:
+    def test_chain_builder(self):
+        atoms = chain([u, v, ordc("w")])
+        assert len(atoms) == 2
+        assert all(a.rel.value == "<" for a in atoms)
+
+    def test_atom_helpers(self):
+        atoms = [P(t1), lt(t1, t2), ne(u, v)]
+        assert atom_variables(atoms) == {t1, t2}
+        assert atom_constants(atoms) == {u, v}
+
+    def test_sort_error_on_object_order_atom(self):
+        from repro.core.errors import SortError
+
+        with pytest.raises(SortError):
+            lt(obj("a"), u)
+
+    def test_empty_predicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            ProperAtom("", (u,))
+
+    def test_substitution(self):
+        atom = ProperAtom("R", (t1, objvar("x")))
+        subst = atom.substitute({t1: u})
+        assert subst.args[0] == u
+
+    def test_atom_str(self):
+        assert str(lt(u, v)) == "u < v"
+        assert str(le(u, v)) == "u <= v"
+        assert str(ne(u, v)) == "u != v"
+        assert str(P(u)) == "P(u)"
+
+
+class TestBruteForceAPI:
+    def test_witness_truthiness(self):
+        db = IndefiniteDatabase.of(P(u))
+        good = entails_bruteforce(db, ConjunctiveQuery.of(P(t1)))
+        bad = entails_bruteforce(db, ConjunctiveQuery.of(Q(t1)))
+        assert good and not bad
+        assert bad.countermodel is not None
+
+    def test_count_countermodels(self):
+        db = IndefiniteDatabase.of(P(u), Q(v))  # 3 minimal models
+        q = ConjunctiveQuery.of(P(t1), Q(t2), lt(t1, t2))
+        # satisfied only in the model with u strictly before v
+        assert count_countermodels(db, q) == 2
+
+    def test_inconsistent_db_entailment(self):
+        db = IndefiniteDatabase.of(lt(u, v), lt(v, u))
+        assert entails_bruteforce(db, ConjunctiveQuery.of(Q(t1))).holds
+
+
+class TestSeqDisjunctiveHelper:
+    def test_single_disjunct(self):
+        dag = LabeledDag.from_flexiword(FlexiWord.parse("{P} < {Q}"))
+        q = ConjunctiveQuery.from_flexiword(FlexiWord.parse("{P} < {Q}"))
+        assert seq_entails_disjunctive(dag, q)
+
+    def test_sound_direction(self):
+        dag = LabeledDag.from_flexiword(FlexiWord.parse("{P} < {Q}"))
+        yes = ConjunctiveQuery.from_flexiword(FlexiWord.parse("{P}"))
+        no = ConjunctiveQuery.from_flexiword(FlexiWord.parse("{R}"))
+        assert seq_entails_disjunctive(dag, DisjunctiveQuery.of(yes, no))
+
+    def test_raises_when_disjunction_needed(self):
+        dag = LabeledDag.from_chains(
+            [FlexiWord.parse("{P}"), FlexiWord.parse("{Q}")]
+        )
+        q = DisjunctiveQuery.of(
+            ConjunctiveQuery.from_flexiword(FlexiWord.parse("{P} <= {Q}")),
+            ConjunctiveQuery.from_flexiword(FlexiWord.parse("{Q} <= {P}")),
+        )
+        with pytest.raises(NotSequentialError):
+            seq_entails_disjunctive(dag, q)
+
+
+class TestCountermodelEnumeratorLimits:
+    def test_max_states_cap(self):
+        rng = random.Random(0)
+        from repro.workloads.generators import (
+            random_disjunctive_monadic_query,
+            random_observer_dag,
+        )
+
+        dag = random_observer_dag(rng, 3, 3)
+        q = random_disjunctive_monadic_query(rng, 3, 3)
+        with pytest.raises(MemoryError):
+            list(iter_countermodels(dag, q, max_states=5))
+
+    def test_empty_query_false_everywhere(self):
+        dag = LabeledDag.from_flexiword(FlexiWord.parse("{P} < {Q}"))
+        false_query = DisjunctiveQuery(())
+        models = list(iter_countermodels(dag, false_query))
+        assert models == [
+            (frozenset({"P"}), frozenset({"Q"})),
+        ]
+
+
+class TestStructureAPI:
+    def test_word_view(self):
+        db = IndefiniteDatabase.of(P(u), Q(v), lt(u, v))
+        (model,) = [m for m in iter_minimal_models(db)]
+        assert model.word() == (frozenset({"P"}), frozenset({"Q"}))
+
+    def test_str(self):
+        db = IndefiniteDatabase.of(P(u))
+        (model,) = list(iter_minimal_models(db))
+        assert "P(0)" in str(model)
+
+
+class TestFlexiWordMisc:
+    def test_strictest_model(self):
+        w = FlexiWord.parse("{P} <= {Q}")
+        assert w.strictest_model() == (frozenset({"P"}), frozenset({"Q"}))
+
+    def test_from_pairs(self):
+        from repro.core.atoms import Rel
+
+        w = FlexiWord.from_pairs({"P"}, (Rel.LT, {"Q"}), (Rel.LE, set()))
+        assert str(w) == "{P} < {Q} <= {}"
+
+    def test_bool_and_len(self):
+        assert not FlexiWord.empty()
+        assert len(FlexiWord.parse("{P} < {Q}")) == 2
+
+
+class TestDatabaseMisc:
+    def test_str_roundtrip_through_parser(self):
+        from repro.substrate.parser import parse_database
+
+        db = IndefiniteDatabase.of(P(u), Q(v), lt(u, v), ne(u, v))
+        again = parse_database(str(db).replace(";", "\n"))
+        assert again == db
+
+    def test_labeled_dag_size(self):
+        dag = LabeledDag.from_flexiword(FlexiWord.parse("{P,Q} < {R}"))
+        assert dag.size() == 2 + 1 + 3  # vertices + edges + labels
+
+    def test_empty_database(self):
+        db = IndefiniteDatabase.empty()
+        assert db.size() == 0
+        assert db.width() == 0
+        assert list(iter_minimal_models(db)) == [
+            next(iter(iter_minimal_models(db)))
+        ]

@@ -1,0 +1,194 @@
+"""Tests for the top-level entailment dispatcher and certain answers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import naive_entails_query
+from repro.core.atoms import ProperAtom, le, lt, ne
+from repro.core.database import IndefiniteDatabase
+from repro.core.entailment import certain_answers, entails, explain
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.core.sorts import obj, objvar, ordc, ordvar
+from repro.workloads.generators import (
+    random_disjunctive_monadic_query,
+    random_labeled_dag,
+)
+
+t1, t2 = ordvar("t1"), ordvar("t2")
+u, v = ordc("u"), ordc("v")
+
+
+def P(t):
+    return ProperAtom("P", (t,))
+
+
+def Q(t):
+    return ProperAtom("Q", (t,))
+
+
+class TestDispatch:
+    def test_vacuous_for_inconsistent_db(self):
+        db = IndefiniteDatabase.of(lt(u, v), lt(v, u))
+        anything = ConjunctiveQuery.of(P(t1))
+        report = explain(db, anything)
+        assert report.holds and report.method == "vacuous"
+
+    def test_unsatisfiable_query(self):
+        db = IndefiniteDatabase.of(P(u))
+        impossible = ConjunctiveQuery.of(P(t1), lt(t1, t1))
+        report = explain(db, impossible)
+        assert not report.holds
+        assert report.method == "unsatisfiable-query"
+
+    def test_trivial_empty_query(self):
+        db = IndefiniteDatabase.of(P(u))
+        assert explain(db, ConjunctiveQuery.of()).method == "trivial"
+
+    def test_methods_agree(self):
+        rng = random.Random(0)
+        for _ in range(30):
+            dag = random_labeled_dag(rng, rng.randrange(0, 5))
+            db = dag.to_database()
+            q = random_disjunctive_monadic_query(rng, rng.randrange(1, 3), 2)
+            expected = entails(db, q, method="bruteforce")
+            assert entails(db, q, method="auto") == expected
+            assert entails(db, q, method="theorem53") == expected
+
+    def test_conjunctive_methods_agree(self):
+        rng = random.Random(1)
+        from repro.workloads.generators import random_conjunctive_monadic_query
+
+        for _ in range(30):
+            dag = random_labeled_dag(rng, rng.randrange(0, 5))
+            db = dag.to_database()
+            q = random_conjunctive_monadic_query(rng, rng.randrange(0, 4))
+            expected = entails(db, q, method="bruteforce")
+            for method in ("auto", "paths", "bounded_width", "basis"):
+                assert entails(db, q, method=method) == expected, (
+                    f"method={method} db={db} q={q}"
+                )
+
+    def test_method_choice_reported(self):
+        db = IndefiniteDatabase.of(P(u), Q(v), lt(u, v))
+        seq_q = ConjunctiveQuery.of(P(t1), Q(t2), lt(t1, t2))
+        assert explain(db, seq_q).method == "seq"
+        branching = ConjunctiveQuery.of(
+            P(t1), Q(t2), Q(ordvar("t3")), lt(t1, t2), lt(t1, ordvar("t3"))
+        )
+        assert explain(db, branching).method == "bounded_width"
+        disj = DisjunctiveQuery.of(seq_q, branching)
+        assert explain(db, disj).method == "theorem53"
+
+    def test_nary_routes_to_bruteforce(self):
+        db = IndefiniteDatabase.of(ProperAtom("R", (u, obj("a"))))
+        q = ConjunctiveQuery.of(ProperAtom("R", (t1, objvar("x"))))
+        assert explain(db, q).method == "bruteforce"
+        assert entails(db, q)
+
+    def test_invalid_method_rejected(self):
+        db = IndefiniteDatabase.of(P(u))
+        with pytest.raises(ValueError):
+            entails(db, ConjunctiveQuery.of(P(t1)), method="nonsense")
+
+
+class TestConstantsInQueries:
+    def test_query_constant_present_in_db(self):
+        db = IndefiniteDatabase.of(P(u), Q(v), lt(u, v))
+        q = ConjunctiveQuery.of(Q(u))  # is Q true at the point named u?
+        assert not entails(db, q)  # u's point need not satisfy Q
+        q2 = ConjunctiveQuery.of(P(u))
+        assert entails(db, q2)
+
+    def test_query_constant_foreign_to_db(self):
+        db = IndefiniteDatabase.of(P(u))
+        q = ConjunctiveQuery.of(P(ordc("fresh")))
+        assert not entails(db, q)
+
+    def test_object_constants(self):
+        db = IndefiniteDatabase.of(
+            ProperAtom("R", (u, obj("a"))),
+            ProperAtom("R", (v, obj("b"))),
+            lt(u, v),
+        )
+        q = ConjunctiveQuery.of(
+            ProperAtom("R", (t1, obj("a"))),
+            ProperAtom("R", (t2, obj("b"))),
+            lt(t1, t2),
+        )
+        assert entails(db, q)
+        q_rev = ConjunctiveQuery.of(
+            ProperAtom("R", (t1, obj("b"))),
+            ProperAtom("R", (t2, obj("a"))),
+            lt(t1, t2),
+        )
+        assert not entails(db, q_rev)
+
+
+class TestMonadicSplit:
+    def test_object_part_filters_disjuncts(self):
+        db = IndefiniteDatabase.of(
+            P(u),
+            ProperAtom("Tag", (obj("a"),)),
+        )
+        good = ConjunctiveQuery.of(ProperAtom("Tag", (objvar("x"),)), P(t1))
+        bad = ConjunctiveQuery.of(ProperAtom("Missing", (objvar("x"),)), P(t1))
+        assert entails(db, good)
+        assert not entails(db, bad)
+        report = explain(db, bad)
+        assert report.method == "object-part"
+
+    def test_shared_object_variable(self):
+        db = IndefiniteDatabase.of(
+            ProperAtom("Red", (obj("a"),)),
+            ProperAtom("Big", (obj("b"),)),
+            P(u),
+        )
+        # No single object is both Red and Big.
+        q = ConjunctiveQuery.of(
+            ProperAtom("Red", (objvar("x"),)),
+            ProperAtom("Big", (objvar("x"),)),
+            P(t1),
+        )
+        assert not entails(db, q)
+
+
+class TestNeqQueries:
+    def test_neq_query_expansion(self):
+        db = IndefiniteDatabase.of(P(u), P(v))
+        q = ConjunctiveQuery.of(P(t1), P(t2), ne(t1, t2))
+        # u and v may denote the same point.
+        assert not entails(db, q)
+        db2 = IndefiniteDatabase.of(P(u), P(v), lt(u, v))
+        assert entails(db2, q)
+
+    def test_neq_database_bruteforce(self):
+        db = IndefiniteDatabase.of(P(u), P(v), ne(u, v))
+        q = ConjunctiveQuery.of(P(t1), P(t2), ne(t1, t2))
+        assert entails(db, q)
+        report = explain(db, q)
+        assert report.method == "bruteforce"
+
+
+class TestCertainAnswers:
+    def test_certain_answers(self):
+        db = IndefiniteDatabase.of(
+            ProperAtom("On", (u, obj("lamp"))),
+            ProperAtom("Off", (v, obj("lamp"))),
+            ProperAtom("On", (ordc("w"), obj("tv"))),
+            lt(u, v),
+        )
+        x = objvar("x")
+        q = ConjunctiveQuery.of(
+            ProperAtom("On", (t1, x)),
+            ProperAtom("Off", (t2, x)),
+            lt(t1, t2),
+        )
+        assert certain_answers(db, q, (x,)) == {("lamp",)}
+
+    def test_order_free_vars_rejected(self):
+        db = IndefiniteDatabase.of(P(u))
+        with pytest.raises(ValueError):
+            certain_answers(db, ConjunctiveQuery.of(P(t1)), (t1,))

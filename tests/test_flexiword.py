@@ -1,0 +1,128 @@
+"""Tests for flexi-words: parsing, models, subword relation, entailment."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import naive_word_satisfies_flexi
+from repro.core.atoms import Rel
+from repro.core.errors import ParseError
+from repro.flexiwords.flexiword import FlexiWord, all_words, letter
+from repro.flexiwords.subword import (
+    flexi_entails,
+    flexi_equiv,
+    flexi_le,
+    is_subword,
+    word_model_satisfies,
+)
+from repro.workloads.generators import random_flexiword
+
+
+class TestParsingAndPrinting:
+    def test_roundtrip(self):
+        for text in ["{P}", "{P,Q} < {R}", "{A} <= {} < {B,C}", ""]:
+            w = FlexiWord.parse(text)
+            assert FlexiWord.parse(str(w) if w else "") == w
+
+    def test_empty(self):
+        assert len(FlexiWord.parse("")) == 0
+        assert not FlexiWord.empty()
+
+    def test_bad_inputs(self):
+        with pytest.raises(ParseError):
+            FlexiWord.parse("{P} <")
+        with pytest.raises(ParseError):
+            FlexiWord.parse("{P")
+        with pytest.raises(ParseError):
+            FlexiWord.parse("P < Q")
+
+    def test_separator_validation(self):
+        with pytest.raises(ValueError):
+            FlexiWord((letter("P"), letter("Q")), (Rel.NE,))
+        with pytest.raises(ValueError):
+            FlexiWord((letter("P"),), (Rel.LT,))
+
+    def test_predicates_and_size(self):
+        w = FlexiWord.parse("{P,Q} < {R}")
+        assert w.predicates == {"P", "Q", "R"}
+        assert w.size() == 4
+
+
+class TestModels:
+    def test_word_has_one_model(self):
+        w = FlexiWord.parse("{P} < {Q}")
+        assert list(w.models()) == [(letter("P"), letter("Q"))]
+
+    def test_le_separator_doubles_models(self):
+        w = FlexiWord.parse("{P} <= {Q} <= {R}")
+        models = set(w.models())
+        assert len(models) == 4
+        assert (letter("P", "Q", "R"),) in models
+        assert (letter("P"), letter("Q"), letter("R")) in models
+
+    def test_models_of_empty(self):
+        assert list(FlexiWord.empty().models()) == [()]
+
+
+class TestSubword:
+    def test_paper_example(self):
+        """[P,Q][P][R] is a subword of [P,Q,R][R][P,R][P,Q,R]."""
+        p = FlexiWord.word([{"P", "Q"}, {"P"}, {"R"}])
+        q = FlexiWord.word([{"P", "Q", "R"}, {"R"}, {"P", "R"}, {"P", "Q", "R"}])
+        assert is_subword(p, q)
+        assert not is_subword(q, p)
+
+    def test_proposition_4_5(self):
+        """For words, entailment coincides with the subword relation."""
+        rng = random.Random(0)
+        for _ in range(300):
+            p = random_flexiword(rng, rng.randrange(0, 4), le_prob=0)
+            q = random_flexiword(rng, rng.randrange(0, 4), le_prob=0)
+            assert flexi_entails(q, p) == is_subword(p, q)
+
+    def test_rejects_flexiwords_with_le(self):
+        with pytest.raises(ValueError):
+            is_subword(FlexiWord.parse("{P} <= {Q}"), FlexiWord.parse("{P}"))
+
+
+class TestFlexiEntailment:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_against_model_enumeration(self, seed):
+        """q |= p iff every minimal model of q satisfies p."""
+        rng = random.Random(seed)
+        for _ in range(80):
+            q = random_flexiword(rng, rng.randrange(0, 4))
+            p = random_flexiword(rng, rng.randrange(0, 4))
+            expected = all(
+                naive_word_satisfies_flexi(m, p) for m in q.models()
+            )
+            assert flexi_entails(q, p) == expected, f"q={q} p={p}"
+
+    def test_equiv(self):
+        a = FlexiWord.parse("{P} <= {P}")
+        b = FlexiWord.parse("{P}")
+        # a's models are {P}{P} and {P}; b's model is {P}.  Mutual
+        # entailment: b |= a fails (one point cannot host t1 <= t2 with
+        # both P? it can: t1 = t2!) — so they are equivalent.
+        assert flexi_equiv(a, b)
+
+    def test_word_model_satisfies(self):
+        model = (letter("P"), letter("P", "Q"))
+        assert word_model_satisfies(model, FlexiWord.parse("{P} <= {Q}"))
+        assert word_model_satisfies(model, FlexiWord.parse("{P} < {Q}"))
+        assert not word_model_satisfies(model, FlexiWord.parse("{Q} < {P}"))
+
+
+class TestAllWords:
+    def test_counts(self):
+        assert len(list(all_words(("P",), 2))) == 4
+        assert len(list(all_words(("P", "Q"), 1))) == 4
+
+    def test_concat_and_slices(self):
+        w = FlexiWord.parse("{P} < {Q} <= {R}")
+        assert str(w.suffix(1)) == "{Q} <= {R}"
+        assert str(w.prefix(2)) == "{P} < {Q}"
+        glued = w.prefix(1).concat(Rel.LT, w.suffix(1))
+        assert str(glued) == str(w)

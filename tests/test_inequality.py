@@ -1,0 +1,110 @@
+"""Tests for the Section 7 inequality extension."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.atoms import ProperAtom, le, lt, ne
+from repro.core.database import IndefiniteDatabase
+from repro.core.entailment import entails
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.core.sorts import ordc, ordvar
+from repro.inequality.neq import (
+    entails_with_neq,
+    expand_conjunct_neq,
+    expand_database_neq,
+    expand_query_neq,
+)
+
+t1, t2, t3 = ordvar("t1"), ordvar("t2"), ordvar("t3")
+u, v, w = ordc("u"), ordc("v"), ordc("w")
+
+
+def P(t):
+    return ProperAtom("P", (t,))
+
+
+class TestQueryExpansion:
+    def test_single_neq_doubles(self):
+        q = ConjunctiveQuery.of(P(t1), P(t2), ne(t1, t2))
+        expanded = expand_conjunct_neq(q)
+        assert len(expanded) == 2
+        assert all(not d.has_neq for d in expanded)
+
+    def test_expansion_count(self):
+        q = ConjunctiveQuery.of(P(t1), P(t2), P(t3), ne(t1, t2), ne(t2, t3))
+        assert len(expand_conjunct_neq(q)) == 4
+
+    def test_no_neq_identity(self):
+        q = ConjunctiveQuery.of(P(t1))
+        assert expand_conjunct_neq(q) == [q]
+
+    def test_expansion_preserves_entailment(self):
+        rng = random.Random(0)
+        from repro.workloads.generators import random_monadic_database
+
+        for _ in range(20):
+            db = random_monadic_database(rng, rng.randrange(1, 4))
+            q = ConjunctiveQuery.of(P(t1), P(t2), ne(t1, t2))
+            expanded = expand_query_neq(q)
+            assert entails(db, q) == entails(db, expanded)
+
+
+class TestDatabaseExpansion:
+    def test_split_two_ways(self):
+        db = IndefiniteDatabase.of(P(u), P(v), ne(u, v))
+        parts = expand_database_neq(db)
+        assert len(parts) == 2
+        assert all(not p.has_neq for p in parts)
+
+    def test_inconsistent_branch_dropped(self):
+        db = IndefiniteDatabase.of(P(u), P(v), lt(u, v), ne(u, v))
+        parts = expand_database_neq(db)
+        assert len(parts) == 1  # v < u branch contradicts u < v
+
+    def test_expansion_equals_native_entailment(self):
+        rng = random.Random(1)
+        queries = [
+            ConjunctiveQuery.of(P(t1), P(t2), lt(t1, t2)),
+            ConjunctiveQuery.of(P(t1), P(t2), le(t1, t2)),
+            ConjunctiveQuery.of(P(t1)),
+        ]
+        for _ in range(15):
+            atoms = [P(u), P(v), P(w)]
+            if rng.random() < 0.7:
+                atoms.append(ne(u, v))
+            if rng.random() < 0.5:
+                atoms.append(ne(v, w))
+            if rng.random() < 0.5:
+                atoms.append(le(u, w))
+            db = IndefiniteDatabase.from_atoms(atoms)
+            for q in queries:
+                native = entails(db, q)  # brute force handles '!=' natively
+                via_expansion = entails_with_neq(db, q)
+                assert native == via_expansion, f"db={db} q={q}"
+
+    def test_neq_width_convention(self):
+        db = IndefiniteDatabase.of(P(u), P(v), ne(u, v))
+        # width ignores '!=' atoms per the Section 7 convention
+        assert db.width() == 2
+
+
+class TestSection7Semantics:
+    def test_neq_forces_distinct_points(self):
+        db = IndefiniteDatabase.of(P(u), P(v), ne(u, v))
+        two_points = ConjunctiveQuery.of(P(t1), P(t2), lt(t1, t2))
+        assert entails(db, two_points)
+
+    def test_three_mutually_distinct(self):
+        db = IndefiniteDatabase.of(
+            P(u), P(v), P(w), ne(u, v), ne(v, w), ne(u, w)
+        )
+        chain3 = ConjunctiveQuery.of(
+            P(t1), P(t2), P(t3), lt(t1, t2), lt(t2, t3)
+        )
+        assert entails(db, chain3)
+        # without one of the inequalities the chain is not forced
+        db2 = IndefiniteDatabase.of(P(u), P(v), P(w), ne(u, v), ne(v, w))
+        assert not entails(db2, chain3)

@@ -1,0 +1,93 @@
+"""Tests for the [<=]-only gadget variants (remarks after Thms 3.2, 4.6)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.entailment import entails
+from repro.reductions.le_variants import (
+    _le_gadget,
+    build_query_dag_le,
+    reduction_claim_le,
+    reduction_claim_le_tautology,
+)
+from repro.reductions.monotone3sat import MonotoneSatInstance
+from repro.workloads.generators import random_dnf
+
+
+class TestLeGadget:
+    def test_gadget_d1_d2(self):
+        """First-placed constant satisfies phi; the others do not."""
+        from repro.core.atoms import ProperAtom, le
+        from repro.core.database import IndefiniteDatabase
+        from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+        from repro.core.sorts import ordc, ordvar
+
+        db = IndefiniteDatabase.from_atoms(_le_gadget("u", "v", "w"))
+        y, z = ordvar("y"), ordvar("z")
+
+        def phi(const):
+            return ConjunctiveQuery.of(
+                ProperAtom("P", (const, y, z)), le(const, y), le(y, z)
+            )
+
+        # D1: the disjunction holds in every model ...
+        assert entails(
+            db,
+            DisjunctiveQuery.of(phi(ordc("u")), phi(ordc("v")), phi(ordc("w"))),
+        )
+        # D2: ... but none of the disjuncts individually.
+        for name in ("u", "v", "w"):
+            assert not entails(db, phi(ordc(name)))
+
+    def test_database_has_no_order_atoms(self):
+        instance = MonotoneSatInstance(positive=(("p", "p", "p"),), negative=())
+        db, _, _ = reduction_claim_le(instance)
+        assert not db.order_atoms
+
+
+class TestTheorem32LeVariant:
+    def test_unsat_entailed(self):
+        instance = MonotoneSatInstance(
+            positive=(("p", "p", "p"),), negative=(("p", "p", "p"),)
+        )
+        db, query, expected = reduction_claim_le(instance)
+        assert expected is True
+        assert entails(db, query) is True
+
+    def test_sat_not_entailed(self):
+        instance = MonotoneSatInstance(
+            positive=(("p", "q", "q"),), negative=(("q", "q", "q"),)
+        )
+        db, query, expected = reduction_claim_le(instance)
+        assert expected is False
+        assert entails(db, query) is False
+
+
+class TestTheorem46LeVariant:
+    def test_query_ladder_shape(self):
+        qdag = build_query_dag_le(3)
+        # all edges are '<='
+        from repro.core.atoms import Rel
+
+        assert all(rel is Rel.LE for _, _, rel in qdag.graph.edges())
+        # markers alternate
+        assert any("Podd" in lbl for lbl in map(sorted, qdag.labels.values()))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        rng = random.Random(500 + seed)
+        n_letters = rng.randrange(1, 3)
+        disjuncts = random_dnf(rng, n_letters, rng.randrange(1, 3), 2)
+        dag, query, expected = reduction_claim_le_tautology(
+            disjuncts, n_letters
+        )
+        assert entails(dag.to_database(), query) == expected
+
+    def test_tautology_entailed(self):
+        dag, query, expected = reduction_claim_le_tautology(
+            [{"p0": True}, {"p0": False}], 1
+        )
+        assert expected is True and entails(dag.to_database(), query)

@@ -1,0 +1,128 @@
+"""Tests for model checking: the generic checker vs the monadic fast path."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import naive_word_satisfies_dag
+from repro.algorithms.modelcheck import (
+    structure_satisfies,
+    word_satisfies,
+    word_satisfies_dag,
+)
+from repro.core.atoms import ProperAtom, le, lt, ne
+from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.models import iter_minimal_models
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.core.sorts import obj, objvar, ordc, ordvar
+from repro.flexiwords.flexiword import FlexiWord
+from repro.workloads.generators import (
+    random_conjunctive_monadic_query,
+    random_letter,
+)
+
+t1, t2 = ordvar("t1"), ordvar("t2")
+
+
+class TestWordFastPath:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_greedy_matches_naive(self, seed):
+        rng = random.Random(seed)
+        for _ in range(80):
+            word = tuple(
+                random_letter(rng, ("P", "Q", "R"))
+                for _ in range(rng.randrange(0, 5))
+            )
+            q = random_conjunctive_monadic_query(rng, rng.randrange(0, 4))
+            n = q.normalized()
+            if n is None:
+                continue
+            qdag = n.monadic_dag()
+            assert word_satisfies_dag(word, qdag) == naive_word_satisfies_dag(
+                word, qdag
+            ), f"word={word} q={q}"
+
+    def test_disjunctive_word_check(self):
+        word = (frozenset({"P"}), frozenset({"Q"}))
+        q = DisjunctiveQuery.of(
+            ConjunctiveQuery.of(ProperAtom("R", (t1,))),
+            ConjunctiveQuery.of(ProperAtom("Q", (t1,))),
+        )
+        assert word_satisfies(word, q)
+
+
+class TestStructureChecker:
+    def db_and_models(self):
+        u, v = ordc("u"), ordc("v")
+        db = IndefiniteDatabase.of(
+            ProperAtom("R", (u, obj("a"))),
+            ProperAtom("R", (v, obj("b"))),
+            le(u, v),
+        )
+        return db, list(iter_minimal_models(db))
+
+    def test_order_atom_evaluation(self):
+        db, models = self.db_and_models()
+        x = objvar("x")
+        q_lt = ConjunctiveQuery.of(
+            ProperAtom("R", (t1, x)),
+            ProperAtom("R", (t2, objvar("y"))),
+            lt(t1, t2),
+        )
+        merged = [m for m in models if m.order_size == 1]
+        split = [m for m in models if m.order_size == 2]
+        assert merged and split
+        assert all(not structure_satisfies(m, q_lt) for m in merged)
+        assert all(structure_satisfies(m, q_lt) for m in split)
+
+    def test_neq_atom(self):
+        db, models = self.db_and_models()
+        q_ne = ConjunctiveQuery.of(
+            ProperAtom("R", (t1, objvar("x"))),
+            ProperAtom("R", (t2, objvar("y"))),
+            ne(t1, t2),
+        )
+        for m in models:
+            assert structure_satisfies(m, q_ne) == (m.order_size == 2)
+
+    def test_loose_object_variable(self):
+        db, models = self.db_and_models()
+        # x occurs in no proper atom: ranges over the object domain.
+        q = ConjunctiveQuery.from_atoms(
+            [ProperAtom("R", (t1, objvar("x")))],
+        )
+        assert all(structure_satisfies(m, q) for m in models)
+
+    def test_constant_resolution(self):
+        db, models = self.db_and_models()
+        q = ConjunctiveQuery.of(ProperAtom("R", (t1, obj("a"))))
+        assert all(structure_satisfies(m, q) for m in models)
+        q_missing = ConjunctiveQuery.of(ProperAtom("R", (t1, obj("zz"))))
+        with pytest.raises(KeyError):
+            structure_satisfies(models[0], q_missing)
+
+    def test_repeated_variable_in_atom(self):
+        u = ordc("u")
+        db = IndefiniteDatabase.of(ProperAtom("E", (u, u)))
+        (m,) = list(iter_minimal_models(db))
+        q_same = ConjunctiveQuery.of(ProperAtom("E", (t1, t1)))
+        assert structure_satisfies(m, q_same)
+
+    def test_agreement_with_word_checker_on_monadic(self):
+        rng = random.Random(3)
+        from repro.workloads.generators import random_labeled_dag
+
+        for _ in range(30):
+            dag = random_labeled_dag(rng, rng.randrange(1, 5))
+            q = random_conjunctive_monadic_query(rng, rng.randrange(0, 3))
+            n = q.normalized()
+            if n is None:
+                continue
+            qdag = n.monadic_dag()
+            db = dag.to_database()
+            for m in iter_minimal_models(db):
+                assert structure_satisfies(m, q) == word_satisfies_dag(
+                    m.word(), qdag
+                )

@@ -1,0 +1,189 @@
+"""Tests for minimal-model enumeration, counting, and homomorphisms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.atoms import ProperAtom, le, lt, ne
+from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.models import (
+    count_minimal_models,
+    find_homomorphism,
+    is_homomorphism,
+    iter_block_sequences,
+    iter_minimal_models,
+    iter_minimal_words,
+    structure_from_blocks,
+)
+from repro.core.ordergraph import OrderGraph
+from repro.core.sorts import obj, ordc
+from repro.flexiwords.flexiword import FlexiWord
+from repro.workloads.generators import random_labeled_dag
+
+
+def graph_of(*atoms) -> OrderGraph:
+    return OrderGraph.from_atoms(atoms)
+
+
+def o(name: str):
+    return ordc(name)
+
+
+class TestBlockSequences:
+    def test_single_vertex(self):
+        g = graph_of()
+        g.add_vertex("a")
+        assert list(iter_block_sequences(g)) == [(frozenset({"a"}),)]
+
+    def test_two_incomparable(self):
+        g = graph_of()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        seqs = set(iter_block_sequences(g))
+        assert seqs == {
+            (frozenset({"a"}), frozenset({"b"})),
+            (frozenset({"b"}), frozenset({"a"})),
+            (frozenset({"a", "b"}),),
+        }
+
+    def test_lt_edge_forbids_merge(self):
+        g = graph_of(lt(o("a"), o("b")))
+        assert list(iter_block_sequences(g)) == [
+            (frozenset({"a"}), frozenset({"b"}))
+        ]
+
+    def test_le_edge_allows_merge_one_way(self):
+        g = graph_of(le(o("a"), o("b")))
+        seqs = set(iter_block_sequences(g))
+        assert seqs == {
+            (frozenset({"a"}), frozenset({"b"})),
+            (frozenset({"a", "b"}),),
+        }
+
+    def test_s2_closure_enforced(self):
+        # a <= b: a block containing b but not a is illegal.
+        g = graph_of(le(o("a"), o("b")))
+        for seq in iter_block_sequences(g):
+            for block in seq:
+                if "b" in block and "a" not in block:
+                    # a must already be sorted: check it appeared earlier
+                    earlier = set()
+                    for s in seq:
+                        if s == block:
+                            break
+                        earlier |= s
+                    assert "a" in earlier
+
+    def test_neq_forbids_same_block(self):
+        g = graph_of(ne(o("a"), o("b")))
+        seqs = set(iter_block_sequences(g))
+        assert seqs == {
+            (frozenset({"a"}), frozenset({"b"})),
+            (frozenset({"b"}), frozenset({"a"})),
+        }
+
+    def test_example_2_4_topological_sort(self):
+        """The sort of Example 2.4 appears among the block sequences."""
+        g = graph_of(
+            lt(o("u"), o("v")), lt(o("v"), o("w")),
+            le(o("u"), o("t")), le(o("t"), o("w")),
+        )
+        seqs = set(iter_block_sequences(g))
+        assert (
+            frozenset({"u", "t"}),
+            frozenset({"v"}),
+            frozenset({"w"}),
+        ) in seqs
+
+    def test_count_matches_enumeration(self):
+        rng = random.Random(0)
+        for _ in range(40):
+            g = random_labeled_dag(rng, rng.randrange(0, 6)).graph
+            assert count_minimal_models(g) == sum(
+                1 for _ in iter_block_sequences(g)
+            )
+
+    def test_interleaving_two_chains_is_delannoy(self):
+        """Two strict n-chains interleave in Delannoy(n, n) ways."""
+        for n, expected in [(1, 3), (2, 13), (3, 63), (4, 321)]:
+            chains = [
+                FlexiWord.word([{"A"}] * n),
+                FlexiWord.word([{"B"}] * n),
+            ]
+            dag = LabeledDag.from_chains(chains)
+            assert count_minimal_models(dag.graph) == expected
+
+
+class TestStructures:
+    def db(self) -> IndefiniteDatabase:
+        return IndefiniteDatabase.of(
+            ProperAtom("B", (o("t"), obj("a"))),
+            ProperAtom("B", (o("w"), obj("b"))),
+            lt(o("u"), o("v")), lt(o("v"), o("w")),
+            le(o("u"), o("t")), le(o("t"), o("w")),
+        )
+
+    def test_example_2_7_minimal_model(self):
+        """Example 2.7: merging u and t yields B(a, x1), B(b, x3)."""
+        db = self.db()
+        models = list(iter_minimal_models(db))
+        target = None
+        for m in models:
+            interp = m.interpretation
+            if interp["u"] == interp["t"] == 0 and m.order_size == 3:
+                target = m
+        assert target is not None
+        facts = target.fact_dict
+        assert ("B" in facts) and (0, "a") in facts["B"]
+        assert (2, "b") in facts["B"]
+
+    def test_every_point_is_hit(self):
+        db = self.db()
+        for m in iter_minimal_models(db):
+            hit = {v for v in m.interpretation.values() if isinstance(v, int)}
+            assert hit == set(range(m.order_size))
+
+    def test_inconsistent_db_has_no_models(self):
+        db = IndefiniteDatabase.of(lt(o("a"), o("b")), lt(o("b"), o("a")))
+        assert list(iter_minimal_models(db)) == []
+
+    def test_word_view(self):
+        dag = LabeledDag.from_flexiword(FlexiWord.parse("{P} < {Q,R}"))
+        words = list(iter_minimal_words(dag))
+        assert words == [(frozenset({"P"}), frozenset({"Q", "R"}))]
+
+
+class TestHomomorphisms:
+    def test_proposition_2_8(self):
+        """Every pair of minimal models: hom from some minimal model into
+        each model of the database (here: between minimal models, each
+        model has a minimal model mapping into it — itself)."""
+        db = self.db = IndefiniteDatabase.of(
+            ProperAtom("P", (o("u"),)),
+            ProperAtom("Q", (o("v"),)),
+        )
+        models = list(iter_minimal_models(db))
+        for m in models:
+            assert find_homomorphism(m, m) is not None
+
+    def test_merged_model_maps_into_split_model(self):
+        db = IndefiniteDatabase.of(
+            ProperAtom("P", (o("u"),)),
+            ProperAtom("Q", (o("v"),)),
+            le(o("u"), o("v")),
+        )
+        models = {m.order_size: m for m in iter_minimal_models(db)}
+        merged, split = models[1], models[2]
+        # The merged model is NOT below the split one (u=v there), but
+        # each minimal model maps homomorphically into itself; and no
+        # homomorphism exists from split into merged that respects '<'.
+        assert find_homomorphism(split, split) is not None
+        assert find_homomorphism(split, merged) is None
+
+    def test_homomorphism_validator(self):
+        db = IndefiniteDatabase.of(ProperAtom("P", (o("u"),)))
+        (m,) = list(iter_minimal_models(db))
+        assert is_homomorphism({0: 0, **{c: c for c in m.objects}}, m, m)
+        assert not is_homomorphism({0: 5}, m, m)

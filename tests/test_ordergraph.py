@@ -1,0 +1,171 @@
+"""Tests for the order graph: normalization, consistency, width, minors."""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.core.atoms import Rel, le, lt, ne
+from repro.core.ordergraph import OrderGraph
+from repro.core.sorts import ordc
+
+
+def graph_of(*atoms) -> OrderGraph:
+    return OrderGraph.from_atoms(atoms)
+
+
+def o(name: str):
+    return ordc(name)
+
+
+class TestNormalization:
+    def test_le_cycle_contracts(self):
+        g = graph_of(le(o("a"), o("b")), le(o("b"), o("c")), le(o("c"), o("a")))
+        norm = g.normalize()
+        assert norm.consistent
+        assert len(norm.graph) == 1
+        assert norm.canon["a"] == norm.canon["b"] == norm.canon["c"] == "a"
+
+    def test_lt_cycle_inconsistent(self):
+        g = graph_of(lt(o("a"), o("b")), le(o("b"), o("a")))
+        assert not g.normalize().consistent
+        assert not g.is_consistent()
+
+    def test_self_lt_inconsistent(self):
+        g = graph_of(lt(o("a"), o("a")))
+        assert not g.is_consistent()
+
+    def test_self_le_dropped(self):
+        g = graph_of(le(o("a"), o("a")))
+        norm = g.normalize()
+        assert norm.consistent
+        assert norm.graph.edge_label("a", "a") is None
+
+    def test_neq_between_identified_is_inconsistent(self):
+        g = graph_of(le(o("a"), o("b")), le(o("b"), o("a")), ne(o("a"), o("b")))
+        assert not g.is_consistent()
+
+    def test_neq_self_inconsistent(self):
+        g = graph_of(ne(o("a"), o("a")))
+        assert not g.is_consistent()
+
+    def test_neq_alone_is_consistent(self):
+        g = graph_of(ne(o("a"), o("b")))
+        assert g.is_consistent()
+
+    def test_partial_contraction_keeps_edges(self):
+        g = graph_of(
+            le(o("a"), o("b")), le(o("b"), o("a")), lt(o("b"), o("c"))
+        )
+        norm = g.normalize()
+        assert norm.consistent
+        assert norm.graph.edge_label("a", "c") is Rel.LT
+
+
+class TestDerivedRelations:
+    def test_entails_le_via_path(self):
+        g = graph_of(le(o("a"), o("b")), le(o("b"), o("c")))
+        assert g.entails_atom("a", "c", Rel.LE)
+        assert not g.entails_atom("a", "c", Rel.LT)
+        assert not g.entails_atom("c", "a", Rel.LE)
+
+    def test_entails_lt_via_mixed_path(self):
+        g = graph_of(le(o("a"), o("b")), lt(o("b"), o("c")), le(o("c"), o("d")))
+        assert g.entails_atom("a", "d", Rel.LT)
+        assert g.entails_atom("a", "d", Rel.NE)
+
+    def test_full_closure_adds_derived_atoms(self):
+        g = graph_of(le(o("a"), o("b")), lt(o("b"), o("c")))
+        full = g.full()
+        assert full.edge_label("a", "c") is Rel.LT
+        assert full.edge_label("a", "b") is Rel.LE
+
+    def test_lt_beats_le_on_same_pair(self):
+        g = graph_of(le(o("a"), o("b")), lt(o("a"), o("b")))
+        assert g.edge_label("a", "b") is Rel.LT
+
+
+class TestMinorsAndMinimal:
+    def test_example_2_4(self):
+        """u < v < w, u <= t <= w: the minor vertices are u and t."""
+        g = graph_of(
+            lt(o("u"), o("v")), lt(o("v"), o("w")),
+            le(o("u"), o("t")), le(o("t"), o("w")),
+        )
+        assert g.minimal_vertices() == {"u"}
+        assert g.minor_vertices() == {"u", "t"}
+
+    def test_minimal_always_minor(self):
+        rng = random.Random(0)
+        from repro.workloads.generators import random_labeled_dag
+
+        for _ in range(50):
+            g = random_labeled_dag(rng, rng.randrange(1, 7)).graph
+            assert g.minimal_vertices() <= g.minor_vertices()
+
+    def test_le_closure(self):
+        g = graph_of(le(o("a"), o("b")), le(o("b"), o("c")), lt(o("x"), o("b")))
+        assert g.le_predecessor_closure({"c"}) == {"a", "b", "c"}
+        assert g.le_predecessor_closure({"a"}) == {"a"}
+
+
+class TestWidth:
+    def test_chain_width_one(self):
+        g = graph_of(lt(o("a"), o("b")), lt(o("b"), o("c")))
+        assert g.width() == 1
+
+    def test_antichain(self):
+        g = OrderGraph()
+        for name in "abcd":
+            g.add_vertex(name)
+        assert g.width() == 4
+
+    def test_two_chains(self):
+        g = graph_of(
+            lt(o("a1"), o("a2")), lt(o("a2"), o("a3")),
+            lt(o("b1"), o("b2")),
+        )
+        assert g.width() == 2
+
+    def test_width_matches_bruteforce(self):
+        rng = random.Random(1)
+        from repro.workloads.generators import random_labeled_dag
+
+        for _ in range(40):
+            g = random_labeled_dag(rng, rng.randrange(0, 7)).graph
+            fast = g.width()
+            slow = 0
+            verts = sorted(g.vertices)
+            for r in range(len(verts) + 1):
+                for combo in combinations(verts, r):
+                    if g.is_antichain(combo):
+                        slow = max(slow, r)
+            assert fast == slow
+
+    def test_returned_antichain_is_antichain(self):
+        rng = random.Random(2)
+        from repro.workloads.generators import random_labeled_dag
+
+        for _ in range(40):
+            g = random_labeled_dag(rng, rng.randrange(0, 7)).graph
+            ac = g.a_maximum_antichain()
+            assert g.is_antichain(ac)
+            assert len(ac) == g.width()
+
+
+class TestUpSetsAndRemoval:
+    def test_up_set(self):
+        g = graph_of(lt(o("a"), o("b")), lt(o("b"), o("c")), lt(o("x"), o("c")))
+        assert g.up_set({"b"}) == {"b", "c"}
+        assert g.up_set({"a", "x"}) == {"a", "b", "c", "x"}
+
+    def test_remove_vertices(self):
+        g = graph_of(lt(o("a"), o("b")), lt(o("b"), o("c")), ne(o("a"), o("c")))
+        g.remove_vertices({"b"})
+        assert g.vertices == {"a", "c"}
+        assert g.edge_label("a", "b") is None
+        assert g.neq_pairs == {frozenset({"a", "c"})}
+        g.remove_vertices({"c"})
+        assert g.neq_pairs == set()

@@ -1,0 +1,86 @@
+"""Tests for the text DSL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.entailment import entails
+from repro.core.sorts import Sort
+from repro.substrate.parser import parse_database, parse_query
+
+
+class TestDatabaseParsing:
+    def test_basic(self):
+        db = parse_database(
+            """
+            # a comment
+            order: u v
+            P(u); Q(v)
+            u < v
+            """
+        )
+        assert db.order_constants == {"u", "v"}
+        assert {a.pred for a in db.proper_atoms} == {"P", "Q"}
+
+    def test_sort_inference_from_order_atoms(self):
+        db = parse_database("P(u); u < v; Q(v)")
+        assert db.order_constants == {"u", "v"}
+
+    def test_object_default(self):
+        db = parse_database("R(u, a); u < w")
+        atom = next(a for a in db.proper_atoms if a.pred == "R")
+        assert atom.args[0].sort is Sort.ORDER
+        assert atom.args[1].sort is Sort.OBJECT
+
+    def test_neq(self):
+        db = parse_database("P(u); P(v); u != v")
+        assert db.has_neq
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_database("P(")
+        with pytest.raises(ParseError):
+            parse_database("u <")
+        with pytest.raises(ParseError):
+            parse_database("P()")
+
+
+class TestQueryParsing:
+    def test_variables_and_order_inference(self):
+        q = parse_query("P(t1) & t1 < t2 & Q(t2)")
+        (cq,) = q.disjuncts
+        assert {v.name for v in cq.order_variables()} == {"t1", "t2"}
+
+    def test_disjunction(self):
+        q = parse_query("P(t) | Q(t)")
+        assert len(q.disjuncts) == 2
+
+    def test_constants_from_database(self):
+        db = parse_database("order: u\nP(u); Tag(A)")
+        q = parse_query("P(u) & Tag(A)", db)
+        (cq,) = q.disjuncts
+        consts = {c.name for c in cq.constants()}
+        assert consts == {"u", "A"}
+
+    def test_signature_typing(self):
+        db = parse_database("order: u\nP(u)")
+        q = parse_query("P(t)", db)  # t must come out order-sorted
+        (cq,) = q.disjuncts
+        assert next(iter(cq.order_variables())).name == "t"
+        assert cq.is_monadic()
+
+    def test_end_to_end(self):
+        db = parse_database(
+            """
+            Boot(u); Crash(v); u < v
+            """
+        )
+        assert entails(db, parse_query("Boot(a) & a < b & Crash(b)", db))
+        assert not entails(db, parse_query("Crash(a) & a < b & Boot(b)", db))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("")
+        with pytest.raises(ParseError):
+            parse_query("P(t) | ")

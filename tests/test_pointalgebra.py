@@ -1,0 +1,189 @@
+"""Tests for the point algebra and Allen interval substrates."""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.core.atoms import le, lt, ne
+from repro.core.sorts import ordc
+from repro.pointalgebra.allen import (
+    IntervalNetwork,
+    allen_relations,
+    endpoint_constraints,
+    interval_database_atoms,
+)
+from repro.pointalgebra.pa import (
+    ANY,
+    EMPTY,
+    EQ,
+    GE,
+    GT,
+    LE,
+    LT,
+    NE,
+    PointNetwork,
+    compose,
+    converse,
+    entailed_relation,
+    from_rel,
+)
+
+
+def o(name):
+    return ordc(name)
+
+
+class TestComposition:
+    def test_identity_of_eq(self):
+        for r in (LT, LE, EQ, NE, GT, ANY):
+            assert compose(EQ, r) == r
+            assert compose(r, EQ) == r
+
+    def test_lt_lt(self):
+        assert compose(LT, LT) == LT
+
+    def test_lt_gt_is_any(self):
+        assert compose(LT, GT) == ANY
+
+    def test_converse_involution(self):
+        for r in (LT, LE, EQ, NE, GT, ANY, GE):
+            assert converse(converse(r)) == r
+
+    def test_composition_soundness_exhaustive(self):
+        """compose must contain every relation realizable by integers."""
+        rels = {"<": lambda a, b: a < b, "=": lambda a, b: a == b,
+                ">": lambda a, b: a > b}
+        for r1_chars in product("<=>", repeat=2):
+            for r2_chars in product("<=>", repeat=2):
+                r1, r2 = frozenset(r1_chars), frozenset(r2_chars)
+                composed = compose(r1, r2)
+                for a, b, c in product(range(3), repeat=3):
+                    ab = "<" if a < b else "=" if a == b else ">"
+                    bc = "<" if b < c else "=" if b == c else ">"
+                    ac = "<" if a < c else "=" if a == c else ">"
+                    if ab in r1 and bc in r2:
+                        assert ac in composed
+
+
+class TestPointNetwork:
+    def test_chain_consistent(self):
+        net = PointNetwork()
+        net.constrain("a", "b", LT)
+        net.constrain("b", "c", LE)
+        assert net.is_consistent()
+        assert net.minimal_relation("a", "c") == LT
+
+    def test_cycle_inconsistent(self):
+        net = PointNetwork()
+        net.constrain("a", "b", LT)
+        net.constrain("b", "a", LE)
+        assert not net.is_consistent()
+
+    def test_le_cycle_forces_equality(self):
+        net = PointNetwork()
+        net.constrain("a", "b", LE)
+        net.constrain("b", "c", LE)
+        net.constrain("c", "a", LE)
+        assert net.is_consistent()
+        assert net.minimal_relation("a", "b") == EQ
+
+    def test_le_cycle_with_neq_inconsistent(self):
+        net = PointNetwork()
+        net.constrain("a", "b", LE)
+        net.constrain("b", "c", LE)
+        net.constrain("c", "a", LE)
+        net.constrain("a", "c", NE)
+        assert not net.is_consistent()
+
+    def test_consistency_matches_ordergraph(self):
+        """PA consistency agrees with the order-graph check on random
+        [<, <=, !=] constraint sets."""
+        rng = random.Random(0)
+        from repro.core.ordergraph import OrderGraph
+        from repro.core.atoms import OrderAtom, Rel
+
+        names = ["a", "b", "c", "d"]
+        for _ in range(150):
+            atoms = []
+            net = PointNetwork()
+            graph_has_model = None
+            for _ in range(rng.randrange(1, 6)):
+                x, y = rng.sample(names, 2)
+                rel = rng.choice([Rel.LT, Rel.LE, Rel.NE])
+                atoms.append(OrderAtom(o(x), rel, o(y)))
+                net.constrain(x, y, from_rel(rel))
+            graph = OrderGraph.from_atoms(atoms)
+            # Order-graph consistency with '!=' needs model enumeration:
+            from repro.core.models import count_minimal_models
+
+            has_model = count_minimal_models(graph) > 0
+            assert net.is_consistent() == has_model, atoms
+
+    def test_entailed_relation(self):
+        atoms = [le(o("x"), o("y")), lt(o("y"), o("z"))]
+        assert entailed_relation(atoms, "x", "z") == LT
+        assert entailed_relation(atoms, "x", "y") == LE
+        assert entailed_relation(atoms, "x", "w") == ANY
+        bad = [lt(o("x"), o("y")), lt(o("y"), o("x"))]
+        assert entailed_relation(bad, "x", "y") == EMPTY
+
+
+class TestAllen:
+    def test_thirteen_relations(self):
+        assert len(allen_relations()) == 13
+
+    def test_converse_symmetry(self):
+        fwd = endpoint_constraints("before", "I", "J")
+        back = endpoint_constraints("before_i", "J", "I")
+        assert sorted(map(repr, fwd)) == sorted(map(repr, back))
+
+    def test_meets(self):
+        constraints = dict(
+            ((a, b), r) for a, b, r in endpoint_constraints("meets", "I", "J")
+        )
+        assert constraints[("I.hi", "J.lo")] == EQ
+
+    def test_relations_mutually_exclusive(self):
+        """On concrete integer intervals exactly one relation holds."""
+        intervals = [(0, 2), (1, 3), (0, 3), (3, 5), (2, 4), (0, 5), (1, 2)]
+        rels = allen_relations()
+        for i1 in intervals:
+            for i2 in intervals:
+                if i1 == i2:
+                    continue
+                holding = [
+                    r for r in rels if _holds(r, i1, i2)
+                ]
+                assert len(holding) <= 1
+
+    def test_interval_network_cycle(self):
+        net = IntervalNetwork()
+        net.constrain("a", ["before"], "b")
+        net.constrain("b", ["before"], "c")
+        net.constrain("c", ["before"], "a")
+        assert not net.consistent_approximation()
+
+    def test_database_atoms(self):
+        atoms = interval_database_atoms([("a", "before", "b")])
+        names = {x.left.name for x in atoms} | {x.right.name for x in atoms}
+        assert names == {"a.lo", "a.hi", "b.lo", "b.hi"}
+
+    def test_unknown_relation_rejected(self):
+        net = IntervalNetwork()
+        with pytest.raises(ValueError):
+            net.constrain("a", ["sideways"], "b")
+
+
+def _holds(relation: str, i1: tuple[int, int], i2: tuple[int, int]) -> bool:
+    values = {
+        "I.lo": i1[0], "I.hi": i1[1], "J.lo": i2[0], "J.hi": i2[1]
+    }
+    for a, b, rel in endpoint_constraints(relation, "I", "J"):
+        x, y = values[a], values[b]
+        sym = "<" if x < y else "=" if x == y else ">"
+        if sym not in rel:
+            return False
+    return True

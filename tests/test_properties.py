@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from helpers import (
+    naive_entails_flexi,
+    naive_entails_query,
+    naive_word_satisfies_dag,
+)
+from repro.algorithms.conjunctive import bounded_width_entails_dag, paths_entails_dag
+from repro.algorithms.disjunctive import theorem53_entails
+from repro.algorithms.modelcheck import word_satisfies_dag
+from repro.algorithms.seq import seq_countermodel, seq_entails
+from repro.core.atoms import Rel
+from repro.core.database import LabeledDag
+from repro.core.models import count_minimal_models, iter_minimal_words
+from repro.core.ordergraph import OrderGraph
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.flexiwords.flexiword import FlexiWord
+from repro.flexiwords.subword import flexi_entails, flexi_le, is_subword
+
+PREDS = ("P", "Q")
+
+letters = st.frozensets(st.sampled_from(PREDS), max_size=2)
+relations = st.sampled_from([Rel.LT, Rel.LE])
+
+
+@st.composite
+def flexiwords(draw, max_len: int = 4) -> FlexiWord:
+    n = draw(st.integers(min_value=0, max_value=max_len))
+    ls = tuple(draw(letters) for _ in range(n))
+    rs = tuple(draw(relations) for _ in range(max(0, n - 1)))
+    return FlexiWord(ls, rs)
+
+
+@st.composite
+def labeled_dags(draw, max_vertices: int = 5) -> LabeledDag:
+    n = draw(st.integers(min_value=0, max_value=max_vertices))
+    graph = OrderGraph()
+    names = [f"u{i}" for i in range(n)]
+    for name in names:
+        graph.add_vertex(name)
+    for i in range(n):
+        for j in range(i + 1, n):
+            kind = draw(st.sampled_from(["none", "none", "lt", "le"]))
+            if kind == "lt":
+                graph.add_edge(names[i], names[j], Rel.LT)
+            elif kind == "le":
+                graph.add_edge(names[i], names[j], Rel.LE)
+    labels = {name: draw(letters) for name in names}
+    return LabeledDag(graph, labels)
+
+
+def dag_query(dag: LabeledDag) -> ConjunctiveQuery:
+    from repro.core.atoms import ProperAtom
+    from repro.core.sorts import ordvar
+
+    atoms = []
+    for vtx, preds in dag.labels.items():
+        for p in sorted(preds):
+            atoms.append(ProperAtom(p, (ordvar(vtx),)))
+    term_of = {vtx: ordvar(vtx) for vtx in dag.graph.vertices}
+    atoms.extend(dag.graph.to_atoms(term_of))
+    return ConjunctiveQuery.from_atoms(
+        atoms, {ordvar(vtx) for vtx in dag.graph.vertices}
+    )
+
+
+class TestFlexiWordOrderLaws:
+    @given(flexiwords())
+    def test_reflexive(self, p):
+        assert flexi_le(p, p)
+
+    @given(flexiwords(3), flexiwords(3), flexiwords(3))
+    @settings(max_examples=150)
+    def test_transitive(self, p, q, r):
+        if flexi_le(p, q) and flexi_le(q, r):
+            assert flexi_le(p, r)
+
+    @given(flexiwords(3), flexiwords(3))
+    def test_entailment_vs_models(self, q, p):
+        assert flexi_entails(q, p) == naive_entails_flexi(
+            LabeledDag.from_flexiword(q), p
+        )
+
+    @given(flexiwords(2), flexiwords(2))
+    @settings(max_examples=100)
+    def test_concatenation_monotone(self, p, q):
+        """p is always dominated by p extended on the right."""
+        extended = p.concat(Rel.LT, q)
+        assert flexi_le(p, extended)
+
+    @given(flexiwords(3))
+    def test_subword_of_self_for_words(self, p):
+        if p.is_word:
+            assert is_subword(p, p)
+
+
+class TestSeqProperties:
+    @given(labeled_dags(), flexiwords(3))
+    @settings(max_examples=200, deadline=None)
+    def test_seq_equals_bruteforce(self, dag, p):
+        assert seq_entails(dag, p) == naive_entails_flexi(dag, p)
+
+    @given(labeled_dags(), flexiwords(3))
+    @settings(max_examples=150, deadline=None)
+    def test_countermodel_really_counters(self, dag, p):
+        counter = seq_countermodel(dag, p)
+        if counter is not None:
+            assert counter in set(iter_minimal_words(dag))
+            assert not flexi_entails(FlexiWord.word(counter), p)
+
+
+class TestAlgorithmsAgree:
+    @given(labeled_dags(4), labeled_dags(3))
+    @settings(max_examples=120, deadline=None)
+    def test_conjunctive_trio(self, dag, qdag):
+        q = dag_query(qdag)
+        expected = naive_entails_query(dag, q)
+        assert paths_entails_dag(dag, qdag.normalized()) == expected
+        assert bounded_width_entails_dag(dag, qdag.normalized()) == expected
+
+    @given(labeled_dags(4), labeled_dags(2), labeled_dags(2))
+    @settings(max_examples=80, deadline=None)
+    def test_theorem53(self, dag, q1, q2):
+        query = DisjunctiveQuery.of(dag_query(q1), dag_query(q2))
+        assert theorem53_entails(dag, query) == naive_entails_query(dag, query)
+
+
+class TestModelEnumeration:
+    @given(labeled_dags())
+    @settings(max_examples=150, deadline=None)
+    def test_models_satisfy_their_database(self, dag):
+        """Every minimal model satisfies the database read as a query."""
+        qdag = dag.normalized()
+        for word in iter_minimal_words(dag):
+            assert word_satisfies_dag(word, qdag)
+
+    @given(labeled_dags())
+    @settings(max_examples=100, deadline=None)
+    def test_count_matches_enumeration(self, dag):
+        norm = dag.normalized()
+        assert count_minimal_models(norm.graph) == sum(
+            1 for _ in iter_minimal_words(dag)
+        )
+
+    @given(labeled_dags())
+    @settings(max_examples=100, deadline=None)
+    def test_block_structure(self, dag):
+        """Blocks of every model: minors, '<='-closed, non-overlapping."""
+        from repro.core.models import iter_block_sequences
+
+        norm = dag.normalized()
+        for blocks in iter_block_sequences(norm.graph):
+            seen: set[str] = set()
+            remaining = norm.graph
+            for block in blocks:
+                assert block <= remaining.minor_vertices()
+                assert remaining.le_predecessor_closure(block) == block
+                assert not (seen & block)
+                seen |= block
+                remaining = remaining.induced(remaining.vertices - block)
+            assert seen == norm.graph.vertices
+
+
+class TestNormalizationProperties:
+    @given(labeled_dags())
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, dag):
+        once = dag.normalized()
+        twice = once.normalized()
+        assert once.graph.vertices == twice.graph.vertices
+        assert dict(once.labels) == dict(twice.labels)
+        assert set(once.graph.edges()) == set(twice.graph.edges())
+
+    @given(labeled_dags(), flexiwords(2))
+    @settings(max_examples=100, deadline=None)
+    def test_entailment_invariant(self, dag, p):
+        assert seq_entails(dag, p) == seq_entails(dag.normalized(), p)
+
+    @given(labeled_dags())
+    @settings(max_examples=100, deadline=None)
+    def test_width_bounds(self, dag):
+        norm = dag.normalized()
+        w = norm.width()
+        assert 0 <= w <= len(norm.vertices)
+        assert (w == 0) == (len(norm.vertices) == 0)

@@ -1,0 +1,108 @@
+"""Additional hypothesis properties: reduction, basis, classifier."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from test_properties import dag_query, flexiwords, labeled_dags
+from repro.analysis import classify
+from repro.core.atoms import Rel
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.flexiwords.flexiword import FlexiWord
+from repro.flexiwords.subword import flexi_entails, is_subword
+from repro.flexiwords.wqo import minimal_superwords, word_basis
+
+
+class TestReducedGraphProperties:
+    @given(labeled_dags(6))
+    @settings(max_examples=120, deadline=None)
+    def test_reduction_preserves_entailed_atoms(self, dag):
+        g = dag.graph
+        r = g.reduced()
+        names = sorted(g.vertices)
+        for x in names:
+            for y in names:
+                if x == y:
+                    continue
+                for rel in (Rel.LT, Rel.LE):
+                    assert g.entails_atom(x, y, rel) == r.entails_atom(x, y, rel)
+
+    @given(labeled_dags(6))
+    @settings(max_examples=100, deadline=None)
+    def test_reduction_never_adds_edges(self, dag):
+        g = dag.graph
+        r = g.reduced()
+        original = {(u, v) for u, v, _ in g.edges()}
+        kept = {(u, v) for u, v, _ in r.edges()}
+        assert kept <= original
+
+    @given(labeled_dags(6))
+    @settings(max_examples=60, deadline=None)
+    def test_successor_bound(self, dag):
+        norm = dag.graph.normalize()
+        if not norm.consistent:
+            return
+        r = norm.graph.reduced()
+        k = r.width()
+        for v in r.vertices:
+            assert len(r.successors(v)) <= 2 * k
+
+
+class TestBasisProperties:
+    @given(st.lists(flexiwords(2), min_size=1, max_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_superwords_satisfy_all_paths(self, paths):
+        for w in minimal_superwords(paths):
+            fw = FlexiWord.word(w)
+            assert all(flexi_entails(fw, p) for p in paths)
+
+    @given(labeled_dags(3))
+    @settings(max_examples=60, deadline=None)
+    def test_basis_words_entail_the_query(self, qdag):
+        from helpers import naive_entails_query
+        from repro.core.database import LabeledDag
+
+        q = dag_query(qdag)
+        if q.normalized() is None:
+            return
+        basis = word_basis(q)
+        for w in basis:
+            dag = LabeledDag.from_flexiword(FlexiWord.word(w))
+            assert naive_entails_query(dag, q)
+
+    @given(labeled_dags(3))
+    @settings(max_examples=40, deadline=None)
+    def test_basis_upward_closure(self, qdag):
+        """Adding letters to a basis word keeps it entailing (Lemma 6.4)."""
+        from repro.flexiwords.wqo import word_entails_via_basis
+
+        q = dag_query(qdag)
+        if q.normalized() is None:
+            return
+        basis = word_basis(q)
+        for w in list(basis)[:3]:
+            padded = (frozenset(),) + w + (frozenset({"P"}),)
+            assert word_entails_via_basis(padded, basis)
+
+
+class TestClassifierTotality:
+    @given(labeled_dags(4), labeled_dags(3))
+    @settings(max_examples=80, deadline=None)
+    def test_classify_never_fails(self, ddag, qdag):
+        db = ddag.to_database()
+        q = dag_query(qdag)
+        profile = classify(db, q)
+        assert profile.width >= 0
+        assert profile.data_complexity
+        assert profile.references
+        assert isinstance(profile.summary(), str)
+
+    @given(labeled_dags(4), labeled_dags(2), labeled_dags(2))
+    @settings(max_examples=40, deadline=None)
+    def test_disjunctive_classified_as_disjunctive(self, ddag, q1, q2):
+        db = ddag.to_database()
+        query = DisjunctiveQuery.of(dag_query(q1), dag_query(q2))
+        profile = classify(db, query)
+        normalized = query.normalized()
+        if len(normalized.disjuncts) >= 2:
+            assert not profile.conjunctive

@@ -1,0 +1,170 @@
+"""Tests for query objects: normalization, tightness, sequentiality, paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atoms import ProperAtom, le, lt, ne
+from repro.core.errors import NotMonadicError, SortError
+from repro.core.query import (
+    ConjunctiveQuery,
+    DisjunctiveQuery,
+    as_conjunctive,
+    as_dnf,
+    eliminate_constants,
+)
+from repro.core.database import IndefiniteDatabase
+from repro.core.sorts import obj, objvar, ordc, ordvar
+from repro.flexiwords.flexiword import FlexiWord
+
+t1, t2, t3 = ordvar("t1"), ordvar("t2"), ordvar("t3")
+x = objvar("x")
+
+
+def P(t):
+    return ProperAtom("P", (t,))
+
+
+def Q(t):
+    return ProperAtom("Q", (t,))
+
+
+class TestNormalization:
+    def test_le_cycle_identifies_variables(self):
+        q = ConjunctiveQuery.of(P(t1), Q(t2), le(t1, t2), le(t2, t1))
+        n = q.normalized()
+        assert n is not None
+        assert len(n.order_variables()) == 1
+        assert {a.pred for a in n.proper_atoms} == {"P", "Q"}
+        only = next(iter(n.order_variables()))
+        assert all(a.args == (only,) for a in n.proper_atoms)
+
+    def test_inconsistent_query_normalizes_to_none(self):
+        q = ConjunctiveQuery.of(P(t1), lt(t1, t2), le(t2, t1))
+        assert q.normalized() is None
+        assert not q.is_consistent()
+
+    def test_extra_vars_survive_normalization(self):
+        q = ConjunctiveQuery.from_atoms([], {t1})
+        n = q.normalized()
+        assert n is not None
+        assert n.extra_order_vars == frozenset({t1})
+        assert not n.is_empty()
+
+    def test_empty_query_is_empty(self):
+        assert ConjunctiveQuery.of().is_empty()
+
+
+class TestClassification:
+    def test_tightness(self):
+        tight = ConjunctiveQuery.of(P(t1), Q(t2), lt(t1, t2))
+        assert tight.is_tight()
+        nontight = ConjunctiveQuery.of(P(t1), lt(t1, t2), lt(t2, t3), P(t3))
+        assert not nontight.is_tight()
+
+    def test_sequential(self):
+        seq = ConjunctiveQuery.of(P(t1), Q(t2), lt(t1, t2), le(t2, t3))
+        assert seq.is_sequential()
+        nonseq = ConjunctiveQuery.of(P(t1), Q(t2), P(t3), lt(t1, t2), lt(t1, t3))
+        assert not nonseq.is_sequential()
+
+    def test_sequential_with_redundant_transitive_edge(self):
+        q = ConjunctiveQuery.of(
+            P(t1), Q(t2), P(t3), lt(t1, t2), lt(t2, t3), lt(t1, t3)
+        )
+        assert q.is_sequential()
+        word = q.normalized().to_flexiword()
+        assert str(word) == "{P} < {Q} < {P}"
+
+    def test_monadic(self):
+        assert ConjunctiveQuery.of(P(t1)).is_monadic()
+        assert not ConjunctiveQuery.of(
+            ProperAtom("R", (t1, x))
+        ).is_monadic()
+        # monadic over an *object* argument does not count
+        assert not ConjunctiveQuery.of(ProperAtom("P", (x,))).is_monadic()
+
+    def test_width(self):
+        q = ConjunctiveQuery.of(P(t1), Q(t2), P(t3), lt(t1, t2), lt(t1, t3))
+        assert q.width() == 2
+
+
+class TestTightening:
+    def test_tightened_deletes_loose_middle_variable(self):
+        q = ConjunctiveQuery.of(P(t1), lt(t1, t2), lt(t2, t3), P(t3))
+        tightened = q.tightened()
+        assert tightened.is_tight()
+        assert tightened.order_variables() == {t1, t3}
+        # the derived t1 < t3 must survive the deletion of t2
+        assert any(
+            a.left == t1 and a.right == t3 for a in tightened.order_atoms
+        )
+
+    def test_full_adds_derived_atoms(self):
+        q = ConjunctiveQuery.of(P(t1), le(t1, t2), lt(t2, t3), P(t3))
+        full = q.full()
+        assert any(
+            a.left == t1 and a.right == t3 and a.rel.value == "<"
+            for a in full.order_atoms
+        )
+
+
+class TestPathsAndFlexiwords:
+    def test_roundtrip_through_flexiword(self):
+        w = FlexiWord.parse("{P,Q} < {} <= {R}")
+        q = ConjunctiveQuery.from_flexiword(w)
+        assert q.is_sequential()
+        assert str(q.to_flexiword()) == str(w)
+
+    def test_paths_of_singleton(self):
+        q = ConjunctiveQuery.of(P(t1))
+        assert [str(p) for p in q.paths()] == ["{P}"]
+
+    def test_monadic_dag_rejects_neq(self):
+        q = ConjunctiveQuery.of(P(t1), P(t2), ne(t1, t2))
+        with pytest.raises(NotMonadicError):
+            q.monadic_dag()
+
+
+class TestDisjunctive:
+    def test_normalized_drops_inconsistent_disjuncts(self):
+        good = ConjunctiveQuery.of(P(t1))
+        bad = ConjunctiveQuery.of(P(t1), lt(t1, t1))
+        q = DisjunctiveQuery.of(good, bad)
+        assert len(q.normalized().disjuncts) == 1
+
+    def test_or_composes(self):
+        a = ConjunctiveQuery.of(P(t1))
+        b = ConjunctiveQuery.of(Q(t1))
+        combined = as_dnf(a).or_(b)
+        assert len(combined.disjuncts) == 2
+
+    def test_as_conjunctive(self):
+        a = ConjunctiveQuery.of(P(t1))
+        assert as_conjunctive(DisjunctiveQuery.of(a)) == a
+        from repro.core.errors import NotConjunctiveError
+
+        with pytest.raises(NotConjunctiveError):
+            as_conjunctive(DisjunctiveQuery.of(a, ConjunctiveQuery.of(Q(t1))))
+
+
+class TestConstantElimination:
+    def test_order_constant_elimination(self):
+        u = ordc("u")
+        db = IndefiniteDatabase.of(P(u), Q(ordc("v")), lt(u, ordc("v")))
+        q = ConjunctiveQuery.of(Q(u))  # constant in the query
+        db2, q2 = eliminate_constants(db, q)
+        assert not q2.constants()
+        assert any(a.pred.startswith("Const_") for a in db2.proper_atoms)
+
+    def test_object_constant_elimination(self):
+        a = obj("A")
+        db = IndefiniteDatabase.of(ProperAtom("R", (ordc("u"), a)))
+        q = ConjunctiveQuery.of(ProperAtom("R", (t1, a)))
+        db2, q2 = eliminate_constants(db, q)
+        assert not q2.constants()
+
+    def test_order_atoms_with_constants_rejected_in_graph(self):
+        q = ConjunctiveQuery.of(lt(ordc("u"), t1))
+        with pytest.raises(SortError):
+            q.order_graph()

@@ -1,0 +1,89 @@
+"""Tests for redundant-edge reduction (the Section 2 successor remark)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.atoms import Rel, le, lt
+from repro.core.ordergraph import OrderGraph
+from repro.core.sorts import ordc
+from repro.workloads.generators import random_labeled_dag
+
+
+def o(name):
+    return ordc(name)
+
+
+class TestReduction:
+    def test_transitive_lt_edge_removed(self):
+        g = OrderGraph.from_atoms([lt(o("a"), o("b")), lt(o("b"), o("c")),
+                                   lt(o("a"), o("c"))])
+        r = g.reduced()
+        assert r.edge_label("a", "c") is None
+        assert r.edge_label("a", "b") is Rel.LT
+
+    def test_le_implied_by_lt_removed(self):
+        g = OrderGraph.from_atoms([lt(o("a"), o("b")), le(o("a"), o("b"))])
+        # construction already keeps only the stronger edge
+        assert g.edge_label("a", "b") is Rel.LT
+        r = g.reduced()
+        assert r.edge_label("a", "b") is Rel.LT
+
+    def test_mixed_path_subsumes_lt(self):
+        g = OrderGraph.from_atoms([le(o("a"), o("b")), lt(o("b"), o("c")),
+                                   lt(o("a"), o("c"))])
+        r = g.reduced()
+        assert r.edge_label("a", "c") is None
+
+    def test_le_not_subsumed_by_le_path_is_removed_too(self):
+        g = OrderGraph.from_atoms([le(o("a"), o("b")), le(o("b"), o("c")),
+                                   le(o("a"), o("c"))])
+        r = g.reduced()
+        assert r.edge_label("a", "c") is None
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_entailed_atoms_preserved(self, seed):
+        rng = random.Random(seed)
+        for _ in range(20):
+            g = random_labeled_dag(rng, rng.randrange(0, 7), edge_prob=0.5).graph
+            r = g.reduced()
+            names = sorted(g.vertices)
+            for x in names:
+                for y in names:
+                    if x == y:
+                        continue
+                    for rel in (Rel.LT, Rel.LE, Rel.NE):
+                        assert g.entails_atom(x, y, rel) == r.entails_atom(
+                            x, y, rel
+                        ), (x, rel, y)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_successor_bound_2k(self, seed):
+        """The paper's remark: width-k databases need <= 2k successors."""
+        rng = random.Random(100 + seed)
+        for _ in range(15):
+            g = random_labeled_dag(rng, rng.randrange(1, 8), edge_prob=0.6).graph
+            norm = g.normalize()
+            if not norm.consistent:
+                continue
+            reduced = norm.graph.reduced()
+            k = reduced.width()
+            for v in reduced.vertices:
+                assert len(reduced.successors(v)) <= 2 * k
+
+    def test_paper_optimality_example(self):
+        """The database showing 2k successors are sometimes necessary:
+        u <= v_i, v_i <= w_i, u < w_i for i = 1..k."""
+        k = 3
+        atoms = []
+        for i in range(k):
+            atoms.append(le(o("u"), o(f"v{i}")))
+            atoms.append(le(o(f"v{i}"), o(f"w{i}")))
+            atoms.append(lt(o("u"), o(f"w{i}")))
+        g = OrderGraph.from_atoms(atoms)
+        r = g.reduced()
+        # none of u's 2k edges is redundant
+        assert len(r.successors("u")) == 2 * k
+        assert r.width() == k

@@ -1,0 +1,259 @@
+"""Cross-validation of every lower-bound reduction against its solver.
+
+Each theorem's reduction claims ``D |= Phi  iff  <propositional fact>``;
+we verify the equivalence exhaustively/randomly on small instances, with
+entailment decided by the library and the propositional fact by the
+from-scratch reference solvers.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.entailment import entails
+from repro.reductions import coloring, expression, monotone3sat, pi2, tautology
+from repro.reductions.monotone3sat import MonotoneSatInstance
+from repro.reductions.pi2 import Pi2Instance
+from repro.reductions.sat import (
+    dnf_is_tautology,
+    eval_formula,
+    is_satisfiable,
+    pi2_true,
+    sat_dpll,
+    sat_formula,
+    three_colorable,
+)
+from repro.workloads.generators import random_dnf, random_graph
+
+
+class TestSolvers:
+    def test_dpll_simple(self):
+        c1 = frozenset({("a", True), ("b", True)})
+        c2 = frozenset({("a", False)})
+        model = sat_dpll([c1, c2])
+        assert model is not None and model["b"] and not model["a"]
+        assert sat_dpll([c1, c2, frozenset({("b", False)})]) is None
+
+    def test_dpll_vs_exhaustive(self):
+        rng = random.Random(0)
+        from itertools import product
+
+        for _ in range(200):
+            n = rng.randrange(1, 5)
+            clauses = [
+                frozenset(
+                    (f"x{rng.randrange(n)}", rng.random() < 0.5)
+                    for _ in range(rng.randrange(1, 4))
+                )
+                for _ in range(rng.randrange(1, 6))
+            ]
+            names = sorted({v for c in clauses for v, _ in c})
+            exhaustive = any(
+                all(
+                    any(dict(zip(names, vals))[v] == pol for v, pol in c)
+                    for c in clauses
+                )
+                for vals in product((False, True), repeat=len(names))
+            )
+            assert is_satisfiable(clauses) == exhaustive
+
+    def test_pi2_examples(self):
+        # forall p exists q . p xor q  — true
+        xor = ("or", ("and", ("var", "p"), ("not", ("var", "q"))),
+               ("and", ("not", ("var", "p")), ("var", "q")))
+        assert pi2_true(["p"], ["q"], xor)
+        # forall p exists q . p and q  — false (p = false kills it)
+        assert not pi2_true(["p"], ["q"], ("and", ("var", "p"), ("var", "q")))
+
+    def test_tautology_examples(self):
+        # p or not p
+        assert dnf_is_tautology([{"p0": True}, {"p0": False}], ["p0"])
+        assert not dnf_is_tautology([{"p0": True}], ["p0"])
+        # (p & q) or (not p) or (not q)
+        assert dnf_is_tautology(
+            [{"p0": True, "p1": True}, {"p0": False}, {"p1": False}],
+            ["p0", "p1"],
+        )
+
+    def test_three_colorable(self):
+        triangle = (["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")])
+        assert three_colorable(*triangle)
+        k4_vertices = ["a", "b", "c", "d"]
+        k4_edges = [
+            (u, v)
+            for i, u in enumerate(k4_vertices)
+            for v in k4_vertices[i + 1 :]
+        ]
+        assert not three_colorable(k4_vertices, k4_edges)
+
+
+class TestTheorem32:
+    def test_unsat_instance_entailed(self):
+        # p; not p  (as monotone clauses with repeated literals)
+        instance = MonotoneSatInstance(
+            positive=(("p", "p", "p"),), negative=(("p", "p", "p"),)
+        )
+        db, query, expected = monotone3sat.reduction_claim(
+            instance, bounded_width=True
+        )
+        assert expected is True
+        assert entails(db, query) is True
+
+    def test_sat_instance_not_entailed(self):
+        instance = MonotoneSatInstance(
+            positive=(("p", "q", "q"),), negative=(("q", "q", "q"),)
+        )
+        db, query, expected = monotone3sat.reduction_claim(
+            instance, bounded_width=True
+        )
+        assert expected is False  # satisfiable: p=1, q=0
+        assert entails(db, query) is False
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_bounded_width(self, seed):
+        rng = random.Random(100 + seed)
+        letters = [f"p{i}" for i in range(rng.randrange(1, 3))]
+        pos = tuple(
+            tuple(rng.choice(letters) for _ in range(3))
+            for _ in range(rng.randrange(1, 3))
+        )
+        neg = tuple(
+            tuple(rng.choice(letters) for _ in range(3))
+            for _ in range(rng.randrange(0, 2))
+        )
+        instance = MonotoneSatInstance(positive=pos, negative=neg)
+        db, query, expected = monotone3sat.reduction_claim(
+            instance, bounded_width=True
+        )
+        assert entails(db, query) == expected
+
+    def test_bounded_width_database_has_width_two(self):
+        instance = MonotoneSatInstance(
+            positive=(("p", "q", "r"), ("p", "p", "q")),
+            negative=(("q", "r", "r"),),
+        )
+        db = monotone3sat.build_database(instance, bounded_width=True)
+        assert db.width() == 2
+        loose = monotone3sat.build_database(instance, bounded_width=False)
+        assert loose.width() > 2
+
+
+class TestTheorem33:
+    @pytest.mark.parametrize(
+        "universals,existentials,formula,comment",
+        [
+            (("p",), ("q",), ("or", ("var", "p"), ("var", "q")), "true"),
+            (("p",), ("q",), ("and", ("var", "p"), ("var", "q")), "false"),
+            (("p",), ("q",),
+             ("or", ("and", ("var", "p"), ("not", ("var", "q"))),
+              ("and", ("not", ("var", "p")), ("var", "q"))), "xor true"),
+            ((), ("q",), ("var", "q"), "exists only"),
+            (("p",), (), ("var", "p"), "forall p . p is false"),
+            (("p",), (), ("or", ("var", "p"), ("not", ("var", "p"))), "valid"),
+        ],
+    )
+    def test_examples(self, universals, existentials, formula, comment):
+        inst = Pi2Instance(tuple(universals), tuple(existentials), formula)
+        db, query, expected = inst.reduction()
+        assert entails(db, query) == expected, comment
+
+    def test_two_universals(self):
+        # forall p0 p1 exists q . (p0 & p1) -> q  rendered positively:
+        # not(p0 & p1) or q  == (not p0) or (not p1) or q : always true.
+        f = ("or", ("or", ("not", ("var", "p0")), ("not", ("var", "p1"))),
+             ("var", "q"))
+        inst = Pi2Instance(("p0", "p1"), ("q",), f)
+        db, query, expected = inst.reduction()
+        assert expected is True
+        assert entails(db, query) is True
+
+
+class TestTheorem34:
+    @pytest.mark.parametrize(
+        "formula",
+        [
+            ("var", "a"),
+            ("and", ("var", "a"), ("not", ("var", "a"))),
+            ("or", ("var", "a"), ("not", ("var", "a"))),
+            ("and", ("or", ("var", "a"), ("var", "b")), ("not", ("var", "a"))),
+            ("and", ("var", "a"),
+             ("and", ("not", ("var", "a")), ("var", "b"))),
+        ],
+    )
+    def test_satisfiability_matches(self, formula):
+        db, query, expected = expression.reduction_claim(formula)
+        assert expected == sat_formula(formula)
+        assert entails(db, query) == expected
+
+
+class TestTheorem46:
+    def test_tautology_entailed(self):
+        disjuncts = [{"p0": True}, {"p0": False}]
+        dag, query, expected = tautology.reduction_claim(disjuncts, 1)
+        assert expected is True
+        assert entails(dag.to_database(), query) is True
+
+    def test_non_tautology_not_entailed(self):
+        disjuncts = [{"p0": True, "p1": True}, {"p0": False}]
+        dag, query, expected = tautology.reduction_claim(disjuncts, 2)
+        assert expected is False
+        assert entails(dag.to_database(), query) is False
+
+    def test_query_paths_are_all_valuations(self):
+        qdag = tautology.build_query_dag(3)
+        paths = {p.letters for p in qdag.iter_paths()}
+        assert len(paths) == 8
+        assert qdag.width() == 2
+
+    def test_database_paths_are_satisfying_valuations(self):
+        disjuncts = [{"p0": True, "p1": False}]
+        dag = tautology.build_database_dag(disjuncts, 2)
+        words = {p.letters for p in dag.iter_paths()}
+        # p0 must be T, p1 must be F: exactly one path.
+        assert words == {(frozenset({"T"}), frozenset({"F"}))}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances(self, seed):
+        rng = random.Random(200 + seed)
+        n_letters = rng.randrange(1, 3)
+        disjuncts = random_dnf(rng, n_letters, rng.randrange(1, 4), 2)
+        dag, query, expected = tautology.reduction_claim(disjuncts, n_letters)
+        assert entails(dag.to_database(), query) == expected
+
+
+class TestTheorem71:
+    def test_part1_triangle(self):
+        graph = (["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")])
+        db, query, expected = coloring.part1_claim(graph)
+        assert expected is True
+        assert entails(db, query) is True
+
+    def test_part1_k4(self):
+        vertices = ["a", "b", "c", "d"]
+        edges = [(u, v) for i, u in enumerate(vertices) for v in vertices[i + 1:]]
+        db, query, expected = coloring.part1_claim((vertices, edges))
+        assert expected is False
+        assert entails(db, query) is False
+
+    def test_part2_k4(self):
+        vertices = ["a", "b", "c", "d"]
+        edges = [(u, v) for i, u in enumerate(vertices) for v in vertices[i + 1:]]
+        db, query, expected = coloring.part2_claim((vertices, edges))
+        assert expected is True  # K4 not 3-colorable
+        assert entails(db, query) is True
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_part1_random(self, seed):
+        rng = random.Random(300 + seed)
+        graph = random_graph(rng, rng.randrange(1, 5), 0.5)
+        db, query, expected = coloring.part1_claim(graph)
+        assert entails(db, query) == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_part2_random(self, seed):
+        rng = random.Random(400 + seed)
+        graph = random_graph(rng, rng.randrange(1, 5), 0.5)
+        db, query, expected = coloring.part2_claim(graph)
+        assert entails(db, query) == expected

@@ -1,0 +1,74 @@
+"""Tests for the named scenario builders (the paper's running examples)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entailment import entails
+from repro.core.semantics import Semantics
+from repro.workloads.scenarios import (
+    alignment_database,
+    alignment_mismatch_violation,
+    before_query,
+    espionage_database,
+    espionage_integrity,
+    espionage_twice,
+    plan_database,
+    seriation_database,
+)
+
+
+class TestEspionageScenario:
+    """The full Example 1.1 verdict set, via the scenario builders."""
+
+    def test_paper_answers(self):
+        db = espionage_database()
+        psi = espionage_integrity()
+        someone = psi.or_(espionage_twice(None))
+        assert entails(db, someone, semantics=Semantics.Q)
+        for agent in ("A", "B"):
+            single = psi.or_(espionage_twice(agent))
+            assert not entails(db, single, semantics=Semantics.Q)
+
+    def test_width_two(self):
+        assert espionage_database().width() == 2
+
+
+class TestAlignmentScenario:
+    def test_any_pair_alignable_with_gaps(self):
+        dag = alignment_database(["CG", "AT"])
+        assert not entails(dag.to_database(), alignment_mismatch_violation())
+
+    def test_violation_structure(self):
+        v = alignment_mismatch_violation("CGAT")
+        assert len(v.disjuncts) == 6  # C(4,2) pairs
+
+    def test_identical_sequences_align_everywhere(self):
+        dag = alignment_database(["CAT", "CAT"])
+        from repro.core.models import iter_minimal_words
+
+        fully_merged = tuple(
+            frozenset({c}) for c in "CAT"
+        )
+        assert fully_merged in set(iter_minimal_words(dag))
+
+
+class TestSeriationScenario:
+    def test_consistency(self):
+        db = seriation_database(
+            ["a", "b", "c"], [{"a", "b"}, {"b", "c"}]
+        )
+        assert db.is_consistent()
+        assert entails(db, before_query("Start_a", "End_b"))
+        assert not entails(db, before_query("Start_a", "End_c"))
+
+
+class TestPlanScenario:
+    def test_width_equals_streams(self):
+        db = plan_database([["x", "y"], ["z"], ["w", "q"]])
+        assert db.width() == 3
+
+    def test_within_stream_order_certain(self):
+        db = plan_database([["compile", "link"], ["test"]])
+        assert entails(db, before_query("compile", "link"))
+        assert not entails(db, before_query("compile", "test"))

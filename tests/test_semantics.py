@@ -1,0 +1,148 @@
+"""Tests for the Fin/Z/Q semantics and the Section 2 reductions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.atoms import ProperAtom, le, lt
+from repro.core.database import IndefiniteDatabase
+from repro.core.entailment import entails
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery, as_dnf
+from repro.core.semantics import (
+    Semantics,
+    is_tight,
+    pad_for_integers,
+    tighten_for_rationals,
+    transform,
+)
+from repro.core.sorts import ordc, ordvar
+
+t1, t2, t3 = ordvar("t1"), ordvar("t2"), ordvar("t3")
+u, v = ordc("u"), ordc("v")
+
+
+def P(t):
+    return ProperAtom("P", (t,))
+
+
+class TestPaperExamples:
+    def test_two_points_exist(self):
+        """|=_Z exists t1 < t2 but not |=_Fin exists t1 < t2 (single-point
+        and empty finite orders)."""
+        q = ConjunctiveQuery.of(lt(t1, t2))
+        empty = IndefiniteDatabase.empty()
+        assert not entails(empty, q, semantics=Semantics.FIN)
+        assert entails(empty, q, semantics=Semantics.Z)
+        assert entails(empty, q, semantics=Semantics.Q)
+
+    def test_density_example(self):
+        """D = [P(u), P(v), u < v] |=_Q exists t1 < t2 < t3 with P at the
+        endpoints, but not |=_Z (u and v may be adjacent integers)."""
+        db = IndefiniteDatabase.of(P(u), P(v), lt(u, v))
+        q = ConjunctiveQuery.of(P(t1), lt(t1, t2), lt(t2, t3), P(t3))
+        assert entails(db, q, semantics=Semantics.Q)
+        assert not entails(db, q, semantics=Semantics.Z)
+        assert not entails(db, q, semantics=Semantics.FIN)
+
+    def test_proposition_2_1_containments(self):
+        """|=_Fin implies |=_Z implies |=_Q on random nontight queries."""
+        rng = random.Random(0)
+        from repro.workloads.generators import (
+            random_conjunctive_monadic_query,
+            random_monadic_database,
+        )
+
+        for _ in range(40):
+            db = random_monadic_database(rng, rng.randrange(0, 4))
+            q = random_conjunctive_monadic_query(rng, rng.randrange(0, 4))
+            fin = entails(db, q, semantics=Semantics.FIN)
+            z = entails(db, q, semantics=Semantics.Z)
+            dense = entails(db, q, semantics=Semantics.Q)
+            assert (not fin or z) and (not z or dense)
+
+    def test_proposition_2_2_tight_queries_agree(self):
+        rng = random.Random(1)
+        from repro.workloads.generators import (
+            random_conjunctive_monadic_query,
+            random_monadic_database,
+        )
+
+        checked = 0
+        while checked < 30:
+            db = random_monadic_database(rng, rng.randrange(0, 4))
+            q = random_conjunctive_monadic_query(
+                rng, rng.randrange(0, 4), empty_ok=False
+            )
+            if not is_tight(q):
+                continue
+            answers = {
+                entails(db, q, semantics=s)
+                for s in (Semantics.FIN, Semantics.Z, Semantics.Q)
+            }
+            assert len(answers) == 1
+            checked += 1
+
+
+class TestTransformations:
+    def test_padding_adds_chains(self):
+        db = IndefiniteDatabase.of(P(u))
+        q = ConjunctiveQuery.of(P(t1), lt(t2, t1))
+        padded = pad_for_integers(db, q)
+        # 2 variables -> 2 low + 2 high constants
+        assert len(padded.order_constants) == len(db.order_constants) + 4
+        assert padded.is_consistent()
+
+    def test_padding_no_order_vars_is_identity(self):
+        db = IndefiniteDatabase.of(P(u))
+        q = ConjunctiveQuery.of(ProperAtom("Obj", (ordvar("t1"),)))
+        # one order var -> padded; zero -> identity
+        q0 = ConjunctiveQuery.of()
+        assert pad_for_integers(db, q0) == db
+
+    def test_tightening_produces_tight_query(self):
+        q = DisjunctiveQuery.of(
+            ConjunctiveQuery.of(P(t1), lt(t1, t2), lt(t2, t3), P(t3)),
+            ConjunctiveQuery.of(P(t1), le(t1, t2)),
+        )
+        tightened = tighten_for_rationals(q)
+        assert is_tight(tightened)
+
+    def test_transform_dispatch(self):
+        db = IndefiniteDatabase.of(P(u))
+        q = as_dnf(ConjunctiveQuery.of(P(t1), lt(t1, t2)))
+        db_fin, q_fin = transform(db, q, Semantics.FIN)
+        assert db_fin == db and q_fin.disjuncts == q.disjuncts
+        db_z, q_z = transform(db, q, Semantics.Z)
+        assert len(db_z.order_constants) > len(db.order_constants)
+        db_q, q_q = transform(db, q, Semantics.Q)
+        assert db_q == db and is_tight(q_q)
+
+    def test_tight_query_skips_transform(self):
+        db = IndefiniteDatabase.of(P(u))
+        q = as_dnf(ConjunctiveQuery.of(P(t1)))
+        for sem in (Semantics.Z, Semantics.Q):
+            db2, q2 = transform(db, q, sem)
+            assert db2 == db
+
+
+class TestSemanticsCrossValidation:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_z_entailment_via_large_padding(self, seed):
+        """Doubling the padding must not change the Z verdict (sanity for
+        Proposition 2.3: any sufficiently large padding is equivalent)."""
+        rng = random.Random(10 + seed)
+        from repro.workloads.generators import (
+            random_conjunctive_monadic_query,
+            random_monadic_database,
+        )
+
+        for _ in range(10):
+            db = random_monadic_database(rng, rng.randrange(0, 3))
+            q = random_conjunctive_monadic_query(rng, rng.randrange(1, 3))
+            once = entails(pad_for_integers(db, q), q)
+            twice = entails(
+                pad_for_integers(pad_for_integers(db, q), q), q
+            )
+            assert once == twice

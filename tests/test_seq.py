@@ -1,0 +1,128 @@
+"""Tests for the SEQ algorithm (Figure 6 / Lemma 4.2 / Corollary 4.3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import naive_entails_flexi, naive_word_satisfies_flexi
+from repro.algorithms.seq import seq_countermodel, seq_entails, seq_entails_query
+from repro.core.atoms import Rel
+from repro.core.database import LabeledDag
+from repro.core.models import iter_minimal_words
+from repro.core.query import ConjunctiveQuery
+from repro.flexiwords.flexiword import FlexiWord, letter
+from repro.workloads.generators import random_flexiword, random_labeled_dag
+
+P, Q, R = letter("P"), letter("Q"), letter("R")
+LT, LE = Rel.LT, Rel.LE
+
+
+def dag_of(word: str) -> LabeledDag:
+    return LabeledDag.from_flexiword(FlexiWord.parse(word))
+
+
+class TestSeqBasics:
+    def test_empty_query_always_entailed(self):
+        assert seq_entails(dag_of("{P} < {Q}"), FlexiWord.empty())
+        assert seq_entails(LabeledDag.from_flexiword(FlexiWord.empty()), FlexiWord.empty())
+
+    def test_empty_database_fails_nonempty_query(self):
+        empty = LabeledDag.from_flexiword(FlexiWord.empty())
+        assert not seq_entails(empty, FlexiWord.parse("{P}"))
+        assert seq_countermodel(empty, FlexiWord.parse("{P}")) == ()
+
+    def test_single_fact(self):
+        assert seq_entails(dag_of("{P}"), FlexiWord.parse("{P}"))
+        assert not seq_entails(dag_of("{P}"), FlexiWord.parse("{Q}"))
+
+    def test_chain_subword(self):
+        d = dag_of("{P} < {Q} < {R}")
+        assert seq_entails(d, FlexiWord.parse("{P} < {R}"))
+        assert seq_entails(d, FlexiWord.parse("{P} <= {R}"))
+        assert not seq_entails(d, FlexiWord.parse("{R} < {P}"))
+
+    def test_le_database_edge_not_strict(self):
+        # u <= v permits u = v, so a strict query is not entailed ...
+        d = dag_of("{P} <= {Q}")
+        assert not seq_entails(d, FlexiWord.parse("{P} < {Q}"))
+        # ... but the '<=' query is.
+        assert seq_entails(d, FlexiWord.parse("{P} <= {Q}"))
+
+    def test_incomparable_vertices(self):
+        d = LabeledDag.from_chains([FlexiWord.parse("{P}"), FlexiWord.parse("{Q}")])
+        assert not seq_entails(d, FlexiWord.parse("{P} < {Q}"))
+        assert not seq_entails(d, FlexiWord.parse("{P} <= {Q}"))
+        # Both may collapse to one point, where both predicates hold:
+        assert not seq_entails(d, FlexiWord.parse("{P,Q}"))
+        # ... but P and Q each hold somewhere in every model:
+        assert seq_entails(d, FlexiWord.parse("{P}"))
+        assert seq_entails(d, FlexiWord.parse("{Q}"))
+
+    def test_empty_letter_means_some_point(self):
+        assert seq_entails(dag_of("{P}"), FlexiWord.parse("{}"))
+        empty = LabeledDag.from_flexiword(FlexiWord.empty())
+        assert not seq_entails(empty, FlexiWord.parse("{}"))
+
+    def test_width_two_merge(self):
+        # Two chains P<Q and Q<P: every model satisfies "P then Q"? No:
+        # models may realize either order or merge the chains.
+        d = LabeledDag.from_chains(
+            [FlexiWord.parse("{P} < {Q}"), FlexiWord.parse("{Q} < {P}")]
+        )
+        assert seq_entails(d, FlexiWord.parse("{P} < {Q}"))
+        assert seq_entails(d, FlexiWord.parse("{Q} < {P}"))
+
+
+class TestSeqCountermodel:
+    def test_countermodel_is_model_and_fails_query(self):
+        rng = random.Random(7)
+        for _ in range(300):
+            dag = random_labeled_dag(rng, rng.randrange(0, 6))
+            p = random_flexiword(rng, rng.randrange(0, 4))
+            counter = seq_countermodel(dag, p)
+            if counter is None:
+                continue
+            assert not naive_word_satisfies_flexi(counter, p)
+            assert counter in set(iter_minimal_words(dag))
+
+
+class TestSeqAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_agreement(self, seed):
+        rng = random.Random(seed)
+        for _ in range(60):
+            dag = random_labeled_dag(
+                rng,
+                rng.randrange(0, 6),
+                edge_prob=rng.choice([0.2, 0.4, 0.7]),
+                le_prob=rng.choice([0.0, 0.3, 0.6]),
+            )
+            p = random_flexiword(
+                rng, rng.randrange(0, 4), le_prob=rng.choice([0.0, 0.4])
+            )
+            expected = naive_entails_flexi(dag, p)
+            assert seq_entails(dag, p) == expected, (
+                f"dag={dag.to_database()} p={p}"
+            )
+
+
+class TestSeqQueryInterface:
+    def test_sequential_query_object(self):
+        d = dag_of("{P} < {Q}")
+        q = ConjunctiveQuery.from_flexiword(FlexiWord.parse("{P} <= {Q}"))
+        assert seq_entails_query(d, q)
+
+    def test_non_sequential_rejected(self):
+        from repro.core.errors import NotSequentialError
+        from repro.workloads.generators import random_conjunctive_monadic_query
+
+        rng = random.Random(0)
+        while True:
+            q = random_conjunctive_monadic_query(rng, 4, edge_prob=0.2)
+            n = q.normalized()
+            if n is not None and not n.is_sequential():
+                break
+        with pytest.raises(NotSequentialError):
+            seq_entails_query(dag_of("{P}"), q)

@@ -1,0 +1,161 @@
+"""Tests for the from-scratch digraph and matching substrates."""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.substrate.digraph import Digraph
+from repro.substrate.matching import (
+    hopcroft_karp,
+    koenig_vertex_cover,
+    maximum_antichain,
+)
+
+
+def random_digraph(rng: random.Random, n: int, p: float) -> Digraph:
+    g = Digraph()
+    for i in range(n):
+        g.add_vertex(i)
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+def random_dag(rng: random.Random, n: int, p: float) -> Digraph:
+    g = Digraph()
+    for i in range(n):
+        g.add_vertex(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+class TestDigraph:
+    def test_basic_ops(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert g.successors("a") == {"b"}
+        assert g.predecessors("c") == {"b"}
+        assert g.sources() == {"a"}
+        assert g.sinks() == {"c"}
+        g.remove_vertex("b")
+        assert g.vertices == {"a", "c"}
+        assert g.successors("a") == set()
+
+    def test_reachability(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_vertex(4)
+        assert g.reachable_from([1]) == {1, 2, 3}
+        assert g.reachable_from([4]) == {4}
+
+    def test_topological_order(self):
+        rng = random.Random(0)
+        for _ in range(30):
+            g = random_dag(rng, rng.randrange(0, 8), 0.4)
+            order = g.topological_order()
+            position = {v: i for i, v in enumerate(order)}
+            for u, v in g.edges():
+                assert position[u] < position[v]
+
+    def test_cycle_detection(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert not g.is_acyclic()
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_scc_matches_bruteforce(self):
+        rng = random.Random(1)
+        for _ in range(40):
+            g = random_digraph(rng, rng.randrange(1, 7), 0.3)
+            sccs = g.strongly_connected_components()
+            # partition check
+            union = set()
+            for c in sccs:
+                assert not (union & c)
+                union |= c
+            assert union == g.vertices
+            # mutual reachability check
+            reach = {v: g.reachable_from([v]) for v in g.vertices}
+            for c in sccs:
+                for a in c:
+                    for b in c:
+                        assert b in reach[a]
+            for c1 in sccs:
+                for c2 in sccs:
+                    if c1 is c2:
+                        continue
+                    a, b = next(iter(c1)), next(iter(c2))
+                    assert not (b in reach[a] and a in reach[b])
+
+    def test_transitive_closure(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        closure = g.transitive_closure()
+        assert closure[1] == {2, 3}
+        assert closure[3] == set()
+
+
+class TestMatching:
+    def brute_force_matching(self, left, adjacency) -> int:
+        best = 0
+        edges = [(u, v) for u in left for v in adjacency.get(u, ())]
+        for r in range(len(edges), 0, -1):
+            if r <= best:
+                break
+            for combo in combinations(edges, r):
+                ls = [e[0] for e in combo]
+                rs = [e[1] for e in combo]
+                if len(set(ls)) == r and len(set(rs)) == r:
+                    best = max(best, r)
+                    break
+        return best
+
+    def test_hopcroft_karp_random(self):
+        rng = random.Random(2)
+        for _ in range(40):
+            n_left, n_right = rng.randrange(0, 5), rng.randrange(0, 5)
+            left = [f"l{i}" for i in range(n_left)]
+            adjacency = {
+                u: [f"r{j}" for j in range(n_right) if rng.random() < 0.4]
+                for u in left
+            }
+            fast = len(hopcroft_karp(left, adjacency))
+            slow = self.brute_force_matching(left, adjacency)
+            assert fast == slow
+
+    def test_koenig_cover_covers_all_edges(self):
+        rng = random.Random(3)
+        for _ in range(40):
+            left = [f"l{i}" for i in range(rng.randrange(1, 5))]
+            adjacency = {
+                u: [f"r{j}" for j in range(4) if rng.random() < 0.4]
+                for u in left
+            }
+            matching = hopcroft_karp(left, adjacency)
+            cl, cr = koenig_vertex_cover(left, adjacency, matching)
+            for u in left:
+                for v in adjacency[u]:
+                    assert u in cl or v in cr
+            assert len(cl) + len(cr) == len(matching)
+
+    def test_maximum_antichain_on_chains(self):
+        # two disjoint chains of length 3: max antichain = 2
+        reach = {
+            "a1": {"a2", "a3"}, "a2": {"a3"}, "a3": set(),
+            "b1": {"b2", "b3"}, "b2": {"b3"}, "b3": set(),
+        }
+        ac = maximum_antichain(reach.keys(), reach)
+        assert len(ac) == 2

@@ -1,0 +1,162 @@
+"""Tests for the Section 6 wqo machinery and the constructive word basis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from helpers import naive_entails_query
+from repro.core.database import LabeledDag
+from repro.core.query import ConjunctiveQuery, DisjunctiveQuery
+from repro.flexiwords.flexiword import FlexiWord, all_words
+from repro.flexiwords.subword import flexi_le, is_subword
+from repro.flexiwords.wqo import (
+    conjunctive_basis,
+    dominates,
+    entails_via_basis,
+    find_dominating_pair,
+    is_wqo_antichain,
+    minimal_superwords,
+    paths_dominated,
+    word_basis,
+    word_entails_via_basis,
+)
+from repro.workloads.generators import (
+    random_conjunctive_monadic_query,
+    random_disjunctive_monadic_query,
+    random_flexiword,
+    random_labeled_dag,
+)
+
+
+class TestDominanceOrder:
+    def test_reflexive_and_transitive_samples(self):
+        rng = random.Random(0)
+        words = [random_flexiword(rng, rng.randrange(0, 4)) for _ in range(30)]
+        for p in words:
+            assert flexi_le(p, p)
+        comparable = [
+            (p, q) for p in words for q in words if flexi_le(p, q)
+        ]
+        for p, q in comparable[:200]:
+            for r in words:
+                if flexi_le(q, r):
+                    assert flexi_le(p, r)
+
+    def test_lemma_6_4_monotonicity(self):
+        """d1 |= Phi and d1 <= d2 imply d2 |= Phi."""
+        rng = random.Random(1)
+        checked = 0
+        while checked < 60:
+            d1 = random_labeled_dag(rng, rng.randrange(0, 4), prefix="a")
+            d2 = random_labeled_dag(rng, rng.randrange(0, 4), prefix="b")
+            if not dominates(d1, d2):
+                continue
+            q = random_disjunctive_monadic_query(rng, 2, 2)
+            if naive_entails_query(d1, q):
+                assert naive_entails_query(d2, q)
+            checked += 1
+
+    def test_no_long_antichains(self):
+        """Empirical wqo check: random length-40 sequences over a 2-predicate
+        alphabet with words of length <= 3 always contain a dominating pair."""
+        rng = random.Random(2)
+        for _ in range(20):
+            seq = [
+                random_flexiword(rng, rng.randrange(0, 4), preds=("P", "Q"))
+                for _ in range(40)
+            ]
+            assert find_dominating_pair(seq) is not None
+
+    def test_antichain_detector(self):
+        a = FlexiWord.parse("{P}")
+        b = FlexiWord.parse("{Q}")
+        assert is_wqo_antichain([a, b])
+        assert not is_wqo_antichain([a, FlexiWord.parse("{P} < {P}")])
+
+
+class TestConjunctiveBasis:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_basis_evaluation_matches_bruteforce(self, seed):
+        rng = random.Random(100 + seed)
+        for _ in range(30):
+            dag = random_labeled_dag(rng, rng.randrange(0, 5))
+            q = random_conjunctive_monadic_query(rng, rng.randrange(0, 4))
+            normalized = q.normalized()
+            if normalized is None:
+                continue
+            expected = naive_entails_query(dag, q)
+            assert entails_via_basis(dag, q) == expected
+
+    def test_basis_is_minimal_member(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            q = random_conjunctive_monadic_query(rng, rng.randrange(1, 4))
+            normalized = q.normalized()
+            if normalized is None:
+                continue
+            basis = conjunctive_basis(q)
+            # D_Phi itself entails Phi ...
+            assert naive_entails_query(basis, q)
+            # ... and is dominated by every entailing database we can find.
+            for _ in range(10):
+                d = random_labeled_dag(rng, rng.randrange(0, 4))
+                if naive_entails_query(d, q):
+                    assert dominates(basis, d)
+
+
+class TestMinimalSuperwords:
+    def test_le_run_absorbed_in_one_letter(self):
+        p = FlexiWord.parse("{A} <= {B}")
+        words = minimal_superwords([p])
+        assert (frozenset({"A", "B"}),) in words
+        assert (frozenset({"A"}), frozenset({"B"})) in words
+
+    def test_two_cross_patterns(self):
+        p1 = FlexiWord.parse("{A} < {B}")
+        p2 = FlexiWord.parse("{B} < {A}")
+        words = minimal_superwords([p1, p2])
+        assert (frozenset({"A", "B"}), frozenset({"A", "B"})) in words
+        assert (frozenset({"A"}), frozenset({"B"}), frozenset({"A"})) in words
+
+    def test_all_results_satisfy_and_are_minimal(self):
+        rng = random.Random(4)
+        from repro.flexiwords.subword import flexi_entails
+
+        for _ in range(25):
+            paths = [
+                random_flexiword(rng, rng.randrange(1, 3), preds=("A", "B"))
+                for _ in range(rng.randrange(1, 3))
+            ]
+            for w in minimal_superwords(paths):
+                fw = FlexiWord.word(w)
+                assert all(flexi_entails(fw, p) for p in paths)
+
+
+class TestWordBasis:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_basis_decides_all_small_words(self, seed):
+        """Exhaustive check: basis evaluation == direct evaluation on every
+        word of length <= 3 over a 2-predicate alphabet."""
+        rng = random.Random(200 + seed)
+        q = random_disjunctive_monadic_query(
+            rng, rng.randrange(1, 3), rng.randrange(1, 3), preds=("A", "B"),
+            le_prob=0.5,
+        )
+        basis = word_basis(q)
+        for w in all_words(("A", "B"), rng.randrange(0, 4)):
+            dag = LabeledDag.from_flexiword(w)
+            expected = naive_entails_query(dag, q)
+            got = word_entails_via_basis(w.letters, basis)
+            assert got == expected, f"word={w} q={q} basis={basis}"
+
+    def test_basis_elements_are_pairwise_incomparable(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            q = random_disjunctive_monadic_query(rng, 2, 2, preds=("A", "B"))
+            basis = sorted(word_basis(q), key=repr)
+            for i, a in enumerate(basis):
+                for j, b in enumerate(basis):
+                    if i != j:
+                        assert not is_subword(a, b)

@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""Non-pytest benchmark runner for the entailment pipeline.
+
+Times the hot paths of the reproduction — ``OrderGraph.reduced()``, the
+closure computations, the Theorem 5.3 disjunctive search, the Theorem 4.7
+bounded-width search, SEQ path decomposition and minimal-model counting —
+on the synthetic workloads from ``repro.workloads.generators`` across graph
+sizes and widths.  Every benchmark runs twice:
+
+* **naive** — under ``repro.substrate.reference.naive_mode()``, which
+  routes all reachability queries through the retained seed algorithms and
+  disables every cache (the "before" column);
+* **optimized** — on the bitset/cached substrate (the "after" column).
+
+Results (including the speedup ratio and a result-equality check) are
+written as JSON to ``BENCH_core.json`` at the repository root, establishing
+the perf trajectory for future PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --check    # fail on
+        result mismatch or on speedup below --min-speedup
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.algorithms.conjunctive import (  # noqa: E402
+    bounded_width_entails_dag,
+    paths_entails_dag,
+)
+from repro.algorithms.disjunctive import theorem53  # noqa: E402
+from repro.core.models import (  # noqa: E402
+    count_minimal_models,
+    iter_block_sequences,
+)
+from repro.substrate import reference  # noqa: E402
+from repro.workloads.generators import (  # noqa: E402
+    random_conjunctive_monadic_query,
+    random_disjunctive_monadic_query,
+    random_labeled_dag,
+    random_observer_dag,
+)
+
+
+def _best_time(fn, repeats: int) -> tuple[float, object]:
+    """Best-of-N wall time and the (last) result of ``fn``."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _run_pair(name, params, fn, repeats):
+    with reference.naive_mode():
+        naive_s, naive_result = _best_time(fn, repeats)
+    optimized_s, optimized_result = _best_time(fn, repeats)
+    return {
+        "name": name,
+        "params": params,
+        "naive_s": round(naive_s, 6),
+        "optimized_s": round(optimized_s, 6),
+        "speedup": round(naive_s / optimized_s, 2) if optimized_s else None,
+        "results_match": naive_result == optimized_result,
+    }
+
+
+def build_benchmarks(quick: bool, seed: int):
+    """Yield ``(name, params, fn, repeats)`` tuples."""
+    repeats = 1 if quick else 3
+    # The reduced/ and theorem53/ benches gate CI via --check: always take
+    # best-of-3 so a single GC pause on a noisy runner can't fail the build.
+    gated_repeats = 3
+    scale = 1 if quick else 2
+
+    def reduced_edges(g):
+        return sorted((u, v, rel.name) for u, v, rel in g.reduced().edges())
+
+    # -- reduced() on full closures of width-k observer databases ----------
+    for width, chain in ((2, 5 * scale), (4, 5 * scale), (6, 4 * scale)):
+        rng = random.Random(seed + width)
+        dag = random_observer_dag(rng, width, chain)
+        full = dag.graph.full()
+        yield (
+            "reduced/observer",
+            {"width": width, "chain": chain, "edges": len(full._edges)},
+            lambda full=full: reduced_edges(full),
+            gated_repeats,
+        )
+
+    # -- reduced() on dense random dags ------------------------------------
+    for n in (12 * scale, 20 * scale):
+        rng = random.Random(seed + n)
+        g = random_labeled_dag(rng, n, edge_prob=0.4).graph.full()
+        yield (
+            "reduced/random",
+            {"vertices": n, "edges": len(g._edges)},
+            lambda g=g: reduced_edges(g),
+            gated_repeats,
+        )
+
+    # -- one-shot closure (reachability + strict) on fresh graphs ----------
+    for n in (30 * scale, 60 * scale):
+        rng = random.Random(seed + 7 * n)
+        g = random_labeled_dag(rng, n, edge_prob=0.2).graph
+
+        def closure(g=g):
+            h = g.copy()  # fresh generation: forces a cold recompute
+            return (h.reachability(), h.strict_reachability())
+
+        yield ("closure/random", {"vertices": n}, closure, repeats)
+
+    # -- Theorem 5.3 disjunctive search at width >= 4 ----------------------
+    t53_cases = (
+        (4, 3, 2, 3),
+        (4, 4, 2, 3),
+        (5, 3, 2, 3),
+    )
+    if quick:
+        t53_cases = ((4, 3, 2, 3), (4, 4, 2, 3))
+    for width, chain, nd, nv in t53_cases:
+        rng = random.Random(seed + width * 100 + chain)
+        dag = random_observer_dag(rng, width, chain)
+        query = random_disjunctive_monadic_query(rng, nd, nv)
+
+        def t53(dag=dag, query=query):
+            r = theorem53(dag, query)
+            return (r.holds, r.countermodel)
+
+        yield (
+            "theorem53/observer",
+            {"width": width, "chain": chain, "disjuncts": nd, "qvars": nv},
+            t53,
+            gated_repeats,
+        )
+
+    # -- Theorem 4.7 bounded-width conjunctive search ----------------------
+    for width, chain in ((4, 4), (4, 6 if not quick else 4)):
+        rng = random.Random(seed + width * 31 + chain)
+        dag = random_observer_dag(rng, width, chain)
+        qdag = random_conjunctive_monadic_query(rng, 4).monadic_dag()
+        yield (
+            "bounded_width/observer",
+            {"width": width, "chain": chain},
+            lambda dag=dag, qdag=qdag: bounded_width_entails_dag(dag, qdag),
+            repeats,
+        )
+
+    # -- SEQ over the path decomposition -----------------------------------
+    rng = random.Random(seed + 1)
+    dag = random_observer_dag(rng, 4, 4 if quick else 6)
+    qdag = random_conjunctive_monadic_query(rng, 5, edge_prob=0.5).monadic_dag()
+    yield (
+        "seq_paths/observer",
+        {"width": 4, "qvars": 5},
+        lambda dag=dag, qdag=qdag: paths_entails_dag(dag, qdag),
+        repeats,
+    )
+
+    # -- minimal-model counting and enumeration ----------------------------
+    rng = random.Random(seed + 2)
+    dag = random_observer_dag(rng, 3, 3 if quick else 4)
+    graph = dag.graph.normalize().graph
+    yield (
+        "count_models/observer",
+        {"width": 3},
+        lambda graph=graph: count_minimal_models(graph),
+        repeats,
+    )
+    rng = random.Random(seed + 2)
+    dag = random_observer_dag(rng, 3 if quick else 3, 2 if quick else 3)
+    graph = dag.graph.normalize().graph
+    yield (
+        "enumerate_models/observer",
+        {"width": 3},
+        lambda graph=graph: sum(1 for _ in iter_block_sequences(graph)),
+        1,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes, 1 repeat (CI smoke)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero on result mismatch or speedup below --min-speedup",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="--check threshold on the reduced/ and theorem53/ benches",
+    )
+    parser.add_argument("--seed", type=int, default=12345)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(ROOT, "BENCH_core.json"),
+        help="output JSON path (default: BENCH_core.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = []
+    for name, params, fn, repeats in build_benchmarks(args.quick, args.seed):
+        row = _run_pair(name, params, fn, repeats)
+        rows.append(row)
+        match = "ok" if row["results_match"] else "MISMATCH"
+        print(
+            f"{row['name']:<24} {str(row['params']):<52} "
+            f"naive {row['naive_s']*1000:9.2f} ms   "
+            f"optimized {row['optimized_s']*1000:9.2f} ms   "
+            f"x{row['speedup']:<8} {match}"
+        )
+
+    payload = {
+        "meta": {
+            "quick": args.quick,
+            "seed": args.seed,
+            "python": sys.version.split()[0],
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "note": (
+                "naive = seed algorithms via repro.substrate.reference."
+                "naive_mode(); optimized = bitset substrate + closure caches"
+            ),
+        },
+        "benchmarks": rows,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = []
+        for row in rows:
+            if not row["results_match"]:
+                failures.append(f"{row['name']}: naive/optimized results differ")
+            gated = row["name"].startswith(("reduced/", "theorem53/"))
+            if gated and row["speedup"] is not None:
+                if row["speedup"] < args.min_speedup:
+                    failures.append(
+                        f"{row['name']}: speedup {row['speedup']} < "
+                        f"{args.min_speedup}"
+                    )
+        if failures:
+            print("CHECK FAILED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print(f"check ok: all results match, gated speedups >= {args.min_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ from repro.algorithms.seq import seq_entails
 from repro.core.atoms import Rel
 from repro.core.database import LabeledDag
 from repro.core.query import ConjunctiveQuery
+from repro.core.regions import RegionCache
 
 
 def paths_entails(dag: LabeledDag, query: ConjunctiveQuery) -> bool:
@@ -38,7 +39,10 @@ def paths_entails_dag(dag: LabeledDag, qdag: LabeledDag) -> bool:
     if not qdag.graph.vertices:
         return True  # the empty query holds everywhere
     work = dag.normalized()
-    return all(seq_entails(work, p) for p in qdag.iter_paths())
+    # One RegionCache shared across all paths: early SEQ iterations visit
+    # the same residual regions for paths that agree on a prefix.
+    shared = RegionCache(work.graph.normalize().graph)
+    return all(seq_entails(work, p, shared) for p in qdag.iter_paths())
 
 
 def bounded_width_entails(dag: LabeledDag, query: ConjunctiveQuery) -> bool:
@@ -75,9 +79,10 @@ def bounded_width_entails_dag(dag: LabeledDag, qdag: LabeledDag) -> bool:
     dlabels = work.labels
     qgraph = qdag.graph
     qlabels = qdag.labels
-
-    def residual(s: frozenset[str]):
-        return dgraph.induced(dgraph.up_set(s))
+    # Residual databases are regions of the fixed normalized graph; their
+    # induced subgraphs, minors and minimal vertices are memoized so that
+    # the O(|D|^{k+1}) states re-deriving the same residual share the work.
+    regions = RegionCache(dgraph)
 
     initial_s = frozenset(dgraph.minimal_vertices())
     stack = [(initial_s, u) for u in sorted(qgraph.minimal_vertices())]
@@ -90,20 +95,15 @@ def bounded_width_entails_dag(dag: LabeledDag, qdag: LabeledDag) -> bool:
         label = qlabels[u]
         bad = sorted(v for v in s if not label <= dlabels[v])
         successors: list[tuple[frozenset[str], str]] = []
+        region = regions.up_set(s)
         if bad:
-            res = residual(s)
-            res.remove_vertices({bad[0]})
-            successors.append((frozenset(res.minimal_vertices()), u))
+            successors.append((regions.minimal(region - {bad[0]}), u))
         else:
-            res = None
             for v in sorted(qgraph.successors(u)):
                 rel = qgraph.edge_label(u, v)
                 if rel is Rel.LT:
-                    if res is None:
-                        res = residual(s)
-                    nxt = res.copy()
-                    nxt.remove_vertices(nxt.minor_vertices())
-                    successors.append((frozenset(nxt.minimal_vertices()), v))
+                    rest = region - regions.minors(region)
+                    successors.append((regions.minimal(rest), v))
                 else:
                     successors.append((s, v))
         for state in successors:

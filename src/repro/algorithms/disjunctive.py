@@ -40,6 +40,7 @@ from repro.core.atoms import Rel
 from repro.core.database import LabeledDag
 from repro.core.errors import NotMonadicError
 from repro.core.query import Query, as_dnf
+from repro.core.regions import RegionCache
 from repro.flexiwords.flexiword import Word
 
 State = tuple[frozenset[str], frozenset[str], tuple[str, ...], tuple[bool, ...]]
@@ -68,20 +69,21 @@ class _Search:
         self.dag = dag.normalized()
         self.dgraph = self.dag.graph
         self.dlabels = self.dag.labels
+        # All region artifacts (up-sets, induced subgraphs, minors, block
+        # labels) are shared across the whole state-graph search: distinct
+        # states routinely denote the same unsorted region.
+        self.regions = RegionCache(self.dgraph, self.dlabels)
         self.qdags = [d.monadic_dag() for d in dnf.disjuncts]
         self.trivially_true = any(not q.graph.vertices for q in self.qdags)
         self.n = len(self.qdags)
 
     # -- state helpers -----------------------------------------------------
 
-    def block(self, s: frozenset[str], t: frozenset[str]) -> set[str]:
-        return self.dgraph.up_set(s) - self.dgraph.up_set(t)
+    def block(self, s: frozenset[str], t: frozenset[str]) -> frozenset[str]:
+        return self.regions.up_set(s) - self.regions.up_set(t)
 
-    def block_labels(self, block: set[str]) -> frozenset[str]:
-        out: set[str] = set()
-        for v in block:
-            out |= self.dlabels[v]
-        return frozenset(out)
+    def block_labels(self, block: frozenset[str]) -> frozenset[str]:
+        return self.regions.block_labels(block)
 
     def initial_states(self) -> list[State]:
         t0 = frozenset(self.dgraph.minimal_vertices())
@@ -113,9 +115,8 @@ class _Search:
     def successors(self, state: State) -> Iterator[tuple[State, Word | None]]:
         """Yield ``(next_state, emitted_block)``; block is None except on (c)."""
         s, t, us, xs = state
-        unsorted = self.dgraph.up_set(s | t)
-        unsorted_graph = self.dgraph.induced(unsorted)
-        minors = unsorted_graph.minor_vertices()
+        regions = self.regions
+        minors = regions.minors(regions.up_set(s | t))
         block = self.block(s, t)
         labels = self.block_labels(block)
         eligible = self.eligible(state, labels, bool(block))
@@ -124,10 +125,9 @@ class _Search:
         for v in sorted(t):
             if v not in minors:
                 continue
-            new_s_region = self.dgraph.induced(self.dgraph.up_set(s | {v}))
-            s2 = frozenset(new_s_region.minimal_vertices())
-            rest = self.dgraph.up_set(t) - {v}
-            t2 = frozenset(self.dgraph.induced(rest).minimal_vertices())
+            s2 = regions.minimal(regions.up_set(s | {v}))
+            rest = regions.up_set(t) - {v}
+            t2 = regions.minimal(rest)
             yield (s2, t2, us, xs), None
 
         # (b) advance the least matchable query pointer along an edge

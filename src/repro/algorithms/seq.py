@@ -25,23 +25,37 @@ from repro.core.atoms import Rel
 from repro.core.database import LabeledDag
 from repro.core.errors import NotSequentialError
 from repro.core.query import ConjunctiveQuery, Query, as_dnf
+from repro.core.regions import RegionCache
 from repro.flexiwords.flexiword import FlexiWord, Word
 
 
-def seq_entails(dag: LabeledDag, p: FlexiWord) -> bool:
+def seq_entails(
+    dag: LabeledDag, p: FlexiWord, regions: RegionCache | None = None
+) -> bool:
     """Does the monadic database entail the sequential query ``p``?"""
-    return seq_countermodel(dag, p) is None
+    return seq_countermodel(dag, p, regions) is None
 
 
-def seq_countermodel(dag: LabeledDag, p: FlexiWord) -> Word | None:
+def seq_countermodel(
+    dag: LabeledDag, p: FlexiWord, regions: RegionCache | None = None
+) -> Word | None:
     """None when entailed; otherwise a minimal model of ``dag`` falsifying ``p``.
 
     The returned countermodel is a word: each emitted block becomes one
     point, all separators strict.
+
+    The residual database only ever shrinks, so it is tracked as a region
+    of the fixed normalized graph instead of a mutated copy.  ``regions``
+    may pass a :class:`RegionCache` over ``dag.normalized().graph`` shared
+    across calls (the path decomposition of Lemma 4.1 hits the same
+    residual regions for every pair of paths that agree on a prefix); a
+    cache over any other graph is ignored.
     """
     work = dag.normalized()
-    graph = work.graph.copy()
-    labels = dict(work.labels)
+    if regions is None or regions.graph is not work.graph:
+        regions = RegionCache(work.graph)
+    labels = work.labels
+    region = frozenset(work.graph.vertices)
     emitted: list[frozenset[str]] = []
 
     pj = 0
@@ -49,32 +63,31 @@ def seq_countermodel(dag: LabeledDag, p: FlexiWord) -> Word | None:
     while True:
         if pj >= m:
             return None  # query satisfied in every model
-        vertices = graph.vertices
-        if not vertices:
+        if not region:
             # Database exhausted with query letters pending: the blocks
             # emitted so far form a model in which p fails.
             return tuple(emitted)
         a = p.letters[pj]
-        minimal = graph.minimal_vertices()
+        minimal = regions.minimal(region)
         bad = sorted(u for u in minimal if not a <= labels[u])
         if bad:
             # Case I
             u = bad[0]
             emitted.append(labels[u])
-            graph.remove_vertices({u})
+            region = region - {u}
             continue
         # every minimal vertex supports a
         if pj == m - 1:
             return None
         if p.rels[pj] is Rel.LT:
             # Case II: emit all minor vertices as one block
-            minors = graph.minor_vertices()
+            minors = regions.minors(region)
             emitted.append(
                 frozenset().union(*(labels[v] for v in minors))
                 if minors
                 else frozenset()
             )
-            graph.remove_vertices(minors)
+            region = region - minors
             pj += 1
         else:
             # Case III

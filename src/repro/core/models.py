@@ -29,6 +29,7 @@ from typing import Iterator
 
 from repro.core.database import IndefiniteDatabase, LabeledDag
 from repro.core.ordergraph import OrderGraph
+from repro.core.regions import RegionCache
 from repro.flexiwords.flexiword import Word
 
 Block = frozenset[str]
@@ -70,18 +71,21 @@ def iter_block_sequences(graph: OrderGraph) -> Iterator[BlockSequence]:
     norm = graph.normalize()
     if not norm.consistent:
         return
+    # Residual graphs are regions of the input graph; distinct prefixes
+    # reach the same remaining-vertex set, so the induced subgraphs (and
+    # their cached minors) are shared through a RegionCache.
+    regions = RegionCache(graph)
 
-    def rec(g: OrderGraph, prefix: list[Block]) -> Iterator[BlockSequence]:
-        if not g.vertices:
+    def rec(region: frozenset[str], prefix: list[Block]) -> Iterator[BlockSequence]:
+        if not region:
             yield tuple(prefix)
             return
-        for s in _valid_blocks(g):
-            rest = g.induced(g.vertices - s)
+        for s in _valid_blocks(regions.induced(region)):
             prefix.append(s)
-            yield from rec(rest, prefix)
+            yield from rec(region - s, prefix)
             prefix.pop()
 
-    yield from rec(graph, [])
+    yield from rec(frozenset(graph.vertices), [])
 
 
 def count_minimal_models(graph: OrderGraph) -> int:
@@ -90,21 +94,21 @@ def count_minimal_models(graph: OrderGraph) -> int:
         return 0
     if not graph.normalize().consistent:
         return 0
+    regions = RegionCache(graph)
     cache: dict[frozenset[str], int] = {}
 
-    def count(g: OrderGraph) -> int:
-        key = frozenset(g.vertices)
-        if not key:
+    def count(region: frozenset[str]) -> int:
+        if not region:
             return 1
-        if key in cache:
-            return cache[key]
+        if region in cache:
+            return cache[region]
         total = 0
-        for s in _valid_blocks(g):
-            total += count(g.induced(g.vertices - s))
-        cache[key] = total
+        for s in _valid_blocks(regions.induced(region)):
+            total += count(region - s)
+        cache[region] = total
         return total
 
-    return count(graph)
+    return count(frozenset(graph.vertices))
 
 
 @dataclass(frozen=True)

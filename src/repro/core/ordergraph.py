@@ -19,18 +19,39 @@ graph-theoretic notion the paper builds on that structure:
   but not participating in the dag structure.
 
 Vertices are plain strings (order-constant or order-variable names).
+
+Caching contract
+----------------
+
+The derived relations — :meth:`~OrderGraph.reachability`,
+:meth:`~OrderGraph.strict_reachability`, :meth:`~OrderGraph.minor_vertices`
+and :meth:`~OrderGraph.normalize` — are computed once per *generation* and
+memoized on the instance.  Every mutating method (:meth:`add_vertex`,
+:meth:`add_edge`, :meth:`remove_edge`, :meth:`remove_vertices`) bumps the
+generation counter, invalidating all cached views, so
+:meth:`~OrderGraph.entails_atom` and :meth:`~OrderGraph.reduced` cost an
+amortized dict lookup between mutations.  The dicts returned by
+``reachability()`` / ``strict_reachability()`` and the
+:class:`Normalization` returned by ``normalize()`` are shared cached
+objects: treat them as **read-only** (copy before mutating).
+``minor_vertices()`` returns a fresh set.  Under
+:func:`repro.substrate.reference.naive_mode` all caching is bypassed and
+queries recompute with the seed's naive algorithms.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator, TypeVar
 
 from repro.core.atoms import OrderAtom, Rel
 from repro.core.errors import InconsistentError
 from repro.core.sorts import Term
+from repro.substrate import reference
 from repro.substrate.digraph import Digraph
 from repro.substrate.matching import maximum_antichain
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -61,12 +82,38 @@ class OrderGraph:
         self._edges: dict[tuple[str, str], Rel] = {}
         self._digraph = Digraph()
         self._neq: set[frozenset[str]] = set()
+        self._version = 0
+        self._cache: dict[str, object] = {}
+        self._cache_version = -1
+        self._probes = 0  # cold entails_atom probes since the last mutation
+
+    # -- caching -----------------------------------------------------------
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._probes = 0
+
+    def _cached(self, key: str, compute: Callable[[], _T]) -> _T:
+        if self._cache_version != self._version:
+            self._cache.clear()
+            self._cache_version = self._version
+        try:
+            return self._cache[key]  # type: ignore[return-value]
+        except KeyError:
+            value = compute()
+            self._cache[key] = value
+            return value
+
+    def _lt_edges(self) -> list[tuple[str, str]]:
+        return [(u, v) for (u, v), rel in self._edges.items() if rel is Rel.LT]
 
     # -- construction ------------------------------------------------------
 
     def add_vertex(self, v: str) -> None:
         """Add vertex ``v`` (idempotent)."""
-        self._digraph.add_vertex(v)
+        if v not in self._digraph:
+            self._digraph.add_vertex(v)
+            self._bump()
 
     def add_edge(self, u: str, v: str, rel: Rel) -> None:
         """Add an atom ``u rel v``.
@@ -77,16 +124,33 @@ class OrderGraph:
         if rel is Rel.NE:
             self.add_vertex(u)
             self.add_vertex(v)
-            if u == v:
-                # u != u is unsatisfiable: record as an inconsistency marker.
-                self._neq.add(frozenset((u,)))
-            else:
-                self._neq.add(frozenset((u, v)))
+            # u != u is unsatisfiable: record as an inconsistency marker.
+            pair = frozenset((u,)) if u == v else frozenset((u, v))
+            if pair not in self._neq:
+                self._neq.add(pair)
+                self._bump()
             return
+        before = self._digraph.version
         self._digraph.add_edge(u, v)
+        changed = self._digraph.version != before
         current = self._edges.get((u, v))
         if current is None or (current is Rel.LE and rel is Rel.LT):
             self._edges[(u, v)] = rel
+            changed = True
+        if changed:
+            self._bump()
+
+    def remove_edge(self, u: str, v: str) -> None:
+        """Delete the order edge ``u -> v`` if present; vertices remain."""
+        if (u, v) in self._edges:
+            del self._edges[(u, v)]
+            self._digraph.remove_edge(u, v)
+            self._bump()
+
+    def _replace_neq(self, pairs: set[frozenset[str]]) -> None:
+        """Install a new '!=' pair set (internal; invalidates caches)."""
+        self._neq = pairs
+        self._bump()
 
     @classmethod
     def from_atoms(
@@ -107,11 +171,10 @@ class OrderGraph:
     def copy(self) -> "OrderGraph":
         """An independent copy."""
         g = OrderGraph()
-        for v in self.vertices:
-            g.add_vertex(v)
-        for (u, v), rel in self._edges.items():
-            g.add_edge(u, v, rel)
+        g._digraph = self._digraph.copy()
+        g._edges = dict(self._edges)
         g._neq = set(self._neq)
+        g._bump()
         return g
 
     # -- inspection ---------------------------------------------------------
@@ -178,8 +241,21 @@ class OrderGraph:
         whole graph.  An SCC with an internal '<' edge witnesses a '<'
         cycle.  The representative of each SCC is its lexicographically
         least member, so normalization is deterministic.
+
+        The result is cached until the next mutation; callers share one
+        :class:`Normalization` object and must not mutate ``.graph``.
         """
-        components = self._digraph.strongly_connected_components()
+        if reference.NAIVE:
+            return self._compute_normalize()
+        return self._cached("normalize", self._compute_normalize)
+
+    def _compute_normalize(self) -> Normalization:
+        if reference.NAIVE:
+            components = reference.naive_strongly_connected_components(
+                self._digraph
+            )
+        else:
+            components = self._digraph.strongly_connected_components()
         canon: dict[str, str] = {}
         consistent = True
         for comp in components:
@@ -199,13 +275,15 @@ class OrderGraph:
             if cu == cv:
                 continue  # rule N2 (and contracted N1 edges)
             g.add_edge(cu, cv, rel)
+        neq: set[frozenset[str]] = set()
         for pair in self._neq:
             names = sorted(pair)
             if len(names) == 1 or canon[names[0]] == canon[names[1]]:
                 consistent = False
-                g._neq.add(frozenset((canon[names[0]],)))
+                neq.add(frozenset((canon[names[0]],)))
             else:
-                g._neq.add(frozenset((canon[names[0]], canon[names[1]])))
+                neq.add(frozenset((canon[names[0]], canon[names[1]])))
+        g._replace_neq(neq)
         # The contracted graph can still contain '<' cycles spanning
         # components only if SCCs were computed wrongly; by construction the
         # condensation is acyclic, so `consistent` is final.
@@ -228,26 +306,70 @@ class OrderGraph:
     # -- derived relations / fullness ----------------------------------------
 
     def reachability(self) -> dict[str, set[str]]:
-        """``reach[v]`` = vertices strictly reachable from ``v`` (any labels)."""
-        return self._digraph.transitive_closure()
+        """``reach[v]`` = vertices strictly reachable from ``v`` (any labels).
+
+        Cached until the next mutation — the returned dict is shared, treat
+        it as read-only.
+        """
+        if reference.NAIVE:
+            return reference.naive_transitive_closure(self._digraph)
+        return self._cached("reach", self._digraph.transitive_closure)
 
     def strict_reachability(self) -> dict[str, set[str]]:
         """``sreach[v]`` = vertices reachable via a path through a '<' edge.
 
-        These are exactly the pairs with derived atom ``v < w``.
-        Computed by a two-layer reachability: (v, seen_lt) product search.
+        These are exactly the pairs with derived atom ``v < w``.  Computed
+        by a single DP sweep over the SCC condensation (see
+        :meth:`_compute_strict`); cached until the next mutation — the
+        returned dict is shared, treat it as read-only.
         """
-        # w is <-reachable from v iff exists edge (a,b,'<') with a reachable
-        # from v (weakly) and w reachable from b (weakly).
-        reach = self.reachability()
-        weak = {v: reach[v] | {v} for v in reach}
-        out: dict[str, set[str]] = {v: set() for v in weak}
-        for (a, b), rel in self._edges.items():
-            if rel is not Rel.LT:
-                continue
-            for v in weak:
-                if a in weak[v]:
-                    out[v].update(weak[b])
+        if reference.NAIVE:
+            return reference.naive_strict_reachability(
+                self._digraph, self._lt_edges()
+            )
+        return self._cached("strict", self._compute_strict)
+
+    def _compute_strict(self) -> dict[str, set[str]]:
+        """One pass over the condensation, successor components first.
+
+        For each component ``C``: if ``C`` contains an internal '<' edge,
+        every member strictly reaches the whole weak down-set of ``C``;
+        otherwise the strict set is the union, over cross-component edges
+        ``C -> C'``, of the weak down-set of ``C'`` (edge labelled '<') or
+        the strict set of ``C'`` (edge labelled '<=').
+        """
+        d = self._digraph
+        _verts, index = d.bit_index()
+        comp_of, comps = d.condensation()
+        ncomp = len(comps)
+        comp_mask = [0] * ncomp
+        for cid, members in enumerate(comps):
+            m = 0
+            for vid in members:
+                m |= 1 << vid
+            comp_mask[cid] = m
+        tainted = [False] * ncomp
+        cross: list[list[tuple[int, bool]]] = [[] for _ in range(ncomp)]
+        for (u, v), rel in self._edges.items():
+            cu, cv = comp_of[index[u]], comp_of[index[v]]
+            if cu == cv:
+                if rel is Rel.LT:
+                    tainted[cu] = True
+            else:
+                cross[cu].append((cv, rel is Rel.LT))
+        weak_down = [0] * ncomp
+        strict_down = [0] * ncomp
+        for cid in range(ncomp):  # reverse topological: successors first
+            wd = comp_mask[cid]
+            sd = 0
+            for cv, is_lt in cross[cid]:
+                wd |= weak_down[cv]
+                sd |= weak_down[cv] if is_lt else strict_down[cv]
+            weak_down[cid] = wd
+            strict_down[cid] = wd if tainted[cid] else sd
+        out: dict[str, set[str]] = {}
+        for v, vid in index.items():
+            out[v] = d.set_from_mask(strict_down[comp_of[vid]])
         return out
 
     def full(self) -> "OrderGraph":
@@ -257,23 +379,55 @@ class OrderGraph:
         a '<' edge adds ``u < v``.  ``!=`` pairs are copied unchanged (the
         paper's fullness does not derive inequalities).
         """
-        assert self is not None
         reach = self.reachability()
         strict = self.strict_reachability()
         g = OrderGraph()
         for v in self.vertices:
             g.add_vertex(v)
         for u in self.vertices:
+            su = strict[u]
             for v in reach[u]:
                 if u == v:
                     continue
-                g.add_edge(u, v, Rel.LT if v in strict[u] else Rel.LE)
-        for u in self.vertices:
-            for v in strict[u]:
-                if u != v:
-                    g.add_edge(u, v, Rel.LT)
-        g._neq = set(self._neq)
+                g.add_edge(u, v, Rel.LT if v in su else Rel.LE)
+        g._replace_neq(set(self._neq))
         return g
+
+    # How many cold single-pair probes to answer point-wise before paying
+    # for the full cached closure.  Mutation-heavy loops (reduced()) stay on
+    # cheap one-source BFS probes; query-heavy static use warms the cache.
+    _PROBE_LIMIT = 4
+
+    def _probe_ready(self, u: str, v: str) -> bool:
+        """True when a single-pair probe beats building the full closure."""
+        if reference.NAIVE:
+            return False
+        if u not in self._digraph or v not in self._digraph:
+            return False  # let the dict path raise KeyError as the seed did
+        if self._cache_version == self._version and (
+            "reach" in self._cache or "strict" in self._cache
+        ):
+            return False  # closure already paid for — use it
+        if self._probes >= self._PROBE_LIMIT:
+            return False
+        self._probes += 1
+        return True
+
+    def _probe_le(self, u: str, v: str) -> bool:
+        """Is ``v`` reachable from ``u`` by a nonempty path?  (``u != v``)"""
+        d = self._digraph
+        return bool(d.reachable_mask(d.mask_from((u,))) & d.mask_from((v,)))
+
+    def _probe_lt(self, u: str, v: str) -> bool:
+        """Is ``v`` reachable from ``u`` via a path through a '<' edge?"""
+        d = self._digraph
+        fwd = d.reachable_mask(d.mask_from((u,)))
+        bwd = d.reachable_mask(d.mask_from((v,)), reverse=True)
+        _verts, index = d.bit_index()
+        for a, b in self._lt_edges():
+            if (fwd >> index[a]) & 1 and (bwd >> index[b]) & 1:
+                return True
+        return False
 
     def entails_atom(self, u: str, v: str, rel: Rel) -> bool:
         """Does every compatible linear order satisfy ``u rel v``?
@@ -282,18 +436,31 @@ class OrderGraph:
         there is a path from u to v (or u == v); ``u < v`` iff some such path
         passes through a '<' edge; ``u != v`` iff ``u < v`` or ``v < u`` is
         entailed or the pair is recorded as ``!=``.
+
+        On a warm cache this is a dict lookup; right after a mutation the
+        first few calls run as single-pair bitset probes instead of
+        rebuilding the whole closure (the ``reduced()`` hot path).
         """
         if rel is Rel.LE:
-            return u == v or v in self.reachability()[u]
+            if u == v:
+                return True
+            if self._probe_ready(u, v):
+                return self._probe_le(u, v)
+            return v in self.reachability()[u]
         if rel is Rel.LT:
-            return u != v and v in self.strict_reachability()[u]
+            if u == v:
+                return False
+            if self._probe_ready(u, v):
+                return self._probe_lt(u, v)
+            return v in self.strict_reachability()[u]
         if u == v:
             return False
-        return (
-            frozenset((u, v)) in self._neq
-            or v in self.strict_reachability()[u]
-            or u in self.strict_reachability()[v]
-        )
+        if frozenset((u, v)) in self._neq:
+            return True
+        if self._probe_ready(u, v):
+            return self._probe_lt(u, v) or self._probe_lt(v, u)
+        strict = self.strict_reachability()
+        return v in strict[u] or u in strict[v]
 
     # -- minimal and minor vertices ------------------------------------------
 
@@ -306,11 +473,27 @@ class OrderGraph:
 
         A vertex v is *minor* iff no path ending at v passes through an edge
         labelled '<'.  Equivalently: v is not (weakly) reachable from the
-        head of any '<' edge.
+        head of any '<' edge.  Cached until the next mutation; returns a
+        fresh set.
         """
-        lt_heads = {v for (u, v), rel in self._edges.items() if rel is Rel.LT}
-        tainted = self._digraph.reachable_from(lt_heads)
-        return self.vertices - tainted
+        if reference.NAIVE:
+            return reference.naive_minor_vertices(
+                self._digraph, self._lt_edges()
+            )
+        return set(self._cached("minors", self._compute_minors))
+
+    def _compute_minors(self) -> frozenset[str]:
+        d = self._digraph
+        if len(d) <= 16:
+            # below one or two machine words the interning setup costs more
+            # than the plain DFS it replaces
+            return frozenset(
+                reference.naive_minor_vertices(d, self._lt_edges())
+            )
+        heads = d.mask_from(v for _u, v in self._lt_edges())
+        tainted = d.reachable_mask(heads)
+        untainted = ~tainted & ((1 << len(d)) - 1)
+        return frozenset(d.set_from_mask(untainted))
 
     def le_predecessor_closure(self, seed: Iterable[str]) -> set[str]:
         """Close ``seed`` under '<='-predecessors (constraint S2).
@@ -359,17 +542,19 @@ class OrderGraph:
         """The subgraph induced by ``keep`` (labels and ``!=`` restricted)."""
         keep = set(keep)
         g = OrderGraph()
-        for v in keep:
-            if v in self:
-                g.add_vertex(v)
-        for (u, v), rel in self._edges.items():
-            if u in keep and v in keep:
-                g.add_edge(u, v, rel)
-        g._neq = {p for p in self._neq if p <= keep}
+        g._digraph = self._digraph.induced_subgraph(keep)
+        g._edges = {
+            (u, v): rel
+            for (u, v), rel in self._edges.items()
+            if u in keep and v in keep
+        }
+        g._replace_neq({p for p in self._neq if p <= keep})
         return g
 
     def up_set(self, sources: Iterable[str]) -> set[str]:
         """Vertices weakly reachable from ``sources`` (the paper's ``D ^ S``)."""
+        if reference.NAIVE:
+            return reference.naive_reachable_from(self._digraph, sources)
         return self._digraph.reachable_from(sources)
 
     def reduced(self) -> "OrderGraph":
@@ -389,12 +574,9 @@ class OrderGraph:
             if current is None:
                 continue
             # try removing the edge; keep it only if no longer entailed
-            del g._edges[(a, b)]
-            g._digraph._succ[a].discard(b)
-            g._digraph._pred[b].discard(a)
+            g.remove_edge(a, b)
             if not g.entails_atom(a, b, current):
-                g._digraph.add_edge(a, b)
-                g._edges[(a, b)] = current
+                g.add_edge(a, b, current)
         return g
 
     def remove_vertices(self, drop: Iterable[str]) -> None:
@@ -409,3 +591,4 @@ class OrderGraph:
             if u not in drop and v not in drop
         }
         self._neq = {p for p in self._neq if not (p & drop)}
+        self._bump()

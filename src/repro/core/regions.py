@@ -1,0 +1,138 @@
+"""Memoized per-region views of an order graph.
+
+The bounded-width decision procedures (Theorem 4.7, Theorem 5.3) and the
+minimal-model enumerators all explore state spaces whose states are
+*regions* — subsets of a fixed order graph's vertices, usually up-sets
+``D ^ S`` of some antichain ``S``.  Different states routinely denote the
+same region, and the seed implementation rebuilt the induced subgraph, its
+minor vertices and its minimal vertices from scratch at every visit.
+
+:class:`RegionCache` memoizes exactly those per-region artifacts, keyed on
+the frozen vertex set:
+
+* :meth:`~RegionCache.up_set` — the weak up-set of a source set;
+* :meth:`~RegionCache.induced` — the induced subgraph (one shared,
+  **read-only** :class:`~repro.core.ordergraph.OrderGraph` per region,
+  which in turn carries its own cached closures);
+* :meth:`~RegionCache.minors` / :meth:`~RegionCache.minimal` — the minor
+  and minimal vertices of the induced subgraph;
+* :meth:`~RegionCache.block_labels` — the label union of a block (when the
+  cache was built with a label map).
+
+Under :func:`repro.substrate.reference.naive_mode` every call recomputes
+without storing, reproducing the seed's cost model for benchmarks and
+differential tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.ordergraph import OrderGraph
+from repro.substrate import reference
+
+
+class RegionCache:
+    """Memoized region artifacts over one fixed :class:`OrderGraph`.
+
+    The underlying graph must not be mutated while the cache is alive;
+    graphs returned by :meth:`induced` are shared across lookups and must
+    be treated as read-only.
+    """
+
+    __slots__ = (
+        "graph",
+        "labels",
+        "_all",
+        "_up",
+        "_induced",
+        "_minors",
+        "_minimal",
+        "_block_labels",
+    )
+
+    def __init__(
+        self,
+        graph: OrderGraph,
+        labels: Mapping[str, frozenset[str]] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.labels = labels
+        self._all = frozenset(graph.vertices)
+        self._up: dict[frozenset[str], frozenset[str]] = {}
+        self._induced: dict[frozenset[str], OrderGraph] = {}
+        self._minors: dict[frozenset[str], frozenset[str]] = {}
+        self._minimal: dict[frozenset[str], frozenset[str]] = {}
+        self._block_labels: dict[frozenset[str], frozenset[str]] = {}
+
+    def up_set(self, sources: Iterable[str]) -> frozenset[str]:
+        """The weak up-set ``D ^ S`` of ``sources`` (memoized)."""
+        key = (
+            sources
+            if isinstance(sources, frozenset)
+            else frozenset(sources)
+        )
+        if reference.NAIVE:
+            return frozenset(self.graph.up_set(key))
+        try:
+            return self._up[key]
+        except KeyError:
+            value = self._up[key] = frozenset(self.graph.up_set(key))
+            return value
+
+    def induced(self, region: frozenset[str]) -> OrderGraph:
+        """The induced subgraph on ``region`` (shared instance; read-only)."""
+        if reference.NAIVE:
+            return self.graph.induced(region)
+        if region == self._all:
+            return self.graph
+        try:
+            return self._induced[region]
+        except KeyError:
+            value = self._induced[region] = self.graph.induced(region)
+            return value
+
+    def minors(self, region: frozenset[str]) -> frozenset[str]:
+        """Minor vertices of the induced subgraph on ``region``."""
+        if reference.NAIVE:
+            return frozenset(self.induced(region).minor_vertices())
+        try:
+            return self._minors[region]
+        except KeyError:
+            value = self._minors[region] = frozenset(
+                self.induced(region).minor_vertices()
+            )
+            return value
+
+    def minimal(self, region: frozenset[str]) -> frozenset[str]:
+        """Minimal (source) vertices of the induced subgraph on ``region``."""
+        if reference.NAIVE:
+            return frozenset(self.induced(region).minimal_vertices())
+        try:
+            return self._minimal[region]
+        except KeyError:
+            value = self._minimal[region] = frozenset(
+                self.induced(region).minimal_vertices()
+            )
+            return value
+
+    def block_labels(self, block: frozenset[str]) -> frozenset[str]:
+        """The union of the labels of ``block`` (requires a label map)."""
+        if self.labels is None:
+            raise ValueError("RegionCache was built without labels")
+        if reference.NAIVE:
+            return self._compute_block_labels(block)
+        try:
+            return self._block_labels[block]
+        except KeyError:
+            value = self._block_labels[block] = self._compute_block_labels(
+                block
+            )
+            return value
+
+    def _compute_block_labels(self, block: frozenset[str]) -> frozenset[str]:
+        assert self.labels is not None
+        out: set[str] = set()
+        for v in block:
+            out |= self.labels[v]
+        return frozenset(out)

@@ -1,1 +1,14 @@
-"""Subpackage of the repro library."""
+"""Dependency-free graph/matching substrate under the order-graph machinery.
+
+Modules:
+
+* :mod:`repro.substrate.digraph` — directed graphs with an interned bitset
+  index; reachability, SCC condensation and transitive closure run as
+  word-parallel bitmask sweeps (see the module's "Performance notes").
+* :mod:`repro.substrate.matching` — Hopcroft–Karp matching and König
+  covers, the substrate for Dilworth-style width computation.
+* :mod:`repro.substrate.parser` — the textual atom/database/query parser.
+* :mod:`repro.substrate.reference` — the retained naive (seed) algorithms
+  plus :func:`~repro.substrate.reference.naive_mode`, used by differential
+  tests and by ``benchmarks/run_benchmarks.py`` for before/after numbers.
+"""

@@ -5,6 +5,29 @@ objects, edges are stored as adjacency sets.  Provides exactly the
 operations the paper's constructions need — reachability, strongly connected
 components (for normalization rule N1), topological sorting, and transitive
 closure (for fullness and width).
+
+Performance notes
+-----------------
+
+All reachability-style queries run on an *interned bitset index*: vertices
+are assigned consecutive integer ids and each adjacency row becomes a single
+Python ``int`` bitmask, so set unions over vertex rows cost one word-level
+``OR`` per 64 vertices instead of per-element hashing.  The index is rebuilt
+lazily — every mutating method bumps :attr:`version`, and the next query
+re-interns only if the version moved.  On top of the index:
+
+* :meth:`reachable_from` is a frontier BFS over bitmasks;
+* :meth:`condensation` is one iterative Tarjan pass over integer ids whose
+  output order is reverse-topological, which lets
+* :meth:`closure_masks` compute the whole transitive closure with a single
+  dynamic-programming sweep over the condensation (no per-vertex DFS).
+
+The public API is unchanged and still set-based; the bitmask layer is an
+internal substrate that :class:`repro.core.ordergraph.OrderGraph` also taps
+directly (via :meth:`bit_index`, :meth:`closure_masks`, :meth:`condensation`
+and :meth:`set_from_mask`) for its cached derived relations.  The naive
+set-based algorithms are retained in :mod:`repro.substrate.reference` as a
+differential-testing and benchmarking baseline.
 """
 
 from __future__ import annotations
@@ -21,37 +44,94 @@ class Digraph:
     def __init__(self) -> None:
         self._succ: dict[Vertex, set[Vertex]] = {}
         self._pred: dict[Vertex, set[Vertex]] = {}
+        self._version = 0
+        # lazily (re)built bitset index — valid while versions match
+        self._bits_version = -1
+        self._verts: list[Vertex] = []
+        self._index: dict[Vertex, int] = {}
+        self._succ_masks: list[int] = []
+        self._pred_masks: list[int] = []
+        # derived caches keyed on _version
+        self._closure_version = -1
+        self._closure_masks: list[int] = []
+        self._cond_version = -1
+        self._cond: tuple[list[int], list[list[int]]] = ([], [])
 
     # -- construction -----------------------------------------------------
 
+    @property
+    def version(self) -> int:
+        """Generation counter: bumped by every structural mutation."""
+        return self._version
+
     def add_vertex(self, v: Vertex) -> None:
         """Add vertex ``v`` (idempotent)."""
-        self._succ.setdefault(v, set())
-        self._pred.setdefault(v, set())
+        if v not in self._succ:
+            fresh = self._bits_version == self._version
+            self._succ[v] = set()
+            self._pred[v] = set()
+            self._version += 1
+            if fresh:
+                # extend the interning in place instead of rebuilding
+                self._index[v] = len(self._verts)
+                self._verts.append(v)
+                self._succ_masks.append(0)
+                self._pred_masks.append(0)
+                self._bits_version = self._version
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add edge ``u -> v`` (idempotent), adding endpoints as needed."""
         self.add_vertex(u)
         self.add_vertex(v)
-        self._succ[u].add(v)
-        self._pred[v].add(u)
+        if v not in self._succ[u]:
+            fresh = self._bits_version == self._version
+            self._succ[u].add(v)
+            self._pred[v].add(u)
+            self._version += 1
+            if fresh:
+                ui, vi = self._index[u], self._index[v]
+                self._succ_masks[ui] |= 1 << vi
+                self._pred_masks[vi] |= 1 << ui
+                self._bits_version = self._version
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Delete edge ``u -> v`` if present; the endpoints remain."""
+        if u in self._succ and v in self._succ[u]:
+            fresh = self._bits_version == self._version
+            self._succ[u].discard(v)
+            self._pred[v].discard(u)
+            self._version += 1
+            if fresh:
+                ui, vi = self._index[u], self._index[v]
+                self._succ_masks[ui] &= ~(1 << vi)
+                self._pred_masks[vi] &= ~(1 << ui)
+                self._bits_version = self._version
 
     def copy(self) -> "Digraph":
         """An independent copy of this graph."""
         g = Digraph()
-        for v in self._succ:
-            g.add_vertex(v)
-        for u, vs in self._succ.items():
-            for v in vs:
-                g.add_edge(u, v)
+        g._succ = {v: set(s) for v, s in self._succ.items()}
+        g._pred = {v: set(s) for v, s in self._pred.items()}
+        g._version = 1
+        return g
+
+    def induced_subgraph(self, keep: "set[Vertex]") -> "Digraph":
+        """The subgraph induced by ``keep`` (absent vertices ignored)."""
+        g = Digraph()
+        g._succ = {v: self._succ[v] & keep for v in self._succ if v in keep}
+        g._pred = {v: self._pred[v] & keep for v in self._pred if v in keep}
+        g._version = 1
         return g
 
     def remove_vertex(self, v: Vertex) -> None:
         """Delete ``v`` and all incident edges."""
+        if v not in self._succ:
+            return
         for u in self._pred.pop(v, set()):
             self._succ[u].discard(v)
         for w in self._succ.pop(v, set()):
             self._pred[w].discard(v)
+        self._version += 1
 
     # -- inspection --------------------------------------------------------
 
@@ -80,20 +160,82 @@ class Digraph:
     def __len__(self) -> int:
         return len(self._succ)
 
+    # -- bitset index -------------------------------------------------------
+
+    def _ensure_bits(self) -> None:
+        if self._bits_version == self._version:
+            return
+        verts = list(self._succ)
+        index = {v: i for i, v in enumerate(verts)}
+        succ_masks = []
+        pred_masks = []
+        for v in verts:
+            m = 0
+            for w in self._succ[v]:
+                m |= 1 << index[w]
+            succ_masks.append(m)
+            m = 0
+            for w in self._pred[v]:
+                m |= 1 << index[w]
+            pred_masks.append(m)
+        self._verts = verts
+        self._index = index
+        self._succ_masks = succ_masks
+        self._pred_masks = pred_masks
+        self._bits_version = self._version
+
+    def bit_index(self) -> tuple[list[Vertex], dict[Vertex, int]]:
+        """The interned vertex list and its inverse (stable per version)."""
+        self._ensure_bits()
+        return self._verts, self._index
+
+    def set_from_mask(self, mask: int) -> set[Vertex]:
+        """Decode a bitmask over the current interning into a vertex set."""
+        self._ensure_bits()
+        verts = self._verts
+        out: set[Vertex] = set()
+        while mask:
+            low = mask & -mask
+            out.add(verts[low.bit_length() - 1])
+            mask ^= low
+        return out
+
+    def mask_from(self, sources: Iterable[Vertex]) -> int:
+        """Encode the present members of ``sources`` as a bitmask."""
+        self._ensure_bits()
+        index = self._index
+        m = 0
+        for s in sources:
+            i = index.get(s)
+            if i is not None:
+                m |= 1 << i
+        return m
+
+    def reachable_mask(self, src_mask: int, reverse: bool = False) -> int:
+        """Bitmask of vertices reachable from ``src_mask`` (sources included).
+
+        With ``reverse=True``, follows edges backwards (co-reachability).
+        """
+        self._ensure_bits()
+        masks = self._pred_masks if reverse else self._succ_masks
+        seen = src_mask
+        frontier = src_mask
+        while frontier:
+            nxt = 0
+            m = frontier
+            while m:
+                low = m & -m
+                nxt |= masks[low.bit_length() - 1]
+                m ^= low
+            frontier = nxt & ~seen
+            seen |= frontier
+        return seen
+
     # -- algorithms ---------------------------------------------------------
 
     def reachable_from(self, sources: Iterable[Vertex]) -> set[Vertex]:
         """Vertices reachable from ``sources`` (including the sources)."""
-        seen: set[Vertex] = set()
-        stack = [s for s in sources if s in self._succ]
-        seen.update(stack)
-        while stack:
-            u = stack.pop()
-            for v in self._succ[u]:
-                if v not in seen:
-                    seen.add(v)
-                    stack.append(v)
-        return seen
+        return self.set_from_mask(self.reachable_mask(self.mask_from(sources)))
 
     def sources(self) -> set[Vertex]:
         """Vertices with no incoming edge (the paper's *minimal* vertices)."""
@@ -103,59 +245,76 @@ class Digraph:
         """Vertices with no outgoing edge."""
         return {v for v, ss in self._succ.items() if not ss}
 
-    def strongly_connected_components(self) -> list[set[Vertex]]:
-        """Tarjan's algorithm, iterative (order of components arbitrary)."""
-        index: dict[Vertex, int] = {}
-        low: dict[Vertex, int] = {}
-        on_stack: set[Vertex] = set()
-        stack: list[Vertex] = []
-        result: list[set[Vertex]] = []
-        counter = 0
+    def condensation(self) -> tuple[list[int], list[list[int]]]:
+        """SCC condensation over interned ids: ``(comp_of, comps)``.
 
-        for root in self._succ:
-            if root in index:
+        ``comp_of[vid]`` is the component id of vertex id ``vid``;
+        ``comps`` lists each component's member ids in Tarjan emission
+        order, which is *reverse topological* on the condensation — every
+        component appears before all components that can reach it, so a
+        single forward sweep over ``comps`` visits successors first.
+        """
+        if self._cond_version == self._version:
+            return self._cond
+        self._ensure_bits()
+        n = len(self._verts)
+        index_of = self._index
+        succ_ids = [
+            [index_of[w] for w in self._succ[v]] for v in self._verts
+        ]
+        index = [-1] * n
+        low = [0] * n
+        on_stack = [False] * n
+        stack: list[int] = []
+        comps: list[list[int]] = []
+        comp_of = [-1] * n
+        counter = 0
+        for root in range(n):
+            if index[root] != -1:
                 continue
-            # Iterative Tarjan: work items are (vertex, iterator position).
-            work: list[tuple[Vertex, list[Vertex], int]] = [
-                (root, sorted(self._succ[root], key=repr), 0)
-            ]
+            work: list[tuple[int, int]] = [(root, 0)]
             index[root] = low[root] = counter
             counter += 1
             stack.append(root)
-            on_stack.add(root)
+            on_stack[root] = True
             while work:
-                v, succs, i = work[-1]
-                advanced = False
-                while i < len(succs):
-                    w = succs[i]
-                    i += 1
-                    if w not in index:
+                v, i = work[-1]
+                if i < len(succ_ids[v]):
+                    work[-1] = (v, i + 1)
+                    w = succ_ids[v][i]
+                    if index[w] == -1:
                         index[w] = low[w] = counter
                         counter += 1
                         stack.append(w)
-                        on_stack.add(w)
-                        work[-1] = (v, succs, i)
-                        work.append((w, sorted(self._succ[w], key=repr), 0))
-                        advanced = True
-                        break
-                    if w in on_stack:
-                        low[v] = min(low[v], index[w])
-                if advanced:
-                    continue
-                work.pop()
-                if low[v] == index[v]:
-                    component: set[Vertex] = set()
-                    while True:
-                        w = stack.pop()
-                        on_stack.discard(w)
-                        component.add(w)
-                        if w == v:
-                            break
-                    result.append(component)
-                if work:
-                    parent = work[-1][0]
-                    low[parent] = min(low[parent], low[v])
-        return result
+                        on_stack[w] = True
+                        work.append((w, 0))
+                    elif on_stack[w] and index[w] < low[v]:
+                        low[v] = index[w]
+                else:
+                    work.pop()
+                    if low[v] == index[v]:
+                        members: list[int] = []
+                        while True:
+                            w = stack.pop()
+                            on_stack[w] = False
+                            comp_of[w] = len(comps)
+                            members.append(w)
+                            if w == v:
+                                break
+                        comps.append(members)
+                    if work:
+                        parent = work[-1][0]
+                        if low[v] < low[parent]:
+                            low[parent] = low[v]
+        self._cond = (comp_of, comps)
+        self._cond_version = self._version
+        return self._cond
+
+    def strongly_connected_components(self) -> list[set[Vertex]]:
+        """The SCCs as vertex sets (reverse-topological component order)."""
+        _comp_of, comps = self.condensation()
+        verts = self._verts
+        return [{verts[i] for i in members} for members in comps]
 
     def topological_order(self) -> list[Vertex]:
         """Kahn's algorithm; raises ``ValueError`` if the graph has a cycle."""
@@ -175,19 +334,60 @@ class Digraph:
 
     def is_acyclic(self) -> bool:
         """True when the graph is a dag."""
-        try:
-            self.topological_order()
-        except ValueError:
+        _comp_of, comps = self.condensation()
+        if any(len(members) > 1 for members in comps):
             return False
-        return True
+        return all(v not in self._succ[v] for v in self._succ)
+
+    def closure_masks(self) -> list[int]:
+        """Per-vertex-id transitive-closure bitmasks (strict reachability).
+
+        ``closure_masks()[vid]`` has bit ``wid`` set iff there is a
+        nonempty path from vertex ``vid`` to vertex ``wid``; a vertex sees
+        itself only when it lies on a cycle.  Computed by one DP sweep over
+        the condensation (successor components first), so the whole closure
+        costs O(V·E / wordsize) instead of a DFS per vertex.
+        """
+        if self._closure_version == self._version:
+            return self._closure_masks
+        self._ensure_bits()
+        masks = self._succ_masks
+        comp_of, comps = self.condensation()
+        comp_mask = []
+        for members in comps:
+            m = 0
+            for vid in members:
+                m |= 1 << vid
+            comp_mask.append(m)
+        comp_down = [0] * len(comps)  # component + everything below it
+        closure = [0] * len(self._verts)
+        for cid, members in enumerate(comps):  # successors come first
+            out = 0
+            cm = comp_mask[cid]
+            cyclic = len(members) > 1
+            for vid in members:
+                bit = 1 << vid
+                if not cyclic and masks[vid] & bit:
+                    cyclic = True  # self-loop
+                ext = masks[vid] & ~cm & ~out
+                while ext:
+                    low = ext & -ext
+                    down = comp_down[comp_of[low.bit_length() - 1]]
+                    out |= down
+                    ext &= ~out
+            comp_down[cid] = cm | out
+            member_closure = out | (cm if cyclic else 0)
+            for vid in members:
+                closure[vid] = member_closure
+        self._closure_masks = closure
+        self._closure_version = self._version
+        return closure
 
     def transitive_closure(self) -> dict[Vertex, set[Vertex]]:
         """Map each vertex to the set of vertices strictly reachable from it.
 
         The vertex itself is included only if it lies on a cycle.
         """
-        closure: dict[Vertex, set[Vertex]] = {}
-        for v in self._succ:
-            reach = self.reachable_from(self._succ[v])
-            closure[v] = reach
-        return closure
+        closure = self.closure_masks()
+        verts = self._verts
+        return {v: self.set_from_mask(closure[i]) for i, v in enumerate(verts)}

@@ -1,0 +1,156 @@
+"""Naive reference algorithms retained for differential testing and benchmarks.
+
+The bitset substrate in :mod:`repro.substrate.digraph` and the cached
+derived relations in :mod:`repro.core.ordergraph` replaced the seed's
+per-vertex DFS implementations.  Those original set-based algorithms are
+kept here, verbatim in behaviour, so that
+
+* the differential test-suite can assert the optimized substrate returns
+  *identical* results on randomized graphs (including after mutations), and
+* ``benchmarks/run_benchmarks.py`` can measure honest before/after numbers
+  by re-running the same pipeline under :func:`naive_mode`.
+
+:func:`naive_mode` flips a module-level switch consulted by
+:class:`~repro.core.ordergraph.OrderGraph` and
+:class:`~repro.core.regions.RegionCache`: while active, every reachability
+and SCC/normalization query recomputes from scratch with the functions
+below and the order-graph/region memoization is bypassed, reproducing the
+seed's cost model.
+
+This module deliberately imports nothing from :mod:`repro.core` — the
+order-graph-level helpers take the underlying :class:`Digraph` plus the
+list of '<'-labelled edge pairs, keeping the substrate layer closed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Hashable, Iterable, Iterator
+
+from repro.substrate.digraph import Digraph
+
+Vertex = Hashable
+
+#: When True, OrderGraph and RegionCache route queries through the naive
+#: implementations below and skip every cache.  Toggle via :func:`naive_mode`.
+NAIVE = False
+
+
+@contextmanager
+def naive_mode() -> Iterator[None]:
+    """Run the enclosed block on the naive, cache-free reference substrate."""
+    global NAIVE
+    previous = NAIVE
+    NAIVE = True
+    try:
+        yield
+    finally:
+        NAIVE = previous
+
+
+def naive_reachable_from(
+    graph: Digraph, sources: Iterable[Vertex]
+) -> set[Vertex]:
+    """Vertices reachable from ``sources`` (the seed's stack-based DFS)."""
+    seen: set[Vertex] = set()
+    stack = [s for s in sources if s in graph]
+    seen.update(stack)
+    while stack:
+        u = stack.pop()
+        for v in graph.successors(u):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return seen
+
+
+def naive_transitive_closure(graph: Digraph) -> dict[Vertex, set[Vertex]]:
+    """Strict reachability per vertex, by one DFS per vertex (seed behaviour)."""
+    return {
+        v: naive_reachable_from(graph, graph.successors(v))
+        for v in graph.vertices
+    }
+
+
+def naive_strict_reachability(
+    graph: Digraph, lt_edges: Iterable[tuple[Vertex, Vertex]]
+) -> dict[Vertex, set[Vertex]]:
+    """'<'-tainted reachability via the seed's O(LT-edges × V) product loop.
+
+    ``w`` is strictly reachable from ``v`` iff some edge ``(a, b)`` in
+    ``lt_edges`` has ``a`` weakly reachable from ``v`` and ``w`` weakly
+    reachable from ``b``.
+    """
+    reach = naive_transitive_closure(graph)
+    weak = {v: reach[v] | {v} for v in reach}
+    out: dict[Vertex, set[Vertex]] = {v: set() for v in weak}
+    for a, b in lt_edges:
+        for v in weak:
+            if a in weak[v]:
+                out[v].update(weak[b])
+    return out
+
+
+def naive_strongly_connected_components(
+    graph: Digraph,
+) -> list[set[Vertex]]:
+    """The seed's iterative Tarjan over vertex objects (repr-sorted succs)."""
+    index: dict[Vertex, int] = {}
+    low: dict[Vertex, int] = {}
+    on_stack: set[Vertex] = set()
+    stack: list[Vertex] = []
+    result: list[set[Vertex]] = []
+    counter = 0
+
+    for root in graph.vertices:
+        if root in index:
+            continue
+        work: list[tuple[Vertex, list[Vertex], int]] = [
+            (root, sorted(graph.successors(root), key=repr), 0)
+        ]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, succs, i = work[-1]
+            advanced = False
+            while i < len(succs):
+                w = succs[i]
+                i += 1
+                if w not in index:
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work[-1] = (v, succs, i)
+                    work.append((w, sorted(graph.successors(w), key=repr), 0))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if low[v] == index[v]:
+                component: set[Vertex] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.add(w)
+                    if w == v:
+                        break
+                result.append(component)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+    return result
+
+
+def naive_minor_vertices(
+    graph: Digraph, lt_edges: Iterable[tuple[Vertex, Vertex]]
+) -> set[Vertex]:
+    """Vertices with no ascending path through a '<' edge ending in them."""
+    lt_heads = {b for _a, b in lt_edges}
+    tainted = naive_reachable_from(graph, lt_heads)
+    return graph.vertices - tainted

@@ -1,0 +1,278 @@
+"""Differential tests: bitset/cached substrate vs the naive reference.
+
+The optimized reachability substrate (interned bitsets, condensation DP,
+generation-counter caches, region memoization) must return results
+*identical* to the seed's naive implementations, which are retained in
+``repro.substrate.reference``.  These tests compare the two on randomized
+graphs — acyclic and cyclic, with and without '!=' pairs — and on
+mutation-after-query sequences designed to catch stale-cache bugs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.conjunctive import (
+    bounded_width_entails_dag,
+    paths_entails_dag,
+)
+from repro.algorithms.disjunctive import theorem53
+from repro.core.atoms import Rel
+from repro.core.models import count_minimal_models, iter_block_sequences
+from repro.core.ordergraph import OrderGraph
+from repro.substrate import reference
+from repro.substrate.digraph import Digraph
+from repro.workloads.generators import (
+    random_conjunctive_monadic_query,
+    random_disjunctive_monadic_query,
+    random_labeled_dag,
+    random_observer_dag,
+)
+
+RELS = (Rel.LT, Rel.LE)
+
+
+def random_order_graph(
+    rng: random.Random,
+    n: int,
+    edge_prob: float = 0.3,
+    le_prob: float = 0.5,
+    cyclic: bool = False,
+    neq_prob: float = 0.0,
+) -> OrderGraph:
+    g = OrderGraph()
+    names = [f"v{i}" for i in range(n)]
+    for v in names:
+        g.add_vertex(v)
+    for i in range(n):
+        for j in range(n):
+            if i == j or (not cyclic and i > j):
+                continue
+            if rng.random() < edge_prob:
+                rel = Rel.LE if rng.random() < le_prob else Rel.LT
+                g.add_edge(names[i], names[j], rel)
+    if neq_prob:
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < neq_prob:
+                    g.add_edge(names[i], names[j], Rel.NE)
+    return g
+
+
+def naive_views(g: OrderGraph):
+    """All derived relations recomputed on the naive reference substrate."""
+    with reference.naive_mode():
+        norm = g.normalize()
+        return {
+            "reach": {v: set(s) for v, s in g.reachability().items()},
+            "strict": {v: set(s) for v, s in g.strict_reachability().items()},
+            "minors": set(g.minor_vertices()),
+            "minimal": set(g.minimal_vertices()),
+            "consistent": norm.consistent,
+            "canon": dict(norm.canon),
+            "norm_edges": dict(norm.graph._edges),
+            "norm_neq": set(norm.graph.neq_pairs),
+        }
+
+
+def optimized_views(g: OrderGraph):
+    norm = g.normalize()
+    return {
+        "reach": {v: set(s) for v, s in g.reachability().items()},
+        "strict": {v: set(s) for v, s in g.strict_reachability().items()},
+        "minors": set(g.minor_vertices()),
+        "minimal": set(g.minimal_vertices()),
+        "consistent": norm.consistent,
+        "canon": dict(norm.canon),
+        "norm_edges": dict(norm.graph._edges),
+        "norm_neq": set(norm.graph.neq_pairs),
+    }
+
+
+class TestDigraphDifferential:
+    def test_closure_and_reachability_match_naive(self):
+        rng = random.Random(11)
+        for _ in range(60):
+            n = rng.randrange(0, 12)
+            g = Digraph()
+            for i in range(n):
+                g.add_vertex(i)
+            for i in range(n):
+                for j in range(n):
+                    if rng.random() < 0.25:
+                        g.add_edge(i, j)  # self-loops and cycles included
+            assert g.transitive_closure() == reference.naive_transitive_closure(g)
+            sources = {i for i in range(n) if rng.random() < 0.3}
+            sources.add(n + 99)  # absent vertices must be ignored
+            assert g.reachable_from(sources) == reference.naive_reachable_from(
+                g, sources
+            )
+
+    def test_remove_edge(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.remove_edge("a", "b")
+        assert g.successors("a") == set()
+        assert g.predecessors("b") == set()
+        assert g.vertices == {"a", "b", "c"}
+        g.remove_edge("a", "b")  # idempotent no-op
+        assert g.reachable_from(["a"]) == {"a"}
+        assert g.reachable_from(["b"]) == {"b", "c"}
+
+
+class TestOrderGraphDifferential:
+    @pytest.mark.parametrize("cyclic", [False, True])
+    @pytest.mark.parametrize("neq_prob", [0.0, 0.15])
+    def test_derived_relations_match_naive(self, cyclic, neq_prob):
+        rng = random.Random(7 + int(cyclic) + int(neq_prob * 100))
+        for _ in range(40):
+            n = rng.randrange(0, 10)
+            g = random_order_graph(
+                rng, n, edge_prob=0.3, cyclic=cyclic, neq_prob=neq_prob
+            )
+            assert optimized_views(g) == naive_views(g)
+
+    def test_full_output_unchanged(self):
+        """Property test for the `full()` cleanup: the dropped second loop
+        over strict reachability was redundant (strict is a subset of
+        reachability), so `full()` must equal the seed's double-loop
+        construction exactly — labels, edge set and '!=' pairs."""
+        rng = random.Random(23)
+        for _ in range(40):
+            n = rng.randrange(0, 9)
+            g = random_order_graph(
+                rng, n, cyclic=bool(rng.randrange(2)), neq_prob=0.1
+            )
+            full = g.full()
+            with reference.naive_mode():
+                reach = g.reachability()
+                strict = g.strict_reachability()
+                expect = OrderGraph()
+                for v in g.vertices:
+                    expect.add_vertex(v)
+                for u in g.vertices:
+                    for v in reach[u]:
+                        if u == v:
+                            continue
+                        expect.add_edge(
+                            u, v, Rel.LT if v in strict[u] else Rel.LE
+                        )
+                for u in g.vertices:  # the seed's second loop
+                    for v in strict[u]:
+                        if u != v:
+                            expect.add_edge(u, v, Rel.LT)
+                for pair in g.neq_pairs:
+                    names = sorted(pair)
+                    if len(names) == 1:
+                        expect.add_edge(names[0], names[0], Rel.NE)
+                    else:
+                        expect.add_edge(names[0], names[1], Rel.NE)
+            assert full._edges == expect._edges
+            assert full.vertices == expect.vertices
+            assert full.neq_pairs == expect.neq_pairs
+
+    def test_reduced_matches_naive(self):
+        rng = random.Random(31)
+        for _ in range(25):
+            n = rng.randrange(0, 9)
+            g = random_order_graph(rng, n, edge_prob=0.5)
+            fast = g.full().reduced()
+            with reference.naive_mode():
+                slow = g.full().reduced()
+            assert fast._edges == slow._edges
+            assert fast.vertices == slow.vertices
+
+    def test_mutation_after_query_sequences(self):
+        """Interleave queries with mutations; cached views must always equal
+        a from-scratch rebuild (stale-cache detector)."""
+        rng = random.Random(47)
+        for _ in range(25):
+            g = random_order_graph(rng, rng.randrange(2, 8), cyclic=True)
+            edges = dict(g._edges)
+            vertices = set(g.vertices)
+            for _step in range(12):
+                # populate the caches before mutating
+                optimized_views(g)
+                op = rng.randrange(4)
+                names = sorted(vertices)
+                if op == 0 or not names:
+                    v = f"n{rng.randrange(100)}"
+                    g.add_vertex(v)
+                    vertices.add(v)
+                elif op == 1:
+                    u, v = rng.choice(names), rng.choice(names)
+                    rel = RELS[rng.randrange(2)]
+                    g.add_edge(u, v, rel)
+                    old = edges.get((u, v))
+                    if old is None or (old is Rel.LE and rel is Rel.LT):
+                        edges[(u, v)] = rel
+                    vertices.update((u, v))
+                elif op == 2 and edges:
+                    u, v = rng.choice(sorted(edges))
+                    g.remove_edge(u, v)
+                    del edges[(u, v)]
+                else:
+                    v = rng.choice(names)
+                    g.remove_vertices({v})
+                    vertices.discard(v)
+                    edges = {
+                        e: r for e, r in edges.items() if v not in e
+                    }
+                fresh = OrderGraph()
+                for v in vertices:
+                    fresh.add_vertex(v)
+                for (u, v), rel in edges.items():
+                    fresh.add_edge(u, v, rel)
+                assert optimized_views(g) == optimized_views(fresh)
+                assert optimized_views(g) == naive_views(fresh)
+
+
+class TestPipelineDifferential:
+    """End-to-end: each decision procedure agrees with itself run naively."""
+
+    def test_theorem53_matches_naive(self):
+        rng = random.Random(5)
+        for _ in range(12):
+            dag = random_observer_dag(rng, 2, 2)
+            query = random_disjunctive_monadic_query(rng, 2, 2)
+            fast = theorem53(dag, query)
+            with reference.naive_mode():
+                slow = theorem53(dag, query)
+            assert fast.holds == slow.holds
+            assert fast.countermodel == slow.countermodel
+
+    def test_bounded_width_matches_naive(self):
+        rng = random.Random(6)
+        for _ in range(15):
+            dag = random_labeled_dag(rng, 5)
+            qdag = random_conjunctive_monadic_query(rng, 3).monadic_dag()
+            fast = bounded_width_entails_dag(dag, qdag)
+            with reference.naive_mode():
+                slow = bounded_width_entails_dag(dag, qdag)
+            assert fast == slow
+
+    def test_paths_entails_matches_naive(self):
+        rng = random.Random(8)
+        for _ in range(15):
+            dag = random_labeled_dag(rng, 5)
+            qdag = random_conjunctive_monadic_query(rng, 3).monadic_dag()
+            fast = paths_entails_dag(dag, qdag)
+            with reference.naive_mode():
+                slow = paths_entails_dag(dag, qdag)
+            assert fast == slow
+
+    def test_model_enumeration_matches_naive(self):
+        rng = random.Random(9)
+        for _ in range(15):
+            g = random_order_graph(rng, rng.randrange(0, 6), neq_prob=0.1)
+            norm = g.normalize().graph if g.is_consistent() else g
+            fast_seqs = list(iter_block_sequences(norm))
+            fast_count = count_minimal_models(norm)
+            with reference.naive_mode():
+                slow_seqs = list(iter_block_sequences(norm))
+                slow_count = count_minimal_models(norm)
+            assert fast_seqs == slow_seqs
+            assert fast_count == slow_count

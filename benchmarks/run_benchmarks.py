@@ -43,12 +43,19 @@ from repro.algorithms.conjunctive import (  # noqa: E402
     paths_entails_dag,
 )
 from repro.algorithms.disjunctive import theorem53  # noqa: E402
+from itertools import product as iter_product  # noqa: E402
+
+from repro.api import Session  # noqa: E402
+from repro.core.entailment import entails, explain  # noqa: E402
+from repro.core.query import as_dnf  # noqa: E402
+from repro.core.sorts import obj  # noqa: E402
 from repro.core.models import (  # noqa: E402
     count_minimal_models,
     iter_block_sequences,
 )
 from repro.substrate import reference  # noqa: E402
 from repro.workloads.generators import (  # noqa: E402
+    random_certain_answers_workload,
     random_conjunctive_monadic_query,
     random_disjunctive_monadic_query,
     random_labeled_dag,
@@ -73,11 +80,31 @@ def _run_pair(name, params, fn, repeats):
     optimized_s, optimized_result = _best_time(fn, repeats)
     return {
         "name": name,
+        "mode": "substrate",
         "params": params,
         "naive_s": round(naive_s, 6),
         "optimized_s": round(optimized_s, 6),
         "speedup": round(naive_s / optimized_s, 2) if optimized_s else None,
         "results_match": naive_result == optimized_result,
+    }
+
+
+def _run_api_pair(name, params, one_shot_fn, prepared_fn, repeats):
+    """Time the stateless one-shot API against the session/prepared API.
+
+    Both sides run on the optimized substrate — this measures the API
+    redesign (plan + cache reuse), not the PR 1 bitset substrate.
+    """
+    one_shot_s, one_shot_result = _best_time(one_shot_fn, repeats)
+    prepared_s, prepared_result = _best_time(prepared_fn, repeats)
+    return {
+        "name": name,
+        "mode": "api",
+        "params": params,
+        "one_shot_s": round(one_shot_s, 6),
+        "prepared_s": round(prepared_s, 6),
+        "speedup": round(one_shot_s / prepared_s, 2) if prepared_s else None,
+        "results_match": one_shot_result == prepared_result,
     }
 
 
@@ -194,6 +221,123 @@ def build_benchmarks(quick: bool, seed: int):
     )
 
 
+def build_api_benchmarks(quick: bool, seed: int):
+    """Yield ``(name, params, one_shot_fn, prepared_fn, repeats)`` tuples.
+
+    The one-shot side is the stateless per-call/per-tuple loop the
+    pre-session API forced on callers (``certain_answers`` itself is now
+    prepared-plan backed, so the loop is spelled out here).  The
+    prepared side builds its :class:`Session` inside the timed function,
+    so plan compilation and cache warm-up are paid inside the
+    measurement — the speedup comes purely from doing the work once per
+    plan instead of once per call/tuple.
+    """
+    repeats = 1 if quick else 3
+
+    def per_tuple_answers(db, query, free):
+        """The pre-session certain-answers loop: one full pipeline per
+        candidate tuple."""
+        dnf = as_dnf(query)
+        domain = sorted(db.object_constants)
+        return frozenset(
+            combo
+            for combo in iter_product(domain, repeat=len(free))
+            if entails(
+                db, dnf.substitute(dict(zip(free, map(obj, combo))))
+            )
+        )
+
+    # -- certain answers: one prepared plan over all candidate tuples ------
+    rng = random.Random(seed + 11)
+    n_objects = 8 if quick else 10
+    db, query, free = random_certain_answers_workload(
+        rng,
+        width=4,
+        chain_length=3 if quick else 4,
+        n_objects=n_objects,
+        n_disjuncts=2,
+        n_free=2,
+    )
+    yield (
+        "session/certain_answers",
+        {
+            "width": 4,
+            "chain": 3 if quick else 4,
+            "objects": n_objects,
+            "free_vars": 2,
+            "candidates": n_objects ** 2,
+        },
+        lambda db=db, query=query, free=free: per_tuple_answers(
+            db, query, free
+        ),
+        lambda db=db, query=query, free=free: frozenset(
+            Session(db).certain_answers(query, free)
+        ),
+        repeats,
+    )
+
+    # -- a batch of closed queries sharing one warm closure state ----------
+    rng = random.Random(seed + 13)
+    dag = random_observer_dag(rng, 4, 4 if quick else 5)
+    db = dag.to_database()
+    queries = [
+        random_disjunctive_monadic_query(rng, 2, 3)
+        for _ in range(6 if quick else 12)
+    ]
+    yield (
+        "session/entails_many",
+        {"width": 4, "queries": len(queries)},
+        lambda db=db, queries=queries: [
+            explain(db, q).holds for q in queries
+        ],
+        lambda db=db, queries=queries: Session(db).entails_many(queries),
+        repeats,
+    )
+
+    # -- an evolving database: object-fact churn between queries -----------
+    rng = random.Random(seed + 17)
+    db, query, free = random_certain_answers_workload(
+        rng,
+        width=3,
+        chain_length=3,
+        n_objects=6 if quick else 8,
+        n_disjuncts=2,
+        n_free=1,
+    )
+    from repro.core.atoms import ProperAtom
+    from repro.core.database import IndefiniteDatabase
+
+    toggles = [
+        ProperAtom("Tag", (obj(f"churn{i}"),)) for i in range(4)
+    ]
+
+    def one_shot_evolving(db=db, query=query, free=free, toggles=toggles):
+        answers = []
+        current = db
+        for fact in toggles:
+            current = current.union(IndefiniteDatabase.of(fact))
+            answers.append(per_tuple_answers(current, query, free))
+        return answers
+
+    def prepared_evolving(db=db, query=query, free=free, toggles=toggles):
+        session = Session(db)
+        plan = session.prepare(query, free_vars=free)
+        answers = []
+        for fact in toggles:
+            session.assert_facts(fact)
+            answers.append(frozenset(plan.execute().answers))
+        return answers
+
+    yield (
+        "session/evolving_db",
+        {"width": 3, "chain": 3, "objects": 6 if quick else 8,
+         "mutations": len(toggles)},
+        one_shot_evolving,
+        prepared_evolving,
+        repeats,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -229,6 +373,18 @@ def main(argv=None) -> int:
             f"optimized {row['optimized_s']*1000:9.2f} ms   "
             f"x{row['speedup']:<8} {match}"
         )
+    for name, params, one_shot_fn, prepared_fn, repeats in build_api_benchmarks(
+        args.quick, args.seed
+    ):
+        row = _run_api_pair(name, params, one_shot_fn, prepared_fn, repeats)
+        rows.append(row)
+        match = "ok" if row["results_match"] else "MISMATCH"
+        print(
+            f"{row['name']:<24} {str(row['params']):<52} "
+            f"one-shot {row['one_shot_s']*1000:6.2f} ms   "
+            f"prepared  {row['prepared_s']*1000:9.2f} ms   "
+            f"x{row['speedup']:<8} {match}"
+        )
 
     payload = {
         "meta": {
@@ -237,8 +393,10 @@ def main(argv=None) -> int:
             "python": sys.version.split()[0],
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "note": (
-                "naive = seed algorithms via repro.substrate.reference."
-                "naive_mode(); optimized = bitset substrate + closure caches"
+                "substrate rows: naive = seed algorithms via repro.substrate."
+                "reference.naive_mode(), optimized = bitset substrate + "
+                "closure caches; api rows: one_shot = stateless entry "
+                "points, prepared = Session/PreparedQuery reuse"
             ),
         },
         "benchmarks": rows,
@@ -252,8 +410,10 @@ def main(argv=None) -> int:
         failures = []
         for row in rows:
             if not row["results_match"]:
-                failures.append(f"{row['name']}: naive/optimized results differ")
-            gated = row["name"].startswith(("reduced/", "theorem53/"))
+                failures.append(f"{row['name']}: result pair differs")
+            gated = row["name"].startswith(
+                ("reduced/", "theorem53/", "session/certain_answers")
+            )
             if gated and row["speedup"] is not None:
                 if row["speedup"] < args.min_speedup:
                     failures.append(

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""The session workflow: compile queries once, execute many times.
+
+A monitoring service watches reports from several independent sensors —
+a width-k indefinite order database (Section 2's k-observer scenario).
+Alert queries are fixed; the database changes as reports stream in.  The
+one-shot API re-runs the whole pipeline (constant elimination, semantics
+transform, normalization, the Section 4 split, method selection) on
+every call; a :class:`repro.Session` compiles each query once into a
+:class:`repro.PreparedQuery` and re-executes it against the evolving
+database, reusing the warm order-graph closures and region caches that
+each mutation did not invalidate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    ConjunctiveQuery,
+    DisjunctiveQuery,
+    IndefiniteDatabase,
+    ProperAtom,
+    Session,
+    lt,
+    obj,
+    objvar,
+    ordc,
+    ordvar,
+)
+from repro.core.entailment import explain
+
+
+def fact(pred: str, point: str) -> ProperAtom:
+    return ProperAtom(pred, (ordc(point),))
+
+
+def main() -> None:
+    # Two sensors report event sequences; their relative order is unknown.
+    session = Session.from_atoms([
+        fact("Boot", "a1"), fact("Warn", "a2"), fact("Crash", "a3"),
+        lt(ordc("a1"), ordc("a2")), lt(ordc("a2"), ordc("a3")),
+        fact("Ping", "b1"), fact("Warn", "b2"),
+        lt(ordc("b1"), ordc("b2")),
+    ])
+
+    s, t = ordvar("s"), ordvar("t")
+    warn_then_crash = ConjunctiveQuery.of(
+        ProperAtom("Warn", (s,)), ProperAtom("Crash", (t,)), lt(s, t)
+    )
+    double_warn = ConjunctiveQuery.of(
+        ProperAtom("Warn", (s,)), ProperAtom("Warn", (t,)), lt(s, t)
+    )
+    alert = DisjunctiveQuery.of(warn_then_crash, double_warn)
+
+    print("== prepared plans over an evolving database ==")
+    plan = session.prepare(alert)
+    result = plan.execute()
+    print(f"alert ({result.method}): {result.holds}")
+
+    # A new report arrives: the same plan re-executes against the new
+    # state; only the caches the mutation touched are rebuilt.
+    session.assert_facts(fact("Warn", "b3"))
+    session.assert_order(lt(ordc("b2"), ordc("b3")))
+    result = plan.execute()
+    print(f"alert after sensor-b update ({result.method}): {result.holds}")
+    if not result.holds and result.countermodel is not None:
+        print(f"  countermodel: {result.render_countermodel()}")
+
+    # Certain answers: one prepared plan evaluated over all candidate
+    # tuples (the one-shot API would rerun the pipeline per tuple).
+    print("\n== certain answers as a single prepared plan ==")
+    inventory = Session.from_atoms([
+        ProperAtom("On", (ordc("p1"), obj("lamp"))),
+        ProperAtom("On", (ordc("p2"), obj("heater"))),
+        ProperAtom("Off", (ordc("p3"), obj("lamp"))),
+        lt(ordc("p1"), ordc("p3")),
+    ])
+    x = objvar("x")
+    switched_off = ConjunctiveQuery.of(
+        ProperAtom("On", (s, x)), ProperAtom("Off", (t, x)), lt(s, t)
+    )
+    answers_plan = inventory.prepare(switched_off, free_vars=(x,))
+    print(f"certainly switched off: {sorted(answers_plan.execute().answers)}")
+    inventory.assert_facts(
+        ProperAtom("On", (ordc("p4"), obj("tv"))),
+        ProperAtom("Off", (ordc("p5"), obj("tv"))),
+    )
+    inventory.assert_order(lt(ordc("p4"), ordc("p5")))
+    print(f"after tv reports:       {sorted(answers_plan.execute().answers)}")
+
+    # Timing: repeated queries through the session vs the one-shot API.
+    print("\n== repeated-query timing ==")
+    queries = [alert, warn_then_crash, double_warn]
+    repeat = 30
+
+    t0 = time.perf_counter()
+    db = session.db
+    for _ in range(repeat):
+        for q in queries:
+            explain(db, q)
+    one_shot_s = time.perf_counter() - t0
+
+    fresh = Session(db)
+    plans = [fresh.prepare(q) for q in queries]
+    t0 = time.perf_counter()
+    for _ in range(repeat):
+        for p in plans:
+            p.execute()
+    prepared_s = time.perf_counter() - t0
+
+    print(f"one-shot: {one_shot_s * 1e3:7.2f} ms   "
+          f"prepared: {prepared_s * 1e3:7.2f} ms   "
+          f"({one_shot_s / prepared_s:.0f}x)")
+    assert [p.execute().holds for p in plans] == [
+        explain(db, q).holds for q in queries
+    ]
+    print("\n(The session owns the mutable database; prepare() compiles "
+          "\neach query once and execute() reuses every cache a mutation "
+          "\ndid not invalidate — see ROADMAP.md 'API notes'.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,6 +59,7 @@ from repro.core import (
     ordvar,
 )
 from repro.analysis import ComplexityProfile, classify
+from repro.api import PreparedQuery, Result, Session, render_model
 from repro.flexiwords import FlexiWord, letter
 
 __version__ = "1.0.0"
@@ -74,11 +75,14 @@ __all__ = [
     "MonadicDatabase",
     "OrderAtom",
     "OrderGraph",
+    "PreparedQuery",
     "ProperAtom",
     "Query",
     "Rel",
     "ReproError",
+    "Result",
     "Semantics",
+    "Session",
     "Sort",
     "Term",
     "as_conjunctive",
@@ -98,4 +102,5 @@ __all__ = [
     "objvar",
     "ordc",
     "ordvar",
+    "render_model",
 ]

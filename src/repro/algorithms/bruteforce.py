@@ -22,6 +22,7 @@ from repro.core.models import (
     iter_minimal_words,
 )
 from repro.core.query import Query, as_dnf
+from repro.core.regions import RegionCacheHub
 from repro.flexiwords.flexiword import Word
 
 
@@ -61,7 +62,7 @@ def entails_bruteforce(
 
 
 def entails_bruteforce_monadic(
-    dag: LabeledDag, query: Query
+    dag: LabeledDag, query: Query, caches: "RegionCacheHub | None" = None
 ) -> EntailmentWitness:
     """Monadic brute force: enumerate word models, check with Cor 5.1.
 
@@ -70,7 +71,7 @@ def entails_bruteforce_monadic(
     """
     dnf = as_dnf(query).normalized()
     qdags = [d.monadic_dag() for d in dnf.disjuncts]
-    for word in iter_minimal_words(dag):
+    for word in iter_minimal_words(dag, caches):
         if not any(_word_check(word, q) for q in qdags):
             return EntailmentWitness(False, word)
     return EntailmentWitness(True)

@@ -22,38 +22,58 @@ from repro.algorithms.seq import seq_entails
 from repro.core.atoms import Rel
 from repro.core.database import LabeledDag
 from repro.core.query import ConjunctiveQuery
-from repro.core.regions import RegionCache
+from repro.core.regions import RegionCache, RegionCacheHub
 
 
-def paths_entails(dag: LabeledDag, query: ConjunctiveQuery) -> bool:
+def paths_entails(
+    dag: LabeledDag,
+    query: ConjunctiveQuery,
+    caches: RegionCacheHub | None = None,
+) -> bool:
     """Lemma 4.1 + Lemma 4.2: check every path of the query with SEQ."""
     normalized = query.normalized()
     if normalized is None:
         return False  # inconsistent query is never satisfied
     qdag = normalized.monadic_dag()
-    return paths_entails_dag(dag, qdag)
+    return paths_entails_dag(dag, qdag, caches)
 
 
-def paths_entails_dag(dag: LabeledDag, qdag: LabeledDag) -> bool:
+def paths_entails_dag(
+    dag: LabeledDag,
+    qdag: LabeledDag,
+    caches: RegionCacheHub | None = None,
+) -> bool:
     """Path decomposition on pre-built labelled dags."""
     if not qdag.graph.vertices:
         return True  # the empty query holds everywhere
     work = dag.normalized()
     # One RegionCache shared across all paths: early SEQ iterations visit
     # the same residual regions for paths that agree on a prefix.
-    shared = RegionCache(work.graph.normalize().graph)
+    shared_graph = work.graph.normalize().graph
+    if caches is not None:
+        shared = caches.get(shared_graph)
+    else:
+        shared = RegionCache(shared_graph)
     return all(seq_entails(work, p, shared) for p in qdag.iter_paths())
 
 
-def bounded_width_entails(dag: LabeledDag, query: ConjunctiveQuery) -> bool:
+def bounded_width_entails(
+    dag: LabeledDag,
+    query: ConjunctiveQuery,
+    caches: RegionCacheHub | None = None,
+) -> bool:
     """Theorem 4.7: combined-complexity PTIME for bounded-width databases."""
     normalized = query.normalized()
     if normalized is None:
         return False
-    return bounded_width_entails_dag(dag, normalized.monadic_dag())
+    return bounded_width_entails_dag(dag, normalized.monadic_dag(), caches)
 
 
-def bounded_width_entails_dag(dag: LabeledDag, qdag: LabeledDag) -> bool:
+def bounded_width_entails_dag(
+    dag: LabeledDag,
+    qdag: LabeledDag,
+    caches: RegionCacheHub | None = None,
+) -> bool:
     """Theorem 4.7 search on pre-built labelled dags.
 
     State ``(S, u)``: ``S`` is a frozenset of database vertices — the
@@ -82,7 +102,7 @@ def bounded_width_entails_dag(dag: LabeledDag, qdag: LabeledDag) -> bool:
     # Residual databases are regions of the fixed normalized graph; their
     # induced subgraphs, minors and minimal vertices are memoized so that
     # the O(|D|^{k+1}) states re-deriving the same residual share the work.
-    regions = RegionCache(dgraph)
+    regions = caches.get(dgraph) if caches is not None else RegionCache(dgraph)
 
     initial_s = frozenset(dgraph.minimal_vertices())
     stack = [(initial_s, u) for u in sorted(qgraph.minimal_vertices())]

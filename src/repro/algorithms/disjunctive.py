@@ -40,7 +40,7 @@ from repro.core.atoms import Rel
 from repro.core.database import LabeledDag
 from repro.core.errors import NotMonadicError
 from repro.core.query import Query, as_dnf
-from repro.core.regions import RegionCache
+from repro.core.regions import RegionCache, RegionCacheHub
 from repro.flexiwords.flexiword import Word
 
 State = tuple[frozenset[str], frozenset[str], tuple[str, ...], tuple[bool, ...]]
@@ -60,7 +60,12 @@ class DisjunctiveResult:
 class _Search:
     """Shared machinery for deciding entailment and enumerating models."""
 
-    def __init__(self, dag: LabeledDag, query: Query) -> None:
+    def __init__(
+        self,
+        dag: LabeledDag,
+        query: Query,
+        caches: RegionCacheHub | None = None,
+    ) -> None:
         dnf = as_dnf(query).normalized()
         if dnf.has_neq:
             raise NotMonadicError(
@@ -72,7 +77,10 @@ class _Search:
         # All region artifacts (up-sets, induced subgraphs, minors, block
         # labels) are shared across the whole state-graph search: distinct
         # states routinely denote the same unsorted region.
-        self.regions = RegionCache(self.dgraph, self.dlabels)
+        if caches is not None:
+            self.regions = caches.get(self.dgraph, self.dlabels)
+        else:
+            self.regions = RegionCache(self.dgraph, self.dlabels)
         self.qdags = [d.monadic_dag() for d in dnf.disjuncts]
         self.trivially_true = any(not q.graph.vertices for q in self.qdags)
         self.n = len(self.qdags)
@@ -146,9 +154,11 @@ class _Search:
             yield (frozenset(), t, us, xs2), (labels,)
 
 
-def theorem53(dag: LabeledDag, query: Query) -> DisjunctiveResult:
+def theorem53(
+    dag: LabeledDag, query: Query, caches: RegionCacheHub | None = None
+) -> DisjunctiveResult:
     """Decide entailment, returning a countermodel word when it fails."""
-    search = _Search(dag, query)
+    search = _Search(dag, query, caches)
     if search.trivially_true:
         return DisjunctiveResult(True)
     if search.n == 0:

@@ -25,19 +25,25 @@ from repro.core.atoms import Rel
 from repro.core.database import LabeledDag
 from repro.core.errors import NotSequentialError
 from repro.core.query import ConjunctiveQuery, Query, as_dnf
-from repro.core.regions import RegionCache
+from repro.core.regions import RegionCache, RegionCacheHub
 from repro.flexiwords.flexiword import FlexiWord, Word
 
 
 def seq_entails(
-    dag: LabeledDag, p: FlexiWord, regions: RegionCache | None = None
+    dag: LabeledDag,
+    p: FlexiWord,
+    regions: RegionCache | None = None,
+    caches: RegionCacheHub | None = None,
 ) -> bool:
     """Does the monadic database entail the sequential query ``p``?"""
-    return seq_countermodel(dag, p, regions) is None
+    return seq_countermodel(dag, p, regions, caches) is None
 
 
 def seq_countermodel(
-    dag: LabeledDag, p: FlexiWord, regions: RegionCache | None = None
+    dag: LabeledDag,
+    p: FlexiWord,
+    regions: RegionCache | None = None,
+    caches: RegionCacheHub | None = None,
 ) -> Word | None:
     """None when entailed; otherwise a minimal model of ``dag`` falsifying ``p``.
 
@@ -49,11 +55,16 @@ def seq_countermodel(
     may pass a :class:`RegionCache` over ``dag.normalized().graph`` shared
     across calls (the path decomposition of Lemma 4.1 hits the same
     residual regions for every pair of paths that agree on a prefix); a
-    cache over any other graph is ignored.
+    cache over any other graph is ignored.  ``caches`` may pass a
+    :class:`RegionCacheHub` (e.g. a session's) used to resolve the shared
+    cache when ``regions`` is absent or mismatched.
     """
     work = dag.normalized()
     if regions is None or regions.graph is not work.graph:
-        regions = RegionCache(work.graph)
+        if caches is not None:
+            regions = caches.get(work.graph)
+        else:
+            regions = RegionCache(work.graph)
     labels = work.labels
     region = frozenset(work.graph.vertices)
     emitted: list[frozenset[str]] = []

@@ -1,0 +1,35 @@
+"""Service-shaped query API: sessions, prepared plans, structured results.
+
+Quickstart::
+
+    from repro import Session, ConjunctiveQuery, ProperAtom, ordc, ordvar, lt
+
+    session = Session.from_atoms([
+        ProperAtom("Boot", (ordc("u"),)),
+        ProperAtom("Crash", (ordc("v"),)),
+        lt(ordc("u"), ordc("v")),
+    ])
+    plan = session.prepare(ConjunctiveQuery.of(
+        ProperAtom("Boot", (ordvar("s"),)),
+        ProperAtom("Crash", (ordvar("t"),)),
+        lt(ordvar("s"), ordvar("t")),
+    ))
+    assert plan.execute().holds          # compiled once ...
+    session.assert_facts(ProperAtom("Ping", (ordc("w"),)))
+    assert plan.execute().holds          # ... re-executed against new state
+
+See :mod:`repro.api.session` for the mutation/invalidation contract and
+:mod:`repro.api.plan` for the planner/executor split.
+"""
+
+from repro.api.plan import ExecutionContext, PreparedQuery
+from repro.api.result import Result, render_model
+from repro.api.session import Session
+
+__all__ = [
+    "ExecutionContext",
+    "PreparedQuery",
+    "Result",
+    "Session",
+    "render_model",
+]

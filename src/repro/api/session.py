@@ -1,0 +1,293 @@
+"""Sessions: a mutable database plus warm caches across queries.
+
+The paper's decision procedures are stateless functions; the PR 1 cache
+substrate (generation-counter closures on
+:class:`~repro.core.ordergraph.OrderGraph`, the shared
+:class:`~repro.core.regions.RegionCache`) is keyed on graph *instances*,
+so the one-shot API — which rebuilds the order graph from the database
+on every call — throws the warm state away between queries.  A
+:class:`Session` is the service-shaped entry point that keeps it:
+
+* it owns a mutable :class:`~repro.core.database.IndefiniteDatabase`
+  with incremental :meth:`~Session.assert_facts`,
+  :meth:`~Session.retract_facts`, :meth:`~Session.assert_order` and
+  :meth:`~Session.retract_order`;
+* it holds one long-lived order-graph instance, labelled dag,
+  object-fact index and :class:`~repro.core.regions.RegionCacheHub`,
+  invalidating only what each mutation can affect (see
+  :class:`~repro.api.plan.ExecutionContext` for the exact rules);
+* :meth:`~Session.prepare` compiles a query once into a
+  :class:`~repro.api.plan.PreparedQuery` whose repeated
+  :meth:`~repro.api.plan.PreparedQuery.execute` calls reuse both the
+  plan and the session caches.
+
+Invalidation contract (the granular generation counters):
+
+* ``assert_order`` / order constants appearing or disappearing →
+  *graph* generation: closures, region caches and plans' order-part
+  memos all reset (the graph instance itself is mutated in place on
+  asserts, rebuilt lazily on retracts);
+* facts over existing order constants → *label* generation: the
+  labelled dag and order-part memos reset, but the graph's closures
+  and the structural region caches stay warm;
+* facts over object constants only → *object* generation: just the
+  object-fact index and object domain reset — prepared order-part
+  verdicts survive, so certain-answer re-evaluation after an
+  object-fact edit is nearly free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.api.plan import ExecutionContext, PreparedQuery
+from repro.api.result import Result
+from repro.core.atoms import OrderAtom, ProperAtom
+from repro.core.database import IndefiniteDatabase
+from repro.core.errors import SortError
+from repro.core.query import Query
+from repro.core.semantics import Semantics
+from repro.core.sorts import Term
+
+#: Most-recently-prepared plans kept per session.
+_PLAN_CACHE_LIMIT = 128
+
+
+class Session:
+    """A stateful query service over one evolving indefinite database."""
+
+    def __init__(self, db: IndefiniteDatabase | None = None) -> None:
+        db = IndefiniteDatabase.empty() if db is None else db
+        self._proper: set[ProperAtom] = set(db.proper_atoms)
+        self._order: set[OrderAtom] = set(db.order_atoms)
+        self._db: IndefiniteDatabase | None = db
+        self._order_names: set[str] | None = None
+        self._graph_gen = 0
+        self._label_gen = 0
+        self._object_gen = 0
+        self._ctx: ExecutionContext | None = None
+        self._plans: dict[tuple, PreparedQuery] = {}
+
+    @classmethod
+    def from_atoms(
+        cls, atoms: Iterable[ProperAtom | OrderAtom]
+    ) -> "Session":
+        """Start a session from a flat iterable of ground atoms."""
+        return cls(IndefiniteDatabase.from_atoms(atoms))
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def db(self) -> IndefiniteDatabase:
+        """The current database as an immutable snapshot."""
+        if self._db is None:
+            self._db = IndefiniteDatabase(
+                frozenset(self._proper), frozenset(self._order)
+            )
+        return self._db
+
+    def size(self) -> int:
+        """Total number of atoms currently asserted."""
+        return len(self._proper) + len(self._order)
+
+    def _gens(self) -> tuple[int, int, int]:
+        return (self._graph_gen, self._label_gen, self._object_gen)
+
+    def _known_order_names(self) -> set[str]:
+        if self._order_names is None:
+            self._order_names = self.db.order_constants
+        return self._order_names
+
+    def context(self) -> ExecutionContext:
+        """The session's shared database-side execution state."""
+        if self._ctx is None:
+            self._ctx = ExecutionContext(self.db)
+        return self._ctx
+
+    # -- mutation ----------------------------------------------------------
+
+    def assert_facts(self, *atoms: ProperAtom | OrderAtom) -> "Session":
+        """Add ground facts.  Order atoms route to :meth:`assert_order`."""
+        proper = [a for a in atoms if isinstance(a, ProperAtom)]
+        order = [a for a in atoms if isinstance(a, OrderAtom)]
+        if order:
+            self.assert_order(*order)
+        added = [a for a in proper if a not in self._proper]
+        if not added:
+            return self
+        for atom in added:
+            if not atom.is_ground:
+                raise SortError(f"database proper atom must be ground: {atom}")
+        # Snapshot the known order constants BEFORE mutating, so names
+        # that only these new atoms mention count as fresh vertices.
+        known = self._known_order_names()
+        self._proper.update(added)
+        self._db = None
+        order_args = [
+            t for a in added for t in a.args if t.is_order
+        ]
+        has_object_args = any(
+            t.is_object for a in added for t in a.args
+        )
+        if order_args:
+            fresh = {t.name for t in order_args} - known
+            known.update(t.name for t in order_args)
+            self._label_gen += 1
+            if fresh:
+                self._graph_gen += 1
+                if self._ctx is not None and self._ctx.graph_built:
+                    for v in sorted(fresh):
+                        self._ctx.graph.add_vertex(v)
+                if self._ctx is not None:
+                    self._ctx.graph_changed(self.db)
+            elif self._ctx is not None:
+                self._ctx.labels_changed(self.db)
+        if has_object_args:
+            self._object_gen += 1
+            if self._ctx is not None and not order_args:
+                self._ctx.facts_changed(self.db)
+        return self
+
+    def retract_facts(self, *atoms: ProperAtom | OrderAtom) -> "Session":
+        """Remove previously asserted facts (missing ones ignored).
+
+        Order atoms route to :meth:`retract_order`, mirroring
+        :meth:`assert_facts`.
+        """
+        order = [a for a in atoms if isinstance(a, OrderAtom)]
+        if order:
+            self.retract_order(*order)
+        removed = [
+            a for a in atoms
+            if isinstance(a, ProperAtom) and a in self._proper
+        ]
+        if not removed:
+            return self
+        self._proper.difference_update(removed)
+        self._db = None
+        if any(t.is_order for a in removed for t in a.args):
+            # An order constant may have vanished: rebuild the graph lazily.
+            self._order_names = None
+            self._graph_gen += 1
+            self._label_gen += 1
+            if self._ctx is not None:
+                self._ctx.graph_changed(self.db, keep_graph=False)
+        if any(t.is_object for a in removed for t in a.args):
+            self._object_gen += 1
+            if self._ctx is not None:
+                self._ctx.facts_changed(self.db)
+        return self
+
+    def assert_order(self, *atoms: OrderAtom) -> "Session":
+        """Add ground order atoms, updating the cached graph in place."""
+        added = [a for a in atoms if a not in self._order]
+        if not added:
+            return self
+        for atom in added:
+            if not atom.is_ground:
+                raise SortError(f"database order atom must be ground: {atom}")
+        self._order.update(added)
+        self._db = None
+        self._graph_gen += 1
+        if self._order_names is not None:
+            for a in added:
+                self._order_names.add(a.left.name)
+                self._order_names.add(a.right.name)
+        if self._ctx is not None:
+            if self._ctx.graph_built:
+                # add_edge keeps the strictly stronger label on duplicate
+                # pairs, exactly like a from-scratch rebuild would.
+                for a in added:
+                    self._ctx.graph.add_edge(
+                        a.left.name, a.right.name, a.rel
+                    )
+            self._ctx.graph_changed(self.db)
+        return self
+
+    def retract_order(self, *atoms: OrderAtom) -> "Session":
+        """Remove order atoms (graph rebuilt lazily: another atom may
+        still assert a weaker edge on the same pair)."""
+        removed = [a for a in atoms if a in self._order]
+        if not removed:
+            return self
+        self._order.difference_update(removed)
+        self._db = None
+        self._order_names = None
+        self._graph_gen += 1
+        if self._ctx is not None:
+            self._ctx.graph_changed(self.db, keep_graph=False)
+        return self
+
+    # -- querying ----------------------------------------------------------
+
+    def prepare(
+        self,
+        query: Query,
+        semantics: Semantics = Semantics.FIN,
+        method: str = "auto",
+        free_vars: tuple[Term, ...] | None = None,
+    ) -> PreparedQuery:
+        """Compile ``query`` once; the plan is memoized per session.
+
+        ``free_vars=None`` prepares a closed query; passing a tuple
+        (even an empty one) prepares an open certain-answers plan.
+        """
+        if free_vars is not None:
+            free_vars = tuple(free_vars)
+        key = (query, semantics, method, free_vars)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = PreparedQuery(self, query, semantics, method, free_vars)
+            if len(self._plans) >= _PLAN_CACHE_LIMIT:
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[key] = plan
+        return plan
+
+    def explain(
+        self,
+        query: Query,
+        semantics: Semantics = Semantics.FIN,
+        method: str = "auto",
+    ) -> Result:
+        """Prepare-and-execute in one call (plans are still reused)."""
+        return self.prepare(query, semantics, method).execute()
+
+    def entails(
+        self,
+        query: Query,
+        semantics: Semantics = Semantics.FIN,
+        method: str = "auto",
+    ) -> bool:
+        """Does the current database entail ``query``?"""
+        return self.explain(query, semantics, method).holds
+
+    def entails_many(
+        self,
+        queries: Iterable[Query],
+        semantics: Semantics = Semantics.FIN,
+        method: str = "auto",
+    ) -> list[bool]:
+        """Batch entailment: all plans share one warm closure/cache state."""
+        return [
+            self.explain(q, semantics, method).holds for q in queries
+        ]
+
+    def certain_answers(
+        self,
+        query: Query,
+        free_vars: tuple[Term, ...],
+        semantics: Semantics = Semantics.FIN,
+        method: str = "auto",
+    ) -> set[tuple[str, ...]]:
+        """Certain answers of an open query as one prepared plan."""
+        result = self.prepare(
+            query, semantics, method, free_vars=tuple(free_vars)
+        ).execute()
+        assert result.answers is not None
+        return set(result.answers)
+
+    def __str__(self) -> str:
+        return f"Session({self.size()} atoms, gens={self._gens()})"
+
+
+__all__ = ["Session"]

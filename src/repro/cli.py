@@ -5,13 +5,19 @@ Commands:
 * ``query DB QUERY``   — decide entailment (``--semantics fin|z|q``,
   ``--method auto|bruteforce|...``, ``--countermodel`` to print a witness
   when the query is not entailed);
+* ``answers DB QUERY`` — certain answers of an open query
+  (``--free-vars x,y`` names the object variables);
 * ``models DB``        — count (or ``--list``) the minimal models;
 * ``classify DB QUERY``— the Tables 1-2 complexity profile;
-* ``width DB``         — the database's width and a maximum antichain.
+* ``width DB``         — the database's width and a maximum antichain;
+* ``bench-session DB QUERY`` — time the prepared-plan path of a
+  :class:`repro.api.Session` against the one-shot API on a
+  repeated-query workload.
 
 ``DB`` is a path to a database file in the text DSL
 (:mod:`repro.substrate.parser`); ``QUERY`` is a query string or a path to
-a file containing one.
+a file containing one.  Every query-answering command runs through a
+:class:`repro.api.Session`, so multi-query invocations share warm caches.
 """
 
 from __future__ import annotations
@@ -19,15 +25,21 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 
 from repro.analysis import classify
+from repro.api import Session, render_model
 from repro.core.database import IndefiniteDatabase
-from repro.core.entailment import explain
 from repro.core.models import count_minimal_models, iter_minimal_models
 from repro.core.semantics import Semantics
+from repro.core.sorts import objvar
 from repro.substrate.parser import parse_database, parse_query
 
 _SEMANTICS = {"fin": Semantics.FIN, "z": Semantics.Z, "q": Semantics.Q}
+_METHODS = [
+    "auto", "bruteforce", "seq", "paths", "bounded_width", "theorem53",
+    "basis",
+]
 
 
 def _load_database(path: str) -> IndefiniteDatabase:
@@ -44,29 +56,41 @@ def _load_query(source: str, db: IndefiniteDatabase):
 
 def _cmd_query(args: argparse.Namespace) -> int:
     db = _load_database(args.database)
+    session = Session(db)
     query = _load_query(args.query, db)
-    report = explain(
-        db, query,
+    result = session.prepare(
+        query,
         semantics=_SEMANTICS[args.semantics],
         method=args.method,
-    )
-    print(f"entailed: {report.holds}")
-    print(f"method:   {report.method}")
-    if args.countermodel and not report.holds:
-        if report.countermodel is None:
+    ).execute()
+    print(f"entailed: {result.holds}")
+    print(f"method:   {result.method}")
+    if args.countermodel and not result.holds:
+        if result.countermodel is None:
             print("countermodel: (not produced by this method; "
                   "try --method bruteforce)")
         else:
-            print(f"countermodel: {_render_model(report.countermodel)}")
-    return 0 if report.holds else 1
+            print(f"countermodel: {result.render_countermodel()}")
+    return 0 if result.holds else 1
 
 
-def _render_model(model) -> str:
-    if isinstance(model, tuple):  # a word
-        return " < ".join(
-            "{" + ",".join(sorted(letter)) + "}" for letter in model
-        ) or "(empty model)"
-    return str(model)
+def _cmd_answers(args: argparse.Namespace) -> int:
+    db = _load_database(args.database)
+    session = Session(db)
+    query = _load_query(args.query, db)
+    free_vars = tuple(
+        objvar(name) for name in args.free_vars.split(",") if name
+    )
+    result = session.prepare(
+        query,
+        semantics=_SEMANTICS[args.semantics],
+        free_vars=free_vars,
+    ).execute()
+    assert result.answers is not None
+    for answer in sorted(result.answers):
+        print(", ".join(answer) if answer else "()")
+    print(f"certain answers: {len(result.answers)} [{result.method}]")
+    return 0 if result.answers else 1
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
@@ -77,7 +101,7 @@ def _cmd_models(args: argparse.Namespace) -> int:
     if args.list:
         shown = 0
         for model in iter_minimal_models(db):
-            print(model)
+            print(render_model(model))
             shown += 1
             if args.limit and shown >= args.limit:
                 print(f"... (stopped at --limit {args.limit})")
@@ -105,6 +129,67 @@ def _cmd_width(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_session(args: argparse.Namespace) -> int:
+    """Time repeated execution: prepared plan vs the one-shot wrappers.
+
+    Between prepared executions the session absorbs an assert/retract
+    pair on a scratch object fact, so every iteration re-executes the
+    plan through the invalidation path instead of returning the
+    memoized result of an unchanged database.
+    """
+    from repro.core.atoms import ProperAtom
+    from repro.core.entailment import certain_answers, explain
+    from repro.core.sorts import obj
+
+    db = _load_database(args.database)
+    query = _load_query(args.query, db)
+    semantics = _SEMANTICS[args.semantics]
+    free_vars = tuple(
+        objvar(name) for name in args.free_vars.split(",") if name
+    ) if args.free_vars else None
+    repeat = args.repeat
+
+    if free_vars is None:
+        def one_shot():
+            return explain(db, query, semantics=semantics,
+                           method=args.method).holds
+    else:
+        def one_shot():
+            return frozenset(
+                certain_answers(db, query, free_vars, semantics=semantics)
+            )
+
+    session = Session(db)
+    plan = session.prepare(
+        query, semantics=semantics, method=args.method, free_vars=free_vars
+    )
+
+    t0 = time.perf_counter()
+    expected = [one_shot() for _ in range(repeat)]
+    one_shot_s = time.perf_counter() - t0
+
+    tick = ProperAtom("BenchSessionTick", (obj("_bench_tick"),))
+    t0 = time.perf_counter()
+    got = []
+    for _ in range(repeat):
+        # Net no-op churn: invalidates the result memo, keeps the db equal
+        # to the one-shot side's, and exercises the live execution path.
+        session.assert_facts(tick)
+        session.retract_facts(tick)
+        result = plan.execute()
+        got.append(result.holds if free_vars is None else result.answers)
+    prepared_s = time.perf_counter() - t0
+
+    match = expected == got
+    speedup = one_shot_s / prepared_s if prepared_s else float("inf")
+    print(f"repeats:   {repeat}")
+    print(f"one-shot:  {one_shot_s * 1e3:9.2f} ms")
+    print(f"prepared:  {prepared_s * 1e3:9.2f} ms")
+    print(f"speedup:   {speedup:.1f}x")
+    print(f"results:   {'match' if match else 'MISMATCH'}")
+    return 0 if match else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -117,15 +202,18 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("database", help="database file (text DSL)")
     q.add_argument("query", help="query string or file")
     q.add_argument("--semantics", choices=sorted(_SEMANTICS), default="fin")
-    q.add_argument(
-        "--method",
-        choices=["auto", "bruteforce", "seq", "paths", "bounded_width",
-                 "theorem53"],
-        default="auto",
-    )
+    q.add_argument("--method", choices=_METHODS, default="auto")
     q.add_argument("--countermodel", action="store_true",
                    help="print a falsifying minimal model if any")
     q.set_defaults(func=_cmd_query)
+
+    a = sub.add_parser("answers", help="certain answers of an open query")
+    a.add_argument("database")
+    a.add_argument("query")
+    a.add_argument("--free-vars", default="",
+                   help="comma-separated object variable names (e.g. x,y)")
+    a.add_argument("--semantics", choices=sorted(_SEMANTICS), default="fin")
+    a.set_defaults(func=_cmd_answers)
 
     m = sub.add_parser("models", help="count or list minimal models")
     m.add_argument("database")
@@ -141,6 +229,19 @@ def build_parser() -> argparse.ArgumentParser:
     w = sub.add_parser("width", help="database width and antichain")
     w.add_argument("database")
     w.set_defaults(func=_cmd_width)
+
+    b = sub.add_parser(
+        "bench-session",
+        help="time prepared-plan execution vs the one-shot API",
+    )
+    b.add_argument("database")
+    b.add_argument("query")
+    b.add_argument("--repeat", type=int, default=50)
+    b.add_argument("--semantics", choices=sorted(_SEMANTICS), default="fin")
+    b.add_argument("--method", choices=_METHODS, default="auto")
+    b.add_argument("--free-vars", default="",
+                   help="benchmark certain_answers over these object vars")
+    b.set_defaults(func=_cmd_bench_session)
     return parser
 
 

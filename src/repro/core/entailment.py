@@ -1,7 +1,11 @@
-"""Top-level query answering: ``entails(db, query)`` and friends.
+"""Top-level one-shot query answering: ``entails(db, query)`` and friends.
 
-This is the public entry point tying the whole paper together.  The
-pipeline (each step a construction from the paper):
+These are thin wrappers over the session/prepared-plan API
+(:mod:`repro.api`): each call spins up a throwaway
+:class:`~repro.api.session.Session`, compiles the query once and
+executes it.  The pipeline they run (each step a construction from the
+paper, now split between the planner and the executor in
+:mod:`repro.api.plan`):
 
 1. vacuous truth for inconsistent databases (no models);
 2. constant elimination (Section 2's ``P_u`` trick) so the query is
@@ -18,38 +22,23 @@ pipeline (each step a construction from the paper):
    - everything else (n-ary predicates, '!=' in the database) runs the
      minimal-model brute force, which is the generic co-NP procedure of
      Proposition 3.1.
+
+Long-running callers — anything answering more than one query, or
+re-querying a database that changes in place — should hold a
+:class:`~repro.api.session.Session` instead: the warm order-graph
+closures and region caches then carry over between calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product as iter_product
 
-from repro.algorithms.bruteforce import entails_bruteforce
-from repro.algorithms.conjunctive import bounded_width_entails_dag, paths_entails_dag
-from repro.algorithms.disjunctive import theorem53
-from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.database import IndefiniteDatabase
 from repro.core.models import Structure
-from repro.core.query import (
-    ConjunctiveQuery,
-    DisjunctiveQuery,
-    Query,
-    as_dnf,
-    eliminate_constants,
-)
-from repro.core.semantics import Semantics, transform
+from repro.core.query import Query
+from repro.core.semantics import Semantics
 from repro.core.sorts import Term
 from repro.flexiwords.flexiword import Word
-from repro.inequality.neq import expand_query_neq
-
-#: Databases at most this wide use the Theorem 5.3 search for disjunctive
-#: monadic queries; wider ones fall back to model enumeration (both are
-#: exponential in the width, but the state graph is gentler in practice).
-_WIDTH_CUTOFF = 6
-
-#: Disjunct-count cutoff for the Theorem 5.3 search, whose state graph is
-#: exponential in the number of disjuncts (Proposition 5.4).
-_DISJUNCT_CUTOFF = 4
 
 
 @dataclass(frozen=True)
@@ -83,209 +72,14 @@ def explain(
     """Like :func:`entails`, reporting the algorithm used and a countermodel.
 
     ``method`` may be ``auto``, ``bruteforce``, ``paths``,
-    ``bounded_width``, ``theorem53`` or ``seq`` (the last four require
-    monadic inputs and, for ``seq``, a sequential conjunctive query).
+    ``bounded_width``, ``theorem53``, ``basis`` or ``seq`` (the last five
+    require monadic inputs and, for ``seq``, a sequential conjunctive
+    query).
     """
-    if not db.is_consistent():
-        return EntailmentReport(True, "vacuous")
+    from repro.api.session import Session
 
-    dnf = as_dnf(query)
-    if dnf.constants():
-        db, dnf = eliminate_constants(db, dnf)
-    db, dnf = transform(db, dnf, semantics)
-    dnf = dnf.normalized()
-    if dnf.has_neq:
-        dnf = expand_query_neq(dnf).normalized()
-    if not dnf.disjuncts:
-        witness = _first_minimal_model(db)
-        return EntailmentReport(False, "unsatisfiable-query", witness)
-    if any(d.is_empty() for d in dnf.disjuncts):
-        return EntailmentReport(True, "trivial")
-
-    if method == "bruteforce":
-        result = entails_bruteforce(db, dnf)
-        return EntailmentReport(result.holds, "bruteforce", result.countermodel)
-
-    split = _monadic_split(db, dnf) if not db.has_neq else None
-    if split is None:
-        if method != "auto":
-            raise ValueError(
-                f"method {method!r} requires monadic, '!='-free inputs"
-            )
-        result = entails_bruteforce(db, dnf)
-        return EntailmentReport(result.holds, "bruteforce", result.countermodel)
-
-    dag, disjuncts = split
-    if not disjuncts:
-        # Every disjunct's definite object part already fails.
-        witness = _first_minimal_model(db)
-        return EntailmentReport(False, "object-part", witness)
-    if any(not d.graph.vertices for d in disjuncts):
-        return EntailmentReport(True, "object-part")
-
-    mq = DisjunctiveQuery(
-        tuple(_dag_to_query(d) for d in disjuncts)
-    )
-
-    if method == "seq":
-        if len(disjuncts) != 1:
-            raise ValueError("method 'seq' needs a single sequential disjunct")
-        from repro.algorithms.seq import seq_countermodel
-
-        counter = seq_countermodel(dag, disjuncts[0].to_flexiword())
-        return EntailmentReport(counter is None, "seq", counter)
-    if method == "paths":
-        if len(disjuncts) != 1:
-            raise ValueError("method 'paths' needs a conjunctive query")
-        return EntailmentReport(
-            paths_entails_dag(dag, disjuncts[0]), "paths"
-        )
-    if method == "bounded_width":
-        if len(disjuncts) != 1:
-            raise ValueError("method 'bounded_width' needs a conjunctive query")
-        return EntailmentReport(
-            bounded_width_entails_dag(dag, disjuncts[0]), "bounded_width"
-        )
-    if method == "theorem53":
-        result = theorem53(dag, mq)
-        return EntailmentReport(result.holds, "theorem53", result.countermodel)
-    if method == "basis":
-        # Section 6: D |= Phi iff D_Phi <= D in the dominance order.
-        if len(disjuncts) != 1:
-            raise ValueError("method 'basis' needs a conjunctive query")
-        from repro.flexiwords.wqo import dominates
-
-        return EntailmentReport(dominates(disjuncts[0], dag), "basis")
-    if method != "auto":
-        raise ValueError(f"unknown method {method!r}")
-
-    # -- auto dispatch over the monadic fast paths -------------------------
-    if len(disjuncts) == 1:
-        qdag = disjuncts[0]
-        if qdag.width() <= 1:
-            from repro.algorithms.seq import seq_countermodel
-
-            counter = seq_countermodel(dag, qdag.to_flexiword())
-            return EntailmentReport(counter is None, "seq", counter)
-        if dag.width() <= _WIDTH_CUTOFF:
-            holds = bounded_width_entails_dag(dag, qdag)
-            return EntailmentReport(holds, "bounded_width")
-        return EntailmentReport(paths_entails_dag(dag, qdag), "paths")
-    # The Theorem 5.3 state graph is exponential in the number of disjuncts
-    # (Proposition 5.4 shows this is unavoidable); for large disjunctions
-    # enumerate minimal models with the Corollary 5.1 checker instead.
-    if len(disjuncts) <= _DISJUNCT_CUTOFF and dag.width() <= _WIDTH_CUTOFF:
-        result = theorem53(dag, mq)
-        return EntailmentReport(result.holds, "theorem53", result.countermodel)
-    from repro.algorithms.bruteforce import entails_bruteforce_monadic
-
-    result = entails_bruteforce_monadic(dag, mq)
-    return EntailmentReport(
-        result.holds, "bruteforce-monadic", result.countermodel
-    )
-
-
-def _first_minimal_model(db: IndefiniteDatabase) -> Structure | None:
-    from repro.core.models import iter_minimal_models
-
-    for model in iter_minimal_models(db):
-        return model
-    return None
-
-
-def _dag_to_query(dag: LabeledDag) -> ConjunctiveQuery:
-    from repro.core.atoms import ProperAtom
-    from repro.core.sorts import ordvar
-
-    atoms = []
-    for v, preds in dag.labels.items():
-        for p in sorted(preds):
-            atoms.append(ProperAtom(p, (ordvar(v),)))
-    term_of = {v: ordvar(v) for v in dag.graph.vertices}
-    atoms.extend(dag.graph.to_atoms(term_of))
-    return ConjunctiveQuery.from_atoms(
-        atoms, {ordvar(v) for v in dag.graph.vertices}
-    )
-
-
-def _monadic_split(
-    db: IndefiniteDatabase, dnf: DisjunctiveQuery
-) -> tuple[LabeledDag, list[LabeledDag]] | None:
-    """The Section 4 object/order split for monadic inputs.
-
-    Splits each disjunct into a definite *object part* (unary predicates
-    over object constants — identical in every model, so evaluated directly
-    against the database facts) and an order-sorted monadic part.  Returns
-    the database's labelled dag plus the order-part dags of the disjuncts
-    whose object part succeeds; None when the inputs are not monadic.
-    """
-    object_facts: dict[str, set[str]] = {}
-    order_label: dict[str, set[str]] = {}
-    for atom in db.proper_atoms:
-        if atom.arity != 1:
-            return None
-        arg = atom.args[0]
-        if arg.is_object:
-            object_facts.setdefault(atom.pred, set()).add(arg.name)
-        else:
-            order_label.setdefault(arg.name, set()).add(atom.pred)
-
-    graph = db.graph()
-    dag = LabeledDag(
-        graph,
-        {v: frozenset(order_label.get(v, set())) for v in graph.vertices},
-    )
-
-    surviving: list[LabeledDag] = []
-    for d in dnf.disjuncts:
-        object_atoms = []
-        order_atoms = []
-        for atom in d.proper_atoms:
-            if atom.arity != 1:
-                return None
-            if atom.args[0].is_object:
-                object_atoms.append(atom)
-            else:
-                order_atoms.append(atom)
-        if not _object_part_holds(object_atoms, object_facts, db):
-            continue
-        order_part = ConjunctiveQuery.from_atoms(
-            order_atoms + list(d.order_atoms), d.extra_order_vars
-        )
-        normalized = order_part.normalized()
-        if normalized is None:
-            continue
-        surviving.append(normalized.monadic_dag())
-    return dag, surviving
-
-
-def _object_part_holds(
-    object_atoms: list,
-    object_facts: dict[str, set[str]],
-    db: IndefiniteDatabase,
-) -> bool:
-    """Evaluate the definite object part directly against the facts."""
-    if not object_atoms:
-        return True
-    variables = sorted(
-        {a.args[0] for a in object_atoms if a.args[0].is_var},
-        key=lambda t: t.name,
-    )
-    domain = sorted(db.object_constants)
-
-    def ok(assignment: dict[Term, str]) -> bool:
-        for atom in object_atoms:
-            arg = atom.args[0]
-            value = assignment[arg] if arg.is_var else arg.name
-            if value not in object_facts.get(atom.pred, set()):
-                return False
-        return True
-
-    for combo in iter_product(domain, repeat=len(variables)):
-        if ok(dict(zip(variables, combo))):
-            return True
-    # A query with object atoms but an empty object domain cannot hold.
-    return not variables and ok({})
+    result = Session(db).prepare(query, semantics, method).execute()
+    return EntailmentReport(result.holds, result.method, result.countermodel)
 
 
 def certain_answers(
@@ -299,15 +93,13 @@ def certain_answers(
     Free variables must be object-sorted; candidates range over the
     database's object constants (the usual active-domain convention).
     """
-    from repro.core.sorts import obj
+    from repro.api.session import Session
 
-    if any(v.is_order for v in free_vars):
-        raise ValueError("free variables must be object-sorted")
-    dnf = as_dnf(query)
-    answers: set[tuple[str, ...]] = set()
-    domain = sorted(db.object_constants)
-    for combo in iter_product(domain, repeat=len(free_vars)):
-        mapping = {v: obj(c) for v, c in zip(free_vars, combo)}
-        if entails(db, dnf.substitute(mapping), semantics=semantics):
-            answers.add(combo)
-    return answers
+    return Session(db).certain_answers(query, free_vars, semantics=semantics)
+
+
+def _dag_to_query(dag):
+    """Back-compat alias (the implementation moved to the planner)."""
+    from repro.api.plan import dag_to_query
+
+    return dag_to_query(dag)

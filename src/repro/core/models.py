@@ -29,7 +29,7 @@ from typing import Iterator
 
 from repro.core.database import IndefiniteDatabase, LabeledDag
 from repro.core.ordergraph import OrderGraph
-from repro.core.regions import RegionCache
+from repro.core.regions import RegionCache, RegionCacheHub
 from repro.flexiwords.flexiword import Word
 
 Block = frozenset[str]
@@ -56,7 +56,9 @@ def _valid_blocks(graph: OrderGraph) -> Iterator[Block]:
             yield s
 
 
-def iter_block_sequences(graph: OrderGraph) -> Iterator[BlockSequence]:
+def iter_block_sequences(
+    graph: OrderGraph, caches: RegionCacheHub | None = None
+) -> Iterator[BlockSequence]:
     """All generalized topological sorts of a normalized, consistent graph.
 
     Each yielded sequence is the list of vertex blocks mapped to successive
@@ -74,7 +76,7 @@ def iter_block_sequences(graph: OrderGraph) -> Iterator[BlockSequence]:
     # Residual graphs are regions of the input graph; distinct prefixes
     # reach the same remaining-vertex set, so the induced subgraphs (and
     # their cached minors) are shared through a RegionCache.
-    regions = RegionCache(graph)
+    regions = caches.get(graph) if caches is not None else RegionCache(graph)
 
     def rec(region: frozenset[str], prefix: list[Block]) -> Iterator[BlockSequence]:
         if not region:
@@ -88,13 +90,15 @@ def iter_block_sequences(graph: OrderGraph) -> Iterator[BlockSequence]:
     yield from rec(frozenset(graph.vertices), [])
 
 
-def count_minimal_models(graph: OrderGraph) -> int:
+def count_minimal_models(
+    graph: OrderGraph, caches: RegionCacheHub | None = None
+) -> int:
     """The number of minimal models, memoized on the remaining vertex set."""
     if any(len(p) == 1 for p in graph.neq_pairs):
         return 0
     if not graph.normalize().consistent:
         return 0
-    regions = RegionCache(graph)
+    regions = caches.get(graph) if caches is not None else RegionCache(graph)
     cache: dict[frozenset[str], int] = {}
 
     def count(region: frozenset[str]) -> int:
@@ -208,14 +212,16 @@ def iter_minimal_models(db: IndefiniteDatabase) -> Iterator[Structure]:
         yield structure_from_blocks(db, blocks, norm.canon)
 
 
-def iter_minimal_words(dag: LabeledDag) -> Iterator[Word]:
+def iter_minimal_words(
+    dag: LabeledDag, caches: RegionCacheHub | None = None
+) -> Iterator[Word]:
     """All minimal models of a monadic database, as words.
 
     Each block sequence yields the word whose i-th letter is the union of
     the labels of the i-th block.
     """
     norm_dag = dag.normalized()
-    for blocks in iter_block_sequences(norm_dag.graph):
+    for blocks in iter_block_sequences(norm_dag.graph, caches):
         yield tuple(
             frozenset().union(*(norm_dag.labels[v] for v in block))
             for block in blocks

@@ -136,3 +136,54 @@ class RegionCache:
         for v in block:
             out |= self.labels[v]
         return frozenset(out)
+
+
+class RegionCacheHub:
+    """An identity-keyed registry of :class:`RegionCache` instances.
+
+    The decision procedures normalize their input dag internally, so the
+    graph a :class:`RegionCache` must be built over only exists *inside*
+    the algorithm.  Normalization results are memoized per generation on
+    the source graph, so across repeated calls against an unmutated
+    database the algorithms land on the *same* normalized graph object —
+    the hub hands back the same cache for it, letting a
+    :class:`~repro.api.session.Session` share region artifacts across
+    queries.  Entries hold a strong reference to their graph, so an id is
+    never reused while its entry is alive.  The hub must be discarded
+    (:meth:`clear`) whenever the underlying database graph mutates.
+    """
+
+    __slots__ = ("_caches",)
+
+    def __init__(self) -> None:
+        self._caches: dict[int, RegionCache] = {}
+
+    def get(
+        self,
+        graph: OrderGraph,
+        labels: Mapping[str, frozenset[str]] | None = None,
+    ) -> RegionCache:
+        """The shared cache for ``graph``, created on first use."""
+        entry = self._caches.get(id(graph))
+        if entry is None or entry.graph is not graph:
+            entry = RegionCache(graph, labels)
+            self._caches[id(graph)] = entry
+        elif entry.labels is None and labels is not None:
+            entry.labels = labels
+        return entry
+
+    def invalidate_labels(self) -> None:
+        """Detach label maps and block-label memos from every entry.
+
+        Called when database facts over existing order constants change:
+        the structural region artifacts (up-sets, induced subgraphs,
+        minors) only depend on the graph and stay warm; callers reattach
+        fresh labels through :meth:`get`.
+        """
+        for entry in self._caches.values():
+            entry.labels = None
+            entry._block_labels.clear()
+
+    def clear(self) -> None:
+        """Drop every cached entry (call after mutating the base graph)."""
+        self._caches.clear()

@@ -161,6 +161,56 @@ def random_disjunctive_monadic_query(
     )
 
 
+def random_certain_answers_workload(
+    rng: random.Random,
+    width: int,
+    chain_length: int,
+    n_objects: int,
+    n_disjuncts: int = 2,
+    n_free: int = 1,
+    n_qvars: int = 3,
+    preds: Sequence[str] = DEFAULT_PREDS,
+    obj_preds: Sequence[str] = ("Tag", "Big", "Red"),
+    edge_prob: float = 0.4,
+    le_prob: float = 0.3,
+) -> tuple[IndefiniteDatabase, DisjunctiveQuery, tuple]:
+    """A repeated-query certain-answers workload for the session API.
+
+    The database mixes a width-``width`` observer order part (so the
+    order-sorted decision is genuinely expensive) with unary object
+    facts over ``n_objects`` object constants; the open query's
+    disjuncts each guard a random monadic order part with object atoms
+    over the free variables.  All proper atoms are unary, so the
+    Section 4 object/order split applies and a prepared plan shares one
+    order-part decision across every candidate tuple that leaves the
+    same disjuncts standing.  Returns ``(db, query, free_vars)``.
+    """
+    dag = random_observer_dag(rng, width, chain_length, preds, le_prob)
+    atoms: list = list(dag.to_database().atoms())
+    object_names = [f"o{i}" for i in range(n_objects)]
+    for name in object_names:
+        for pred in obj_preds:
+            if rng.random() < 0.5:
+                atoms.append(ProperAtom(pred, (obj(name),)))
+    db = IndefiniteDatabase.from_atoms(atoms)
+
+    free = tuple(objvar(f"x{i}") for i in range(n_free))
+    disjuncts = []
+    for _ in range(n_disjuncts):
+        order_part = random_conjunctive_monadic_query(
+            rng, n_qvars, preds, edge_prob, le_prob, empty_ok=False
+        )
+        q_atoms: list = list(order_part.atoms)
+        for v in free:
+            for pred in obj_preds:
+                if rng.random() < 0.4:
+                    q_atoms.append(ProperAtom(pred, (v,)))
+        disjuncts.append(
+            ConjunctiveQuery.from_atoms(q_atoms, order_part.extra_order_vars)
+        )
+    return db, DisjunctiveQuery(tuple(disjuncts)), free
+
+
 def random_nary_database(
     rng: random.Random,
     n_order: int,

@@ -57,6 +57,62 @@ class TestQueryCommand:
         out = capsys.readouterr().out
         assert code == 0 and "method:   bruteforce" in out
 
+    def test_basis_method(self, db_file, capsys):
+        code = main(
+            ["query", db_file, "Boot(a) & a < b & Crash(b)",
+             "--method", "basis"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0 and "method:   basis" in out
+
+
+class TestAnswersCommand:
+    DB3 = "On(p1, lamp); On(p2, heater); Off(p3, lamp); p1 < p3\n"
+
+    @pytest.fixture
+    def db3_file(self, tmp_path: pathlib.Path) -> str:
+        path = tmp_path / "db3.txt"
+        path.write_text(self.DB3)
+        return str(path)
+
+    def test_answers(self, db3_file, capsys):
+        code = main(
+            ["answers", db3_file, "On(s, x) & Off(t, x) & s < t",
+             "--free-vars", "x"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lamp" in out and "certain answers: 1" in out
+
+    def test_answers_empty(self, db3_file, capsys):
+        code = main(
+            ["answers", db3_file, "Off(s, x) & On(t, x) & s < t",
+             "--free-vars", "x"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1 and "certain answers: 0" in out
+
+
+class TestBenchSessionCommand:
+    def test_bench_session_entailment(self, db_file, capsys):
+        code = main(
+            ["bench-session", db_file, "Boot(a) & a < b & Crash(b)",
+             "--repeat", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "prepared:" in out and "results:   match" in out
+
+    def test_bench_session_answers(self, tmp_path, capsys):
+        path = tmp_path / "db3.txt"
+        path.write_text(TestAnswersCommand.DB3)
+        code = main(
+            ["bench-session", str(path), "On(s, x) & Off(t, x) & s < t",
+             "--free-vars", "x", "--repeat", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0 and "results:   match" in out
+
 
 class TestOtherCommands:
     def test_models_count(self, db_file, capsys):

@@ -338,6 +338,139 @@ def build_api_benchmarks(quick: bool, seed: int):
     )
 
 
+def build_engine_benchmarks(quick: bool, seed: int):
+    """Yield ``(name, params, one_shot_fn, engine_fn, repeats)`` tuples.
+
+    The one-shot side is the per-request loop a sessionless service
+    would run: every request pays the full pipeline (and every open
+    request its own per-tuple/model sweep).  The engine side feeds the
+    same request stream to :mod:`repro.engine` — plan grouping, combined
+    model sweeps, materialized views — with all setup (session, view,
+    pool construction) paid inside the measurement.
+    """
+    from repro.engine.batch import QueryRequest, execute_many
+    from repro.engine.views import MaterializedView
+    from repro.core.entailment import certain_answers
+    from repro.core.atoms import ProperAtom
+    from repro.workloads.generators import random_request_stream
+
+    repeats = 1 if quick else 3
+
+    def run_one_shot(db, requests):
+        out = []
+        for r in requests:
+            if r.free_vars is None:
+                out.append(explain(db, r.query, semantics=r.semantics,
+                                   method=r.method).holds)
+            else:
+                out.append(frozenset(certain_answers(
+                    db, r.query, r.free_vars, semantics=r.semantics
+                )))
+        return out
+
+    def run_engine(db, requests):
+        results = execute_many(Session(db), requests)
+        return [
+            r.holds if req.free_vars is None else frozenset(r.answers)
+            for req, r in zip(requests, results)
+        ]
+
+    # -- a read burst with repeated plan groups ----------------------------
+    rng = random.Random(seed + 23)
+    db, ops = random_request_stream(
+        rng,
+        width=3,
+        chain_length=3,
+        n_objects=6 if quick else 8,
+        n_queries=4,
+        n_ops=16 if quick else 32,
+        write_prob=0.0,
+    )
+    requests = [op for op in ops if isinstance(op, QueryRequest)]
+    yield (
+        "engine/batch",
+        {"requests": len(requests),
+         "plan_groups": len({r.plan_key for r in requests})},
+        lambda db=db, requests=requests: run_one_shot(db, requests),
+        lambda db=db, requests=requests: run_engine(db, requests),
+        repeats,
+    )
+
+    # -- a materialized view over object-fact churn ------------------------
+    rng = random.Random(seed + 29)
+    db, query, free = random_certain_answers_workload(
+        rng,
+        width=3,
+        chain_length=3,
+        n_objects=6 if quick else 8,
+        n_disjuncts=2,
+        n_free=1,
+    )
+    toggles = [ProperAtom("Tag", (obj(f"churn{i}"),)) for i in range(6)]
+
+    def view_one_shot(db=db, query=query, free=free, toggles=toggles):
+        from repro.core.database import IndefiniteDatabase
+
+        answers, current = [], db
+        for fact in toggles:
+            current = current.union(IndefiniteDatabase.of(fact))
+            answers.append(frozenset(certain_answers(current, query, free)))
+        return answers
+
+    def view_engine(db=db, query=query, free=free, toggles=toggles):
+        session = Session(db)
+        view = MaterializedView(session, query, free)
+        answers = []
+        for fact in toggles:
+            session.assert_facts(fact)
+            answers.append(view.answers())
+        return answers
+
+    yield (
+        "engine/views",
+        {"width": 3, "objects": 6 if quick else 8,
+         "mutations": len(toggles)},
+        view_one_shot,
+        view_engine,
+        repeats,
+    )
+
+    # -- snapshot-parallel pool (skipped in --quick: CI stays fork-free;
+    # -- skipped on 1-CPU hosts, where processes can only time-share) ------
+    if not quick and (os.cpu_count() or 1) >= 2:
+        from repro.engine.pool import execute_parallel
+
+        rng = random.Random(seed + 31)
+        db, ops = random_request_stream(
+            rng,
+            width=4,
+            chain_length=5,
+            n_objects=10,
+            n_queries=12,
+            n_ops=48,
+            write_prob=0.0,
+        )
+        requests = [op for op in ops if isinstance(op, QueryRequest)]
+
+        def pool_sequential(db=db, requests=requests):
+            return run_engine(db, requests)
+
+        def pool_parallel(db=db, requests=requests):
+            results = execute_parallel(Session(db), requests, workers=2)
+            return [
+                r.holds if req.free_vars is None else frozenset(r.answers)
+                for req, r in zip(requests, results)
+            ]
+
+        yield (
+            "engine/pool",
+            {"requests": len(requests), "workers": 2},
+            pool_sequential,
+            pool_parallel,
+            1,
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -352,7 +485,8 @@ def main(argv=None) -> int:
         "--min-speedup",
         type=float,
         default=2.0,
-        help="--check threshold on the reduced/ and theorem53/ benches",
+        help="--check threshold on the reduced/, theorem53/, "
+             "session/certain_answers and engine/batch benches",
     )
     parser.add_argument("--seed", type=int, default=12345)
     parser.add_argument(
@@ -373,9 +507,9 @@ def main(argv=None) -> int:
             f"optimized {row['optimized_s']*1000:9.2f} ms   "
             f"x{row['speedup']:<8} {match}"
         )
-    for name, params, one_shot_fn, prepared_fn, repeats in build_api_benchmarks(
-        args.quick, args.seed
-    ):
+    api_rows = list(build_api_benchmarks(args.quick, args.seed))
+    api_rows += list(build_engine_benchmarks(args.quick, args.seed))
+    for name, params, one_shot_fn, prepared_fn, repeats in api_rows:
         row = _run_api_pair(name, params, one_shot_fn, prepared_fn, repeats)
         rows.append(row)
         match = "ok" if row["results_match"] else "MISMATCH"
@@ -396,7 +530,10 @@ def main(argv=None) -> int:
                 "substrate rows: naive = seed algorithms via repro.substrate."
                 "reference.naive_mode(), optimized = bitset substrate + "
                 "closure caches; api rows: one_shot = stateless entry "
-                "points, prepared = Session/PreparedQuery reuse"
+                "points, prepared = Session/PreparedQuery reuse; engine "
+                "rows: one_shot = per-request loop, prepared = "
+                "repro.engine (batched execution, materialized views, "
+                "snapshot worker pool)"
             ),
         },
         "benchmarks": rows,
@@ -412,7 +549,12 @@ def main(argv=None) -> int:
             if not row["results_match"]:
                 failures.append(f"{row['name']}: result pair differs")
             gated = row["name"].startswith(
-                ("reduced/", "theorem53/", "session/certain_answers")
+                (
+                    "reduced/",
+                    "theorem53/",
+                    "session/certain_answers",
+                    "engine/batch",
+                )
             )
             if gated and row["speedup"] is not None:
                 if row["speedup"] < args.min_speedup:

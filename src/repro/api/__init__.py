@@ -24,10 +24,11 @@ See :mod:`repro.api.session` for the mutation/invalidation contract and
 
 from repro.api.plan import ExecutionContext, PreparedQuery
 from repro.api.result import Result, render_model
-from repro.api.session import Session
+from repro.api.session import MutationEvent, Session
 
 __all__ = [
     "ExecutionContext",
+    "MutationEvent",
     "PreparedQuery",
     "Result",
     "Session",

@@ -40,6 +40,7 @@ the one-shot ``certain_answers`` does.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import count as iter_count
 from itertools import product as iter_product
 from typing import TYPE_CHECKING, Iterable, Mapping
 
@@ -164,6 +165,36 @@ def object_part_holds(
     return not variables and ok({})
 
 
+def prune_candidates_by_models(
+    db: IndefiniteDatabase,
+    candidates: Mapping[DisjunctiveQuery, Iterable],
+) -> set:
+    """One minimal-model sweep deciding many candidates at once.
+
+    ``candidates`` maps each substituted (ground-in-the-object-sort)
+    query to the opaque tokens that stand or fall with it; a token
+    survives iff every minimal model of ``db`` satisfies its query.
+    Enumeration stops early once every query has failed.  This is the
+    shared core of the per-plan :meth:`PreparedQuery._model_answers_for`
+    sweep and of :func:`repro.engine.batch.execute_many`, which pools the
+    candidates of *every* model-path plan in a batch into a single
+    enumeration (tokens from different requests that substitute to the
+    same query are deduplicated by the mapping itself).
+    """
+    remaining = {q: list(tokens) for q, tokens in candidates.items()}
+    surviving = {t for tokens in remaining.values() for t in tokens}
+    if not remaining:
+        return surviving
+    for model in iter_minimal_models(db):
+        if not remaining:
+            break
+        failed = [q for q in remaining if not structure_satisfies(model, q)]
+        for q in failed:
+            for token in remaining.pop(q):
+                surviving.discard(token)
+    return surviving
+
+
 class ExecutionContext:
     """Database-side execution state with granular invalidation.
 
@@ -185,10 +216,15 @@ class ExecutionContext:
       per-generation memos were already invalidated by the mutation).
     """
 
+    #: process-wide serial source; serials are never reused, unlike ids,
+    #: so plan memos keyed on them cannot alias a recycled context.
+    _serials = iter_count()
+
     def __init__(
         self, db: IndefiniteDatabase, graph: OrderGraph | None = None
     ) -> None:
         self.db = db
+        self.serial = next(ExecutionContext._serials)
         self._graph = graph
         self._hub: RegionCacheHub | None = None
         self._consistent: bool | None = None
@@ -298,6 +334,33 @@ class ExecutionContext:
             self._graph = None
         if self._hub is not None:
             self._hub.clear()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def fork(self) -> "ExecutionContext":
+        """A read-only twin sharing every safely shareable warm artifact.
+
+        The twin references the same frozen database, the same order
+        graph *instance* (with its per-generation closure caches), the
+        same labelled dag and object-fact index, and a forked region
+        cache hub (:meth:`~repro.core.regions.RegionCacheHub.fork`) whose
+        entries share structural memos.  None of these are ever mutated
+        in place by the executor, only *replaced* on invalidation, so the
+        fork stays valid for as long as the shared graph instance is not
+        mutated — the session guards that with its ``_graph_shared``
+        copy-on-write flag (see :meth:`repro.api.session.Session.snapshot`).
+        """
+        twin = ExecutionContext(self.db)
+        twin._graph = self._graph
+        twin._hub = None if self._hub is None else self._hub.fork()
+        twin._consistent = self._consistent
+        twin._has_neq = self._has_neq
+        twin._dag = self._dag
+        twin._splittable = self._splittable
+        twin._object_facts = self._object_facts
+        twin._object_domain = self._object_domain
+        twin.label_epoch = self.label_epoch
+        return twin
 
 
 @dataclass(frozen=True)
@@ -532,7 +595,7 @@ class PreparedQuery:
         Valid as long as the context's order graph and labels are
         unchanged; the epoch check drops it otherwise.
         """
-        key = (id(ctx), ctx.label_epoch)
+        key = (ctx.serial, ctx.label_epoch)
         if self._memo_key != key:
             self._memo_key = key
             self._order_memo = {}
@@ -623,29 +686,76 @@ class PreparedQuery:
             answers = frozenset(self._combos(domain))
             return Result(bool(answers), "vacuous", answers=answers)
         if self._has_constants:
-            return self._answers_fallback(domain)
+            answers = self._fallback_answers_for(self._combos(domain))
+            return Result(bool(answers), "prepared-fallback", answers=answers)
         static, ctx = self._bind()
         if not static.dnf.disjuncts:
             return Result(False, "unsatisfiable-query", answers=frozenset())
         if static.any_empty:
             answers = frozenset(self._combos(domain))
             return Result(bool(answers), "trivial", answers=answers)
-        if (
-            self.method != "bruteforce"
-            and static.splits is not None
-            and not ctx.has_neq
-            and ctx.splittable
-        ):
-            return self._answers_split(static, ctx, domain)
+        if self._splits_apply(static, ctx):
+            answers = self._split_answers_for(
+                static, ctx, self._combos(domain)
+            )
+            return Result(bool(answers), "prepared-split", answers=answers)
         if self.method not in ("auto", "bruteforce"):
             raise ValueError(
                 f"method {self.method!r} requires monadic, '!='-free inputs"
             )
-        return self._answers_models(static, ctx, domain)
+        answers = self._model_answers_for(static, ctx, self._combos(domain))
+        return Result(bool(answers), "prepared-models", answers=answers)
 
-    def _answers_split(
-        self, static: StaticPlan, ctx: ExecutionContext, domain: list[str]
-    ) -> Result:
+    def _splits_apply(
+        self, static: StaticPlan, ctx: ExecutionContext
+    ) -> bool:
+        """Can this execution take the Section 4 object/order split?"""
+        return (
+            self.method != "bruteforce"
+            and static.splits is not None
+            and not ctx.has_neq
+            and ctx.splittable
+        )
+
+    def answers_for(
+        self, combos: Iterable[tuple[str, ...]]
+    ) -> frozenset[tuple[str, ...]]:
+        """Certain-answer status of just the given candidate tuples.
+
+        The delta hook for incrementally maintained views
+        (:class:`repro.engine.views.MaterializedView`): evaluates exactly
+        the strategy the full :meth:`execute` would run — split, model
+        sweep or constants fallback — restricted to ``combos``, against
+        the session's *current* database.  Returns the subset of
+        ``combos`` that are certain answers.
+        """
+        if self.free_vars is None:
+            raise ValueError("answers_for requires an open (free_vars) plan")
+        combos = list(combos)
+        base = self.session.context()
+        if not base.consistent:
+            return frozenset(combos)
+        if self._has_constants:
+            return self._fallback_answers_for(combos)
+        static, ctx = self._bind()
+        if not static.dnf.disjuncts:
+            return frozenset()
+        if static.any_empty:
+            return frozenset(combos)
+        if self._splits_apply(static, ctx):
+            return self._split_answers_for(static, ctx, combos)
+        if self.method not in ("auto", "bruteforce"):
+            raise ValueError(
+                f"method {self.method!r} requires monadic, '!='-free inputs"
+            )
+        return self._model_answers_for(static, ctx, combos)
+
+    def _split_answers_for(
+        self,
+        static: StaticPlan,
+        ctx: ExecutionContext,
+        combos: Iterable[tuple[str, ...]],
+    ) -> frozenset[tuple[str, ...]]:
         """Monadic split: memoize order-part verdicts per surviving set.
 
         A substitution only reaches the object parts, so candidate
@@ -653,7 +763,7 @@ class PreparedQuery:
         order-part decision.
         """
         answers = set()
-        for combo in self._combos(domain):
+        for combo in combos:
             pre = dict(zip(self.free_vars, combo))
             indices = self._surviving(static, ctx, pre)
             if not indices:
@@ -666,13 +776,29 @@ class PreparedQuery:
                 continue
             if self._order_result(static, ctx, indices).holds:
                 answers.add(combo)
-        return Result(
-            bool(answers), "prepared-split", answers=frozenset(answers)
-        )
+        return frozenset(answers)
 
-    def _answers_models(
-        self, static: StaticPlan, ctx: ExecutionContext, domain: list[str]
-    ) -> Result:
+    def candidate_queries(
+        self, static: StaticPlan, combos: Iterable[tuple[str, ...]]
+    ) -> dict[DisjunctiveQuery, list[tuple[str, ...]]]:
+        """Group candidate tuples by their substituted query.
+
+        Tuples whose substitutions coincide are decided together; the
+        batch engine merges these maps across plans before a combined
+        :func:`prune_candidates_by_models` sweep.
+        """
+        groups: dict[DisjunctiveQuery, list[tuple[str, ...]]] = {}
+        for combo in combos:
+            mapping = {v: obj(c) for v, c in zip(self.free_vars, combo)}
+            groups.setdefault(static.dnf.substitute(mapping), []).append(combo)
+        return groups
+
+    def _model_answers_for(
+        self,
+        static: StaticPlan,
+        ctx: ExecutionContext,
+        combos: Iterable[tuple[str, ...]],
+    ) -> frozenset[tuple[str, ...]]:
         """General case: one model enumeration prunes all candidates.
 
         A tuple is a certain answer iff every minimal model satisfies
@@ -680,29 +806,18 @@ class PreparedQuery:
         once per tuple) and checking each still-candidate substitution
         against each model decides all tuples in a single sweep.
         """
-        groups: dict[DisjunctiveQuery, list[tuple[str, ...]]] = {}
-        for combo in self._combos(domain):
-            mapping = {v: obj(c) for v, c in zip(self.free_vars, combo)}
-            groups.setdefault(static.dnf.substitute(mapping), []).append(combo)
-        answers = {c for combos in groups.values() for c in combos}
-        remaining = dict(groups)
-        for model in iter_minimal_models(ctx.db):
-            if not remaining:
-                break
-            failed = [
-                q for q in remaining if not structure_satisfies(model, q)
-            ]
-            for q in failed:
-                for combo in remaining.pop(q):
-                    answers.discard(combo)
-        return Result(
-            bool(answers), "prepared-models", answers=frozenset(answers)
+        return frozenset(
+            prune_candidates_by_models(
+                ctx.db, self.candidate_queries(static, combos)
+            )
         )
 
-    def _answers_fallback(self, domain: list[str]) -> Result:
+    def _fallback_answers_for(
+        self, combos: Iterable[tuple[str, ...]]
+    ) -> frozenset[tuple[str, ...]]:
         """Open queries with constants: one private sub-plan per tuple."""
         answers = set()
-        for combo in self._combos(domain):
+        for combo in combos:
             mapping = {v: obj(c) for v, c in zip(self.free_vars, combo)}
             q_c = self._dnf0.substitute(mapping)
             plan = self._fallback_plans.get(q_c)
@@ -712,6 +827,4 @@ class PreparedQuery:
                 )
             if plan.execute().holds:
                 answers.add(combo)
-        return Result(
-            bool(answers), "prepared-fallback", answers=frozenset(answers)
-        )
+        return frozenset(answers)

@@ -38,7 +38,7 @@ Invalidation contract (the granular generation counters):
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, NamedTuple
 
 from repro.api.plan import ExecutionContext, PreparedQuery
 from repro.api.result import Result
@@ -49,14 +49,42 @@ from repro.core.query import Query
 from repro.core.semantics import Semantics
 from repro.core.sorts import Term
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.snapshot import SessionSnapshot
+
 #: Most-recently-prepared plans kept per session.
 _PLAN_CACHE_LIMIT = 128
+
+
+class MutationEvent(NamedTuple):
+    """What a single mutation invalidated, as delivered to observers.
+
+    Attributes:
+        graph: the graph generation was bumped (order atoms or order
+            constants appeared/disappeared) — everything graph-derived
+            is stale.
+        label: the label generation was bumped (facts over existing
+            order constants changed) — order-part memos are stale.
+        object: the object generation was bumped (facts over object
+            constants changed).
+        objects: the object-constant names mentioned by the mutated
+            facts — the delta an incrementally maintained view needs.
+    """
+
+    graph: bool
+    label: bool
+    object: bool
+    objects: frozenset[str]
 
 
 class Session:
     """A stateful query service over one evolving indefinite database."""
 
-    def __init__(self, db: IndefiniteDatabase | None = None) -> None:
+    def __init__(
+        self,
+        db: IndefiniteDatabase | None = None,
+        plan_cache_limit: int = _PLAN_CACHE_LIMIT,
+    ) -> None:
         db = IndefiniteDatabase.empty() if db is None else db
         self._proper: set[ProperAtom] = set(db.proper_atoms)
         self._order: set[OrderAtom] = set(db.order_atoms)
@@ -66,7 +94,14 @@ class Session:
         self._label_gen = 0
         self._object_gen = 0
         self._ctx: ExecutionContext | None = None
+        #: LRU over prepared plans: insertion order == recency order.
         self._plans: dict[tuple, PreparedQuery] = {}
+        self._plan_limit = plan_cache_limit
+        #: mutation observers (materialized views and other engine state)
+        self._observers: list[Callable[[MutationEvent], None]] = []
+        #: True while a snapshot shares this session's graph instance —
+        #: the next graph mutation must rebuild instead of edit in place.
+        self._graph_shared = False
 
     @classmethod
     def from_atoms(
@@ -104,6 +139,56 @@ class Session:
             self._ctx = ExecutionContext(self.db)
         return self._ctx
 
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> "SessionSnapshot":
+        """A cheap read-only copy at the current generation.
+
+        The snapshot shares this session's frozen database, its order
+        graph *instance* (with whatever closures are already warm) and a
+        forked region-cache hub, so queries against the snapshot start
+        from the same warm state as queries against the live session —
+        see :class:`repro.engine.snapshot.SessionSnapshot`.  The live
+        session keeps mutating freely: the first mutation that would
+        edit the shared graph in place rebuilds it instead (copy-on-
+        write), so snapshots are immutable forever at zero ongoing cost.
+        """
+        from repro.engine.snapshot import SessionSnapshot
+
+        snap = SessionSnapshot(self)
+        self._graph_shared = True
+        return snap
+
+    # -- observers ---------------------------------------------------------
+
+    def add_observer(
+        self, callback: Callable[[MutationEvent], None]
+    ) -> None:
+        """Register ``callback`` to run after every effective mutation."""
+        self._observers.append(callback)
+
+    def remove_observer(
+        self, callback: Callable[[MutationEvent], None]
+    ) -> None:
+        """Deregister a mutation observer (missing ones are ignored)."""
+        try:
+            self._observers.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify(
+        self,
+        graph: bool = False,
+        label: bool = False,
+        object_: bool = False,
+        objects: Iterable[str] = (),
+    ) -> None:
+        if not self._observers:
+            return
+        event = MutationEvent(graph, label, object_, frozenset(objects))
+        for callback in list(self._observers):
+            callback(event)
+
     # -- mutation ----------------------------------------------------------
 
     def assert_facts(self, *atoms: ProperAtom | OrderAtom) -> "Session":
@@ -129,23 +214,38 @@ class Session:
         has_object_args = any(
             t.is_object for a in added for t in a.args
         )
+        fresh: set[str] = set()
         if order_args:
             fresh = {t.name for t in order_args} - known
             known.update(t.name for t in order_args)
             self._label_gen += 1
             if fresh:
                 self._graph_gen += 1
-                if self._ctx is not None and self._ctx.graph_built:
-                    for v in sorted(fresh):
-                        self._ctx.graph.add_vertex(v)
                 if self._ctx is not None:
-                    self._ctx.graph_changed(self.db)
+                    if self._graph_shared:
+                        # A snapshot shares the graph instance: rebuild
+                        # lazily instead of adding vertices in place.
+                        self._graph_shared = False
+                        self._ctx.graph_changed(self.db, keep_graph=False)
+                    else:
+                        if self._ctx.graph_built:
+                            for v in sorted(fresh):
+                                self._ctx.graph.add_vertex(v)
+                        self._ctx.graph_changed(self.db)
             elif self._ctx is not None:
                 self._ctx.labels_changed(self.db)
         if has_object_args:
             self._object_gen += 1
             if self._ctx is not None and not order_args:
                 self._ctx.facts_changed(self.db)
+        self._notify(
+            graph=bool(fresh),
+            label=bool(order_args),
+            object_=has_object_args,
+            objects=(
+                t.name for a in added for t in a.args if t.is_object
+            ),
+        )
         return self
 
     def retract_facts(self, *atoms: ProperAtom | OrderAtom) -> "Session":
@@ -165,17 +265,29 @@ class Session:
             return self
         self._proper.difference_update(removed)
         self._db = None
-        if any(t.is_order for a in removed for t in a.args):
+        had_order = any(t.is_order for a in removed for t in a.args)
+        had_object = any(t.is_object for a in removed for t in a.args)
+        if had_order:
             # An order constant may have vanished: rebuild the graph lazily.
+            # (The shared instance, if a snapshot holds one, is untouched.)
             self._order_names = None
             self._graph_gen += 1
             self._label_gen += 1
+            self._graph_shared = False
             if self._ctx is not None:
                 self._ctx.graph_changed(self.db, keep_graph=False)
-        if any(t.is_object for a in removed for t in a.args):
+        if had_object:
             self._object_gen += 1
             if self._ctx is not None:
                 self._ctx.facts_changed(self.db)
+        self._notify(
+            graph=had_order,
+            label=had_order,
+            object_=had_object,
+            objects=(
+                t.name for a in removed for t in a.args if t.is_object
+            ),
+        )
         return self
 
     def assert_order(self, *atoms: OrderAtom) -> "Session":
@@ -194,14 +306,22 @@ class Session:
                 self._order_names.add(a.left.name)
                 self._order_names.add(a.right.name)
         if self._ctx is not None:
-            if self._ctx.graph_built:
-                # add_edge keeps the strictly stronger label on duplicate
-                # pairs, exactly like a from-scratch rebuild would.
-                for a in added:
-                    self._ctx.graph.add_edge(
-                        a.left.name, a.right.name, a.rel
-                    )
-            self._ctx.graph_changed(self.db)
+            if self._graph_shared:
+                # A snapshot shares the graph instance: rebuild lazily
+                # instead of editing the shared adjacency in place.
+                self._graph_shared = False
+                self._ctx.graph_changed(self.db, keep_graph=False)
+            else:
+                if self._ctx.graph_built:
+                    # add_edge keeps the strictly stronger label on
+                    # duplicate pairs, exactly like a from-scratch
+                    # rebuild would.
+                    for a in added:
+                        self._ctx.graph.add_edge(
+                            a.left.name, a.right.name, a.rel
+                        )
+                self._ctx.graph_changed(self.db)
+        self._notify(graph=True)
         return self
 
     def retract_order(self, *atoms: OrderAtom) -> "Session":
@@ -214,8 +334,10 @@ class Session:
         self._db = None
         self._order_names = None
         self._graph_gen += 1
+        self._graph_shared = False
         if self._ctx is not None:
             self._ctx.graph_changed(self.db, keep_graph=False)
+        self._notify(graph=True)
         return self
 
     # -- querying ----------------------------------------------------------
@@ -235,12 +357,14 @@ class Session:
         if free_vars is not None:
             free_vars = tuple(free_vars)
         key = (query, semantics, method, free_vars)
-        plan = self._plans.get(key)
+        # True LRU: a hit re-inserts the plan at the most-recent end, so
+        # eviction always removes the least-recently-*used* plan.
+        plan = self._plans.pop(key, None)
         if plan is None:
             plan = PreparedQuery(self, query, semantics, method, free_vars)
-            if len(self._plans) >= _PLAN_CACHE_LIMIT:
+            while self._plans and len(self._plans) >= self._plan_limit:
                 self._plans.pop(next(iter(self._plans)))
-            self._plans[key] = plan
+        self._plans[key] = plan
         return plan
 
     def explain(
@@ -290,4 +414,4 @@ class Session:
         return f"Session({self.size()} atoms, gens={self._gens()})"
 
 
-__all__ = ["Session"]
+__all__ = ["MutationEvent", "Session"]

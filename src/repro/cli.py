@@ -4,9 +4,16 @@ Commands:
 
 * ``query DB QUERY``   — decide entailment (``--semantics fin|z|q``,
   ``--method auto|bruteforce|...``, ``--countermodel`` to print a witness
-  when the query is not entailed);
+  when the query is not entailed, ``--json`` for machine-readable output);
 * ``answers DB QUERY`` — certain answers of an open query
-  (``--free-vars x,y`` names the object variables);
+  (``--free-vars x,y`` names the object variables; ``--json``);
+* ``batch DB STREAM``  — run a request-stream file (queries, ``answers``
+  lines, ``assert:``/``retract:`` writes) through the batching engine
+  (:mod:`repro.engine.batch`); ``--workers N`` fans a write-free stream
+  out over a snapshot worker pool;
+* ``watch DB QUERY --free-vars ... STREAM`` — maintain a
+  :class:`repro.engine.views.MaterializedView` of an open query across
+  the writes in STREAM, reporting answer deltas after each step;
 * ``models DB``        — count (or ``--list``) the minimal models;
 * ``classify DB QUERY``— the Tables 1-2 complexity profile;
 * ``width DB``         — the database's width and a maximum antichain;
@@ -23,6 +30,7 @@ a file containing one.  Every query-answering command runs through a
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
@@ -33,7 +41,11 @@ from repro.core.database import IndefiniteDatabase
 from repro.core.models import count_minimal_models, iter_minimal_models
 from repro.core.semantics import Semantics
 from repro.core.sorts import objvar
-from repro.substrate.parser import parse_database, parse_query
+from repro.substrate.parser import (
+    parse_database,
+    parse_query,
+    scan_order_names,
+)
 
 _SEMANTICS = {"fin": Semantics.FIN, "z": Semantics.Z, "q": Semantics.Q}
 _METHODS = [
@@ -63,6 +75,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         semantics=_SEMANTICS[args.semantics],
         method=args.method,
     ).execute()
+    if args.json:
+        payload = _result_payload(result)
+        if args.countermodel and not result.holds:
+            payload["countermodel"] = (
+                None
+                if result.countermodel is None
+                else result.render_countermodel()
+            )
+        print(json.dumps(payload, sort_keys=True))
+        return 0 if result.holds else 1
     print(f"entailed: {result.holds}")
     print(f"method:   {result.method}")
     if args.countermodel and not result.holds:
@@ -87,10 +109,219 @@ def _cmd_answers(args: argparse.Namespace) -> int:
         free_vars=free_vars,
     ).execute()
     assert result.answers is not None
+    if args.json:
+        print(json.dumps(_result_payload(result), sort_keys=True))
+        return 0 if result.answers else 1
     for answer in sorted(result.answers):
         print(", ".join(answer) if answer else "()")
     print(f"certain answers: {len(result.answers)} [{result.method}]")
     return 0 if result.answers else 1
+
+
+def _stream_order_names(db_text: str, stream_text: str) -> set[str]:
+    """Sort inference over the database file plus every stream write.
+
+    A constant that only a later ``assert:`` line orders must already be
+    order-sorted where the base database merely labels it (one spelling
+    at two sorts is a :class:`~repro.core.errors.SortError`), so the
+    fragments are scanned together before any of them is parsed.
+    """
+    names = scan_order_names(db_text)
+    for line in stream_text.splitlines():
+        line = line.strip()
+        for verb in ("assert:", "retract:"):
+            if line.startswith(verb):
+                names |= scan_order_names(line[len(verb):])
+    return names
+
+
+def _stream_vocabulary(
+    db: IndefiniteDatabase, stream_text: str, order_names: set[str]
+) -> IndefiniteDatabase:
+    """The database plus every atom any stream write mentions.
+
+    Query lines resolve constants against this *vocabulary* database, so
+    a name introduced only by a later ``assert:`` line is still parsed
+    as a constant (of the right sort) rather than as a variable.
+    Execution always runs against the session's real state — a query
+    naming a not-yet-asserted constant is simply not entailed yet.
+    """
+    vocab = db
+    for line in stream_text.splitlines():
+        line = line.strip()
+        for verb in ("assert:", "retract:"):
+            if line.startswith(verb):
+                vocab = vocab.union(parse_database(
+                    line[len(verb):], extra_order=order_names
+                ))
+    return vocab
+
+
+def _parse_stream_line(
+    line: str, db: IndefiniteDatabase, order_names: set[str] = frozenset()
+):
+    """One request-stream line -> a QueryRequest or Mutation (or None).
+
+    Syntax: ``assert: <atoms>`` / ``retract: <atoms>`` (text-DSL database
+    fragments), ``answers(x, y): <query>`` for open queries, anything
+    else a closed query; blank lines and ``#`` comments skipped.
+    """
+    from repro.engine.batch import Mutation, QueryRequest
+
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    for kind, verb in (("assert_facts", "assert:"),
+                       ("retract_facts", "retract:")):
+        if line.startswith(verb):
+            fragment = parse_database(
+                line[len(verb):], extra_order=order_names
+            )
+            return Mutation(kind, tuple(fragment.atoms()))
+    if line.startswith("answers(") and "):" in line:
+        names, _, rest = line[len("answers("):].partition("):")
+        free = tuple(
+            objvar(n.strip()) for n in names.split(",") if n.strip()
+        )
+        return QueryRequest(parse_query(rest, db), free_vars=free)
+    if line.startswith("query:"):
+        line = line[len("query:"):]
+    return QueryRequest(parse_query(line, db))
+
+
+def _result_payload(result) -> dict:
+    if result.answers is not None:
+        return {
+            "answers": sorted(list(a) for a in result.answers),
+            "count": len(result.answers),
+            "method": result.method,
+        }
+    return {"entailed": result.holds, "method": result.method}
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Run a request-stream file through the batching engine."""
+    from repro.engine.batch import (
+        Mutation,
+        QueryRequest,
+        execute_many,
+        execute_stream,
+    )
+    from repro.engine.pool import WorkerPool
+
+    db_text = pathlib.Path(args.database).read_text()
+    stream_text = pathlib.Path(args.stream).read_text()
+    order_names = _stream_order_names(db_text, stream_text)
+    db = parse_database(db_text, extra_order=order_names)
+    vocab = _stream_vocabulary(db, stream_text, order_names)
+    ops = []
+    for line in stream_text.splitlines():
+        op = _parse_stream_line(line, vocab, order_names)
+        if op is not None:
+            ops.append(op)
+    session = Session(db)
+    pure_reads = all(isinstance(op, QueryRequest) for op in ops)
+    if args.workers > 1 and pure_reads:
+        with WorkerPool(session, workers=args.workers) as pool:
+            results = pool.execute_many(ops)
+            mode = f"pool[{args.workers}]" if pool.parallel else "sequential"
+    else:
+        results = execute_stream(session, ops)
+        mode = "stream"
+
+    rows = []
+    for i, (op, result) in enumerate(zip(ops, results)):
+        if isinstance(op, Mutation):
+            rows.append({"op": i, "kind": op.kind,
+                         "atoms": [str(a) for a in op.atoms]})
+        else:
+            rows.append({"op": i, "kind": "query",
+                         **_result_payload(result)})
+    if args.json:
+        print(json.dumps({"mode": mode, "ops": rows}, sort_keys=True))
+    else:
+        for row in rows:
+            if row["kind"] == "query":
+                verdict = (
+                    f"answers={row['count']}"
+                    if "count" in row
+                    else f"entailed={row['entailed']}"
+                )
+                print(f"[{row['op']:>3}] query   {verdict} "
+                      f"[{row['method']}]")
+            else:
+                print(f"[{row['op']:>3}] {row['kind']:<14} "
+                      f"{'; '.join(row['atoms'])}")
+        print(f"executed {len(ops)} ops ({mode})")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Maintain a materialized view of an open query across a write stream."""
+    from repro.engine.batch import Mutation
+    from repro.engine.views import MaterializedView
+
+    db_text = pathlib.Path(args.database).read_text()
+    stream_text = pathlib.Path(args.stream).read_text()
+    order_names = _stream_order_names(db_text, stream_text)
+    db = parse_database(db_text, extra_order=order_names)
+    vocab = _stream_vocabulary(db, stream_text, order_names)
+    session = Session(db)
+    query = _load_query(args.query, vocab)
+    free_vars = tuple(
+        objvar(name) for name in args.free_vars.split(",") if name
+    )
+    view = MaterializedView(
+        session, query, free_vars, semantics=_SEMANTICS[args.semantics]
+    )
+    steps = []
+    current = view.answers()
+    steps.append({"step": 0, "op": "initial",
+                  "answers": sorted(list(a) for a in current)})
+    i = 0
+    for line in stream_text.splitlines():
+        op = _parse_stream_line(line, vocab, order_names)
+        if op is None:
+            continue
+        if not isinstance(op, Mutation):
+            print(f"watch stream must contain only writes, got: {line.strip()}",
+                  file=sys.stderr)
+            return 2
+        i += 1
+        op.apply(session)
+        updated = view.answers()
+        steps.append({
+            "step": i,
+            "op": f"{op.kind} {'; '.join(str(a) for a in op.atoms)}",
+            "added": sorted(list(a) for a in updated - current),
+            "removed": sorted(list(a) for a in current - updated),
+            "count": len(updated),
+        })
+        current = updated
+    summary = {
+        "full_refreshes": view.full_refreshes,
+        "delta_refreshes": view.delta_refreshes,
+        "delta_capable": view.delta_capable,
+    }
+    if args.json:
+        print(json.dumps({"steps": steps, **summary}, sort_keys=True))
+        return 0
+    for step in steps:
+        if step["op"] == "initial":
+            print(f"[  0] initial: {len(step['answers'])} answers")
+            continue
+        delta = []
+        for a in step["added"]:
+            delta.append("+" + (",".join(a) if a else "()"))
+        for a in step["removed"]:
+            delta.append("-" + (",".join(a) if a else "()"))
+        print(f"[{step['step']:>3}] {step['op']}: "
+              f"{' '.join(delta) if delta else '(no change)'} "
+              f"[{step['count']} answers]")
+    print(f"refreshes: {summary['full_refreshes']} full, "
+          f"{summary['delta_refreshes']} delta "
+          f"(delta-capable: {summary['delta_capable']})")
+    return 0
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
@@ -205,6 +436,8 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--method", choices=_METHODS, default="auto")
     q.add_argument("--countermodel", action="store_true",
                    help="print a falsifying minimal model if any")
+    q.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
     q.set_defaults(func=_cmd_query)
 
     a = sub.add_parser("answers", help="certain answers of an open query")
@@ -213,7 +446,36 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--free-vars", default="",
                    help="comma-separated object variable names (e.g. x,y)")
     a.add_argument("--semantics", choices=sorted(_SEMANTICS), default="fin")
+    a.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
     a.set_defaults(func=_cmd_answers)
+
+    bt = sub.add_parser(
+        "batch",
+        help="run a request-stream file through the batching engine",
+    )
+    bt.add_argument("database")
+    bt.add_argument("stream", help="file of queries / answers(..) / "
+                                   "assert: / retract: lines")
+    bt.add_argument("--workers", type=int, default=1,
+                    help="fan a write-free stream over N snapshot workers")
+    bt.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    bt.set_defaults(func=_cmd_batch)
+
+    wt = sub.add_parser(
+        "watch",
+        help="maintain a materialized view of an open query over writes",
+    )
+    wt.add_argument("database")
+    wt.add_argument("query")
+    wt.add_argument("stream", help="file of assert:/retract: lines")
+    wt.add_argument("--free-vars", default="",
+                    help="comma-separated object variable names (e.g. x,y)")
+    wt.add_argument("--semantics", choices=sorted(_SEMANTICS), default="fin")
+    wt.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    wt.set_defaults(func=_cmd_watch)
 
     m = sub.add_parser("models", help="count or list minimal models")
     m.add_argument("database")

@@ -33,12 +33,26 @@ class IndefiniteDatabase:
     order_atoms: frozenset[OrderAtom]
 
     def __post_init__(self) -> None:
+        order_names: set[str] = set()
+        object_names: set[str] = set()
         for atom in self.proper_atoms:
             if not atom.is_ground:
                 raise SortError(f"database proper atom must be ground: {atom}")
+            for t in atom.args:
+                (order_names if t.is_order else object_names).add(t.name)
         for atom in self.order_atoms:
             if not atom.is_ground:
                 raise SortError(f"database order atom must be ground: {atom}")
+            order_names.add(atom.left.name)
+            order_names.add(atom.right.name)
+        clash = order_names & object_names
+        if clash:
+            # One spelling, two sorts: the minimal-model constant map is
+            # keyed by name, so this would silently corrupt verdicts.
+            raise SortError(
+                "constant name(s) used at both sorts: "
+                + ", ".join(sorted(clash))
+            )
 
     # -- constructors ------------------------------------------------------
 

@@ -1,0 +1,53 @@
+"""The execution engine: batched, snapshot-parallel, incrementally viewed.
+
+Everything in :mod:`repro.api` answers one query at a time against one
+mutable session.  This subsystem turns that library into an engine for
+request *streams*:
+
+* :mod:`repro.engine.batch` — :func:`~repro.engine.batch.execute_many`
+  groups a batch of requests by compiled plan and pools the
+  minimal-model sweeps; :func:`~repro.engine.batch.execute_stream`
+  interleaves batched reads with writes in stream order.
+* :mod:`repro.engine.snapshot` — cheap read-only
+  :class:`~repro.engine.snapshot.SessionSnapshot` copies (shared frozen
+  database + warm closures) safe to ship to workers.
+* :mod:`repro.engine.pool` — :class:`~repro.engine.pool.WorkerPool`
+  shards plan groups across processes, each answering from a snapshot,
+  and merges results deterministically.
+* :mod:`repro.engine.views` — :class:`~repro.engine.views.MaterializedView`
+  keeps a registered certain-answers query up to date across mutations,
+  re-evaluating only the delta the bumped generation permits.
+
+Quickstart::
+
+    from repro.api import Session
+    from repro.engine import MaterializedView, QueryRequest, execute_many
+
+    session = Session(db)
+    results = execute_many(session, [QueryRequest(q) for q in queries])
+    view = MaterializedView(session, open_query, free_vars=(x,))
+    session.assert_facts(fact)        # view tracks the delta
+    current = view.answers()
+"""
+
+from repro.engine.batch import (
+    Mutation,
+    QueryRequest,
+    execute_many,
+    execute_stream,
+)
+from repro.engine.pool import WorkerPool, execute_parallel
+from repro.engine.snapshot import SessionSnapshot, SnapshotMutationError
+from repro.engine.views import MaterializedView
+
+__all__ = [
+    "MaterializedView",
+    "Mutation",
+    "QueryRequest",
+    "SessionSnapshot",
+    "SnapshotMutationError",
+    "WorkerPool",
+    "execute_many",
+    "execute_parallel",
+    "execute_stream",
+]

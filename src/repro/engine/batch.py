@@ -1,0 +1,221 @@
+"""Batched query execution: one sweep per plan group, not per query.
+
+A service fronting an indefinite database does not see one query at a
+time — it sees a *stream* of requests, many of them textually identical
+(dashboards re-asking the same question, clients polling the same view)
+and many sharing the expensive part of their evaluation.
+:func:`execute_many` exploits both:
+
+* **plan grouping** — requests are grouped by their compiled-plan key
+  (query, semantics, method, free variables); each group is executed
+  once against the session's warm caches and the single
+  :class:`~repro.api.result.Result` is fanned back out to every request
+  in the group;
+* **a combined minimal-model sweep** — open queries that take the
+  model-enumeration path each need one pass over the minimal models of
+  the database.  In a batch, all such plan groups pool their candidate
+  substitutions into one :func:`~repro.api.plan.prune_candidates_by_models`
+  sweep: the models are enumerated *once for the whole batch*, and
+  candidate tuples from different requests that substitute to the same
+  ground query are deduplicated and decided together.
+
+:func:`execute_stream` extends this to mixed read/write traffic: maximal
+runs of reads between two writes form one batch, and writes are applied
+through the session's granular-invalidation mutators in stream order, so
+the observable results are exactly those of a sequential one-at-a-time
+loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product as iter_product
+from typing import Iterable
+
+from repro.api.plan import PreparedQuery, prune_candidates_by_models
+from repro.api.result import Result
+from repro.api.session import Session
+from repro.core.atoms import OrderAtom, ProperAtom
+from repro.core.query import Query
+from repro.core.semantics import Semantics
+from repro.core.sorts import Term, obj
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One read in a request stream (closed, or open via ``free_vars``)."""
+
+    query: Query
+    semantics: Semantics = Semantics.FIN
+    method: str = "auto"
+    free_vars: tuple[Term, ...] | None = None
+
+    @property
+    def plan_key(self) -> tuple:
+        """Requests with equal keys share one compiled plan and result."""
+        return (self.query, self.semantics, self.method, self.free_vars)
+
+    def prepare(self, session: Session) -> PreparedQuery:
+        """The session's (memoized) plan for this request."""
+        return session.prepare(
+            self.query, self.semantics, self.method, free_vars=self.free_vars
+        )
+
+
+#: Mutation kinds understood by :class:`Mutation` — exactly the Session
+#: mutator names.
+MUTATION_KINDS = (
+    "assert_facts",
+    "retract_facts",
+    "assert_order",
+    "retract_order",
+)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One write in a request stream."""
+
+    kind: str
+    atoms: tuple[ProperAtom | OrderAtom, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in MUTATION_KINDS:
+            raise ValueError(f"unknown mutation kind {self.kind!r}")
+
+    def apply(self, session: Session) -> None:
+        """Apply this write through the session's invalidation machinery."""
+        getattr(session, self.kind)(*self.atoms)
+
+
+def _sweepable(plan: PreparedQuery) -> bool:
+    """Would this open plan take the minimal-model path on this database?
+
+    Mirrors the dispatch of ``PreparedQuery._run_answers``: the plan must
+    be open, constant-free and unpadded (so it binds to the session's
+    shared base context), have a live non-trivial DNF, and *not* qualify
+    for the Section 4 split (the split path is memoized and cheap; the
+    model path is the one worth pooling across the batch).
+    """
+    if plan.free_vars is None or plan._has_constants:
+        return False
+    if not plan.session.context().consistent:
+        return False
+    static, ctx = plan._bind()
+    if static.pad_dnf is not None:
+        return False
+    if not static.dnf.disjuncts or static.any_empty:
+        return False
+    if plan._splits_apply(static, ctx):
+        return False
+    return plan.method in ("auto", "bruteforce")
+
+
+def execute_many(
+    session: Session, requests: Iterable[QueryRequest]
+) -> list[Result]:
+    """Execute a batch of reads, sharing work across the whole batch.
+
+    Returns one :class:`~repro.api.result.Result` per request, in
+    request order; requests with equal plan keys receive the *same*
+    result object.  Results are identical in verdict and answers to
+    executing each request's plan individually (the batched model sweep
+    reports its method as ``"batched-models"``).
+    """
+    requests = list(requests)
+    groups: dict[tuple, list[int]] = {}
+    for i, request in enumerate(requests):
+        groups.setdefault(request.plan_key, []).append(i)
+
+    results: list[Result | None] = [None] * len(requests)
+    sweep: list[tuple[list[int], PreparedQuery]] = []
+    for key, indices in groups.items():
+        plan = requests[indices[0]].prepare(session)
+        if _sweepable(plan):
+            sweep.append((indices, plan))
+            continue
+        result = plan.execute()
+        for i in indices:
+            results[i] = result
+
+    if len(sweep) == 1:
+        # a lone model-path plan gains nothing from pooling
+        indices, plan = sweep[0]
+        result = plan.execute()
+        for i in indices:
+            results[i] = result
+    elif sweep:
+        # Pool every model-path plan's candidates into ONE enumeration of
+        # the minimal models.  Tokens are (entry, combo) pairs so each
+        # plan gets its own answers back; identical substituted queries
+        # from different plans merge into one satisfiability check.
+        candidates: dict = {}
+        entries = []
+        for entry, (indices, plan) in enumerate(sweep):
+            static, ctx = plan._bind()
+            domain = ctx.object_domain
+            combos = iter_product(domain, repeat=len(plan.free_vars))
+            for q, cs in plan.candidate_queries(static, combos).items():
+                candidates.setdefault(q, []).extend(
+                    (entry, combo) for combo in cs
+                )
+            entries.append((indices, plan))
+        surviving = prune_candidates_by_models(
+            session.context().db, candidates
+        )
+        answers_of: dict[int, set] = {e: set() for e in range(len(entries))}
+        for entry, combo in surviving:
+            answers_of[entry].add(combo)
+        for entry, (indices, _plan) in enumerate(entries):
+            answers = frozenset(answers_of[entry])
+            result = Result(bool(answers), "batched-models", answers=answers)
+            for i in indices:
+                results[i] = result
+
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def execute_stream(
+    session: Session, ops: Iterable[QueryRequest | Mutation]
+) -> list[Result | None]:
+    """Run a mixed read/write stream with reads batched between writes.
+
+    ``ops`` interleaves :class:`QueryRequest` and :class:`Mutation`; the
+    returned list aligns with ``ops`` — a :class:`Result` for each read,
+    ``None`` for each write.  Writes are applied in stream order, so
+    every read observes exactly the database a sequential loop would
+    have shown it; maximal runs of consecutive reads share one
+    :func:`execute_many` batch.
+    """
+    ops = list(ops)
+    out: list[Result | None] = [None] * len(ops)
+    pending: list[int] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        batch = [ops[i] for i in pending]
+        for i, result in zip(pending, execute_many(session, batch)):
+            out[i] = result
+        pending.clear()
+
+    for i, op in enumerate(ops):
+        if isinstance(op, QueryRequest):
+            pending.append(i)
+        elif isinstance(op, Mutation):
+            flush()
+            op.apply(session)
+        else:
+            raise TypeError(f"stream op must be QueryRequest or Mutation: {op!r}")
+    flush()
+    return out
+
+
+__all__ = [
+    "MUTATION_KINDS",
+    "Mutation",
+    "QueryRequest",
+    "execute_many",
+    "execute_stream",
+]

@@ -1,0 +1,203 @@
+"""Snapshot-parallel execution: shard plan groups across worker processes.
+
+Because every verdict is a pure function of (database, plan), read-only
+traffic parallelizes embarrassingly: take one
+:class:`~repro.engine.snapshot.SessionSnapshot`, hand it to N worker
+processes, and let each worker decide a disjoint shard of the batch's
+plan groups.  :class:`WorkerPool` does exactly that:
+
+* under the ``fork`` start method (Linux, the production case) the
+  workers inherit the snapshot — including its warm order-graph closures
+  and region caches — through copy-on-write pages, so shipping a
+  snapshot costs nothing;
+* under ``spawn`` (or when initializer inheritance is unavailable) each
+  worker receives the frozen database and rebuilds its own session,
+  warming its caches on first use — colder, but identical results;
+* when no process pool can be created at all (restricted sandboxes),
+  the pool degrades to in-process sequential execution over the same
+  snapshot, so callers never need a fallback path of their own.
+
+Results are merged deterministically: each unique plan key is executed
+exactly once (in a worker chosen by round-robin over first-appearance
+order), and the per-key results are fanned back out in request order —
+the output is byte-for-byte the list :func:`repro.engine.batch.execute_many`
+would produce sequentially, modulo the batched-sweep method tag.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.api.result import Result
+from repro.api.session import Session
+from repro.core.database import IndefiniteDatabase
+from repro.engine.batch import QueryRequest, execute_many
+
+#: Per-process session used by pool workers (set by the initializer).
+_WORKER_SESSION: Session | None = None
+
+
+def _init_worker(payload) -> None:
+    """Install the worker's session: an inherited snapshot or a fresh build."""
+    global _WORKER_SESSION
+    if isinstance(payload, IndefiniteDatabase):
+        _WORKER_SESSION = Session(payload)
+    else:
+        _WORKER_SESSION = payload
+
+
+def _run_shard(shard: Sequence[tuple[int, QueryRequest]]) -> list[tuple[int, Result]]:
+    """Execute one shard of unique plan groups; returns (key_index, result)."""
+    assert _WORKER_SESSION is not None
+    requests = [request for _i, request in shard]
+    results = execute_many(_WORKER_SESSION, requests)
+    return [(i, result) for (i, _), result in zip(shard, results)]
+
+
+def _default_workers() -> int:
+    """Spread over the cores, capped; a 1-CPU host degrades to sequential."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class WorkerPool:
+    """A process pool answering queries against one session snapshot.
+
+    The snapshot is taken at construction time; the pool keeps answering
+    against that state even while the live session mutates (take a new
+    pool — or call :meth:`resnapshot` — to pick up newer state).  Usable
+    as a context manager.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self._snapshot = session.snapshot()
+        self._workers = workers if workers is not None else _default_workers()
+        self._pool = None
+        if self._workers > 1:
+            self._pool = self._make_pool(start_method)
+
+    def _make_pool(self, start_method: str | None):
+        try:
+            import multiprocessing as mp
+
+            methods = mp.get_all_start_methods()
+            if start_method is None:
+                start_method = "fork" if "fork" in methods else methods[0]
+            ctx = mp.get_context(start_method)
+            # fork inherits the warm snapshot for free; other start
+            # methods pickle a payload, so ship the (small) frozen
+            # database and let each worker rebuild and warm lazily.
+            payload = (
+                self._snapshot if start_method == "fork" else self._snapshot.db
+            )
+            return ctx.Pool(
+                self._workers, initializer=_init_worker, initargs=(payload,)
+            )
+        except (ImportError, OSError, ValueError):
+            return None  # restricted environment: sequential fallback
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """True when a real process pool is live (not the fallback)."""
+        return self._pool is not None
+
+    @property
+    def snapshot(self):
+        """The read-only snapshot this pool answers against."""
+        return self._snapshot
+
+    # -- execution ---------------------------------------------------------
+
+    def execute_many(
+        self, requests: Iterable[QueryRequest]
+    ) -> list[Result]:
+        """Batched execution across the pool; request order preserved.
+
+        Unique plan keys are computed once each and fanned back out, so
+        duplicate requests cost nothing extra regardless of which worker
+        owns their group.
+        """
+        requests = list(requests)
+        keys: list[tuple] = []
+        key_index: dict[tuple, int] = {}
+        owners: list[list[int]] = []
+        for i, request in enumerate(requests):
+            ki = key_index.get(request.plan_key)
+            if ki is None:
+                ki = key_index[request.plan_key] = len(keys)
+                keys.append(request.plan_key)
+                owners.append([])
+            owners[ki].append(i)
+
+        unique = [(ki, requests[owners[ki][0]]) for ki in range(len(keys))]
+        if self._pool is None or len(unique) < 2:
+            by_key = {
+                ki: result
+                for (ki, _), result in zip(
+                    unique,
+                    execute_many(
+                        self._snapshot, [r for _, r in unique]
+                    ),
+                )
+            }
+        else:
+            n = min(self._workers, len(unique))
+            shards = [unique[w::n] for w in range(n)]
+            by_key = {}
+            for shard_result in self._pool.map(_run_shard, shards):
+                for ki, result in shard_result:
+                    by_key[ki] = result
+
+        results: list[Result] = [None] * len(requests)  # type: ignore[list-item]
+        for ki, indices in enumerate(owners):
+            for i in indices:
+                results[i] = by_key[ki]
+        return results
+
+    def resnapshot(self, session: Session) -> None:
+        """Point the pool at a fresh snapshot of ``session``.
+
+        Only meaningful for the sequential fallback and ``fork`` pools
+        created per batch; long-lived fork workers keep their inherited
+        state, so a live pool is closed and rebuilt.
+        """
+        had_pool = self._pool is not None
+        self.close()
+        self._snapshot = session.snapshot()
+        if had_pool and self._workers > 1:
+            self._pool = self._make_pool(None)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def execute_parallel(
+    session: Session,
+    requests: Iterable[QueryRequest],
+    workers: int | None = None,
+) -> list[Result]:
+    """One-shot convenience: snapshot, shard, merge, tear down."""
+    with WorkerPool(session, workers=workers) as pool:
+        return pool.execute_many(requests)
+
+
+__all__ = ["WorkerPool", "execute_parallel"]

@@ -58,8 +58,30 @@ def _infer_order_names(statements: list[str]) -> set[str]:
     return order
 
 
-def parse_database(text: str) -> IndefiniteDatabase:
-    """Parse database text into an :class:`IndefiniteDatabase`."""
+def scan_order_names(text: str) -> set[str]:
+    """Names appearing in an order atom anywhere in database text.
+
+    Lets callers who assemble a database from several fragments (an
+    initial file plus a stream of ``assert:`` lines, say) run sort
+    inference over *all* of them before parsing any one: a constant that
+    only a later fragment orders must already be order-sorted in the
+    fragments that merely label it.  Pass the union to
+    :func:`parse_database` as ``extra_order``.
+    """
+    return _infer_order_names(
+        [s for s in _statements(text) if not _DECL_RE.match(s)]
+    )
+
+
+def parse_database(
+    text: str, extra_order: Iterable[str] = ()
+) -> IndefiniteDatabase:
+    """Parse database text into an :class:`IndefiniteDatabase`.
+
+    ``extra_order`` adds names to sort inference as if an order atom in
+    ``text`` mentioned them (explicit ``order:``/``object:`` declarations
+    still win); see :func:`scan_order_names`.
+    """
     statements = list(_statements(text))
     declared: dict[str, Sort] = {}
     body: list[str] = []
@@ -71,7 +93,7 @@ def parse_database(text: str) -> IndefiniteDatabase:
                 declared[name] = sort
         else:
             body.append(stmt)
-    inferred_order = _infer_order_names(body)
+    inferred_order = _infer_order_names(body) | set(extra_order)
 
     def term(name: str) -> Term:
         name = name.strip()

@@ -211,6 +211,107 @@ def random_certain_answers_workload(
     return db, DisjunctiveQuery(tuple(disjuncts)), free
 
 
+def random_request_stream(
+    rng: random.Random,
+    width: int = 3,
+    chain_length: int = 3,
+    n_objects: int = 4,
+    n_queries: int = 5,
+    n_ops: int = 30,
+    write_prob: float = 0.3,
+    order_write_prob: float = 0.25,
+    n_free: int = 1,
+    preds: Sequence[str] = DEFAULT_PREDS,
+    obj_preds: Sequence[str] = ("Tag", "Big", "Red"),
+):
+    """A mixed read/write request stream for the execution engine.
+
+    Builds a certain-answers database (observer order part + unary
+    object facts), a pool of ``n_queries`` prepared-plan-sized queries —
+    a mix of closed disjunctive queries and open certain-answers
+    queries — and a stream of ``n_ops`` operations drawn with
+    repetition: reads are :class:`~repro.engine.batch.QueryRequest`\\ s
+    over the query pool (so plan groups repeat, the case batching
+    exploits), writes are :class:`~repro.engine.batch.Mutation`\\ s
+    toggling object facts, facts on order constants, or order atoms.
+    Returns ``(db, ops)``; the stream replayed by
+    :func:`repro.engine.batch.execute_stream` is differentially testable
+    against a sequential per-request loop.
+    """
+    from repro.engine.batch import Mutation, QueryRequest
+
+    db, open_query, free = random_certain_answers_workload(
+        rng,
+        width=width,
+        chain_length=chain_length,
+        n_objects=n_objects,
+        n_disjuncts=2,
+        n_free=n_free,
+        preds=preds,
+        obj_preds=obj_preds,
+    )
+    requests: list = [QueryRequest(open_query, free_vars=free)]
+    for _ in range(max(0, n_queries - 1)):
+        if rng.random() < 0.4:
+            db2, q2, f2 = random_certain_answers_workload(
+                rng,
+                width=2,
+                chain_length=2,
+                n_objects=2,
+                n_disjuncts=2,
+                n_free=n_free,
+                preds=preds,
+                obj_preds=obj_preds,
+            )
+            del db2
+            requests.append(QueryRequest(q2, free_vars=f2))
+        else:
+            requests.append(
+                QueryRequest(
+                    random_disjunctive_monadic_query(rng, 2, 3, preds)
+                )
+            )
+
+    order_names = sorted(db.order_constants)
+    object_names = sorted(db.object_constants) + [
+        f"fresh{i}" for i in range(3)
+    ]
+    toggle_pool: list = [
+        ProperAtom(rng.choice(list(obj_preds)), (obj(name),))
+        for name in object_names
+    ]
+    ops: list = []
+    for _ in range(n_ops):
+        if rng.random() >= write_prob:
+            ops.append(rng.choice(requests))
+            continue
+        if order_names and rng.random() < order_write_prob:
+            u, v = rng.choice(order_names), rng.choice(order_names)
+            atom = OrderAtom(
+                ordc(u), Rel.LE if rng.random() < 0.4 else Rel.LT, ordc(v)
+            )
+            kind = (
+                "assert_order" if rng.random() < 0.6 else "retract_order"
+            )
+            # cross-chain cycles (vacuous phases) are fair game, but a
+            # reflexive '<' can never be retracted back to consistency
+            # by the other ops, so soften that one case to '<='
+            if kind == "assert_order" and u == v:
+                atom = OrderAtom(ordc(u), Rel.LE, ordc(v))
+            ops.append(Mutation(kind, (atom,)))
+        elif order_names and rng.random() < 0.3:
+            fact = ProperAtom(
+                rng.choice(list(preds)), (ordc(rng.choice(order_names)),)
+            )
+            kind = "assert_facts" if rng.random() < 0.6 else "retract_facts"
+            ops.append(Mutation(kind, (fact,)))
+        else:
+            fact = rng.choice(toggle_pool)
+            kind = "assert_facts" if rng.random() < 0.6 else "retract_facts"
+            ops.append(Mutation(kind, (fact,)))
+    return db, ops
+
+
 def random_nary_database(
     rng: random.Random,
     n_order: int,

@@ -34,7 +34,7 @@ from repro.workloads.generators import (
 )
 
 t1, t2 = ordvar("t1"), ordvar("t2")
-u, v = ordc("u"), ordc("v")
+u, v, w = ordc("u"), ordc("v"), ordc("w")
 
 
 def P(t):
@@ -321,6 +321,122 @@ class TestCertainAnswers:
         x = objvar("x")
         q = ConjunctiveQuery.of(ProperAtom("Off", (t1, x)))
         assert Session(db).certain_answers(q, (x,)) == {("a",)}
+
+
+class TestPlanCacheLRU:
+    def _queries(self, n):
+        return [ConjunctiveQuery.of(ProperAtom(f"P{i}", (t1,)))
+                for i in range(n)]
+
+    def test_eviction_removes_least_recently_used(self):
+        session = Session(IndefiniteDatabase.of(P(u)), plan_cache_limit=2)
+        q1, q2, q3 = self._queries(3)
+        plan1, plan2 = session.prepare(q1), session.prepare(q2)
+        # hitting q1 re-inserts it at the most-recent end ...
+        assert session.prepare(q1) is plan1
+        session.prepare(q3)  # ... so filling the cache evicts q2, not q1
+        assert session.prepare(q1) is plan1
+        assert session.prepare(q2) is not plan2
+
+    def test_eviction_order_without_hits_is_fifo(self):
+        session = Session(IndefiniteDatabase.of(P(u)), plan_cache_limit=2)
+        q1, q2, q3 = self._queries(3)
+        plan1, plan2 = session.prepare(q1), session.prepare(q2)
+        session.prepare(q3)
+        assert session.prepare(q2) is plan2  # q2 was newer: retained
+        assert session.prepare(q1) is not plan1  # oldest: evicted
+
+    def test_limit_is_respected(self):
+        session = Session(IndefiniteDatabase.of(P(u)), plan_cache_limit=3)
+        for q in self._queries(10):
+            session.prepare(q)
+        assert len(session._plans) == 3
+
+
+class TestInvalidationEdgeCases:
+    def test_retract_then_reassert_same_order_atom(self):
+        atom = lt(u, v)
+        session = Session(IndefiniteDatabase.of(P(u), Q(v), atom))
+        q = ConjunctiveQuery.of(P(t1), Q(t2), lt(t1, t2))
+        plan = session.prepare(q)
+        assert plan.execute().holds
+        session.retract_order(atom)
+        assert _report(plan.execute()) == _one_shot(session.db, q)
+        assert not plan.execute().holds
+        session.assert_order(atom)
+        # verdict must match a completely fresh session / one-shot call
+        assert _report(plan.execute()) == _one_shot(session.db, q)
+        assert plan.execute().holds
+        assert Session(session.db).entails(q)
+
+    def test_retract_reassert_weaker_duplicate_pair(self):
+        # u <= v and u < v on the same pair: retracting the weak atom
+        # must not lose the strict edge, and vice versa
+        weak, strict = le(u, v), lt(u, v)
+        session = Session(IndefiniteDatabase.of(P(u), Q(v), weak, strict))
+        q = ConjunctiveQuery.of(P(t1), Q(t2), lt(t1, t2))
+        plan = session.prepare(q)
+        assert plan.execute().holds
+        session.retract_order(weak)
+        assert _report(plan.execute()) == _one_shot(session.db, q)
+        assert plan.execute().holds  # the strict atom still stands
+        session.retract_order(strict)
+        assert _report(plan.execute()) == _one_shot(session.db, q)
+        assert not plan.execute().holds
+        session.assert_order(weak)
+        assert _report(plan.execute()) == _one_shot(session.db, q)
+
+    def test_fact_only_constant_later_gains_order_atoms(self):
+        # 'w' first exists only through a proper fact (an isolated graph
+        # vertex); ordering it later must resurface in prepared verdicts
+        session = Session(IndefiniteDatabase.of(P(u), lt(u, v)))
+        q = ConjunctiveQuery.of(P(t1), Q(t2), lt(t1, t2))
+        plan = session.prepare(q)
+        assert not plan.execute().holds
+        session.assert_facts(Q(w))  # fresh vertex, facts only
+        assert _report(plan.execute()) == _one_shot(session.db, q)
+        session.assert_order(lt(u, w))  # the isolated vertex gets ordered
+        assert _report(plan.execute()) == _one_shot(session.db, q)
+        assert plan.execute().holds
+        assert Session(session.db).entails(q)
+
+    def test_object_name_reused_at_order_sort_is_rejected(self):
+        # one spelling at two sorts would corrupt the minimal-model
+        # constant map; the database layer refuses it loudly
+        from repro.core.errors import SortError
+
+        session = Session(
+            IndefiniteDatabase.of(ProperAtom("Tag", (obj("a"),)))
+        )
+        session.assert_facts(P(ordc("a")))
+        with pytest.raises(SortError):
+            session.db
+
+    def test_object_constants_appearing_in_order_facts_churn(self):
+        # object-gen churn interleaved with an order-constant fact on the
+        # same predicate: verdicts keep matching a fresh one-shot call
+        rng = random.Random(120)
+        db, query, free = random_certain_answers_workload(
+            rng, width=2, chain_length=2, n_objects=2, n_free=1
+        )
+        session = Session(db)
+        plan = session.prepare(query, free_vars=free)
+        order_name = sorted(db.order_constants)[0]
+        for i in range(3):
+            session.assert_facts(ProperAtom("Tag", (obj(f"mix{i}"),)))
+            assert set(plan.execute().answers) == naive_certain_answers(
+                session.db, query, free
+            )
+            session.assert_facts(
+                ProperAtom("Tag", (ordc(order_name),))
+            )  # same predicate, order constant: label-gen path
+            assert set(plan.execute().answers) == naive_certain_answers(
+                session.db, query, free
+            )
+            session.retract_facts(ProperAtom("Tag", (ordc(order_name),)))
+            assert set(plan.execute().answers) == naive_certain_answers(
+                session.db, query, free
+            )
 
 
 class TestSessionApi:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -91,6 +92,165 @@ class TestAnswersCommand:
         )
         out = capsys.readouterr().out
         assert code == 1 and "certain answers: 0" in out
+
+
+class TestJsonOutput:
+    def test_query_json_entailed(self, db_file, capsys):
+        code = main(["query", db_file, "Boot(a) & a < b & Crash(b)", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload == {"entailed": True, "method": "seq"}
+
+    def test_query_json_countermodel(self, db_file, capsys):
+        code = main(["query", db_file, "Boot(a) & a < b & Ping(b)",
+                     "--json", "--countermodel"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["entailed"] is False
+        assert "<" in payload["countermodel"]
+
+    def test_answers_json(self, tmp_path, capsys):
+        path = tmp_path / "db3.txt"
+        path.write_text(TestAnswersCommand.DB3)
+        code = main(["answers", str(path), "On(s, x) & Off(t, x) & s < t",
+                     "--free-vars", "x", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["answers"] == [["lamp"]]
+        assert payload["count"] == 1
+        assert payload["method"]
+
+
+class TestBatchCommand:
+    STREAM = """
+# mixed read/write stream
+Boot(a) & a < b & Crash(b)
+answers(): Boot(a) & a < b & Crash(b)
+assert: Reset(u3); u2 < u3
+Boot(a) & a < b & Reset(b)
+retract: Reset(u3); u2 < u3
+Boot(a) & a < b & Reset(b)
+"""
+
+    @pytest.fixture
+    def stream_file(self, tmp_path: pathlib.Path) -> str:
+        path = tmp_path / "stream.txt"
+        path.write_text(self.STREAM)
+        return str(path)
+
+    def test_batch_stream(self, db_file, stream_file, capsys):
+        code = main(["batch", db_file, stream_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "executed 6 ops (stream)" in out
+        assert "entailed=True" in out and "entailed=False" in out
+
+    def test_batch_json_results_track_writes(self, db_file, stream_file,
+                                             capsys):
+        code = main(["batch", db_file, stream_file, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        ops = payload["ops"]
+        assert [op["kind"] for op in ops] == [
+            "query", "query", "assert_facts", "query",
+            "retract_facts", "query",
+        ]
+        assert ops[0]["entailed"] is True
+        assert ops[1]["count"] == 1  # answers(): entailed -> {()}
+        assert ops[3]["entailed"] is True   # after the assert
+        assert ops[5]["entailed"] is False  # after the retract
+
+    def test_batch_pool_read_only(self, db_file, tmp_path, capsys):
+        path = tmp_path / "reads.txt"
+        path.write_text("Boot(a) & a < b & Crash(b)\n"
+                        "Boot(a) & a < b & Ping(b)\n"
+                        "Boot(a) & a < b & Crash(b)\n")
+        code = main(["batch", db_file, str(path), "--workers", "2",
+                     "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["mode"].startswith(("pool[2]", "sequential"))
+        assert [op["entailed"] for op in payload["ops"]] == [
+            True, False, True,
+        ]
+
+    def test_stream_introduced_constants_parse_as_constants(self, db_file,
+                                                            tmp_path, capsys):
+        # 'u9' exists only through a stream write; the query line naming
+        # it must treat it as that order constant, not a fresh variable
+        stream = tmp_path / "stream.txt"
+        stream.write_text(
+            "Reset(u9)\n"
+            "assert: Reset(u9); u2 < u9\n"
+            "Reset(u9)\n"
+            "Boot(a) & a < b & Reset(b)\n"
+        )
+        code = main(["batch", db_file, str(stream), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ops"][0]["entailed"] is False  # not asserted yet
+        assert payload["ops"][2]["entailed"] is True
+        assert payload["ops"][3]["entailed"] is True
+
+    def test_batch_stream_orders_late_constants(self, tmp_path, capsys):
+        # 'p2' is only labelled in the base file but ordered by a later
+        # write: cross-fragment sort inference must type it order-sorted
+        db = tmp_path / "db.txt"
+        db.write_text("On(p1, lamp); On(p2, heater); Off(p3, lamp); p1 < p3\n")
+        stream = tmp_path / "stream.txt"
+        stream.write_text(
+            "answers(x): On(s, x) & Off(t, x) & s < t\n"
+            "assert: Off(p4, heater); p2 < p4\n"
+            "answers(x): On(s, x) & Off(t, x) & s < t\n"
+        )
+        code = main(["batch", str(db), str(stream), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ops"][0]["answers"] == [["lamp"]]
+        assert payload["ops"][2]["answers"] == [["heater"], ["lamp"]]
+
+
+class TestWatchCommand:
+    def test_watch_reports_deltas(self, tmp_path, capsys):
+        db = tmp_path / "db.txt"
+        db.write_text(TestAnswersCommand.DB3)
+        stream = tmp_path / "stream.txt"
+        stream.write_text(
+            "# toggle heater observations\n"
+            "assert: Off(p4, heater); p2 < p4\n"
+            "retract: Off(p3, lamp)\n"
+        )
+        code = main(["watch", str(db), "On(s, x) & Off(t, x) & s < t",
+                     str(stream), "--free-vars", "x", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        steps = payload["steps"]
+        assert steps[0]["answers"] == [["lamp"]]
+        assert steps[1]["added"] == [["heater"]]
+        assert steps[2]["removed"] == [["lamp"]]
+        assert payload["delta_capable"] is True
+
+    def test_watch_object_churn_uses_delta(self, tmp_path, capsys):
+        db = tmp_path / "db.txt"
+        db.write_text("Tag(apple); Tag(pear)\n")
+        stream = tmp_path / "stream.txt"
+        stream.write_text("assert: Tag(plum)\nretract: Tag(pear)\n")
+        code = main(["watch", str(db), "Tag(x)", str(stream),
+                     "--free-vars", "x", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["full_refreshes"] == 1
+        assert payload["delta_refreshes"] == 2
+        assert payload["steps"][-1]["count"] == 2
+
+    def test_watch_rejects_reads_in_stream(self, tmp_path, capsys):
+        db = tmp_path / "db.txt"
+        db.write_text("Tag(apple)\n")
+        stream = tmp_path / "stream.txt"
+        stream.write_text("Tag(x)\n")
+        code = main(["watch", str(db), "Tag(x)", str(stream),
+                     "--free-vars", "x"])
+        assert code == 2
 
 
 class TestBenchSessionCommand:

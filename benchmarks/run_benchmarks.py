@@ -45,10 +45,12 @@ from repro.algorithms.conjunctive import (  # noqa: E402
 from repro.algorithms.disjunctive import theorem53  # noqa: E402
 from itertools import product as iter_product  # noqa: E402
 
+from repro.algorithms.bruteforce import entails_bruteforce  # noqa: E402
 from repro.api import Session  # noqa: E402
+from repro.api.plan import prune_candidates_by_models  # noqa: E402
 from repro.core.entailment import entails, explain  # noqa: E402
-from repro.core.query import as_dnf  # noqa: E402
-from repro.core.sorts import obj  # noqa: E402
+from repro.core.query import DisjunctiveQuery, as_dnf  # noqa: E402
+from repro.core.sorts import obj, objvar  # noqa: E402
 from repro.core.models import (  # noqa: E402
     count_minimal_models,
     iter_block_sequences,
@@ -59,6 +61,8 @@ from repro.workloads.generators import (  # noqa: E402
     random_conjunctive_monadic_query,
     random_disjunctive_monadic_query,
     random_labeled_dag,
+    random_nary_database,
+    random_nary_query,
     random_observer_dag,
 )
 
@@ -218,6 +222,87 @@ def build_benchmarks(quick: bool, seed: int):
         {"width": 3},
         lambda graph=graph: sum(1 for _ in iter_block_sequences(graph)),
         1,
+    )
+
+    # -- the bitset minimal-model engine (region-DAG DP) -------------------
+    # enumeration: valid blocks generated per region (downset walk, memoized
+    # on the region bitmask) instead of filtering all minor subsets
+    rng = random.Random(seed + 41)
+    dag = random_observer_dag(rng, 3, 3 if quick else 4)
+    graph = dag.graph.normalize().graph
+    yield (
+        "models/enumeration",
+        {"width": 3, "vertices": len(graph)},
+        lambda graph=graph: sum(1 for _ in iter_block_sequences(graph)),
+        1,
+    )
+
+    # bruteforce entailment over an n-ary database: DP over region states
+    # vs enumerate-every-model-and-recheck (gated >= 2x in CI --check)
+    rng = random.Random(seed + 43)
+    nary_db = random_nary_database(
+        rng,
+        n_order=7 if quick else 8,
+        n_objects=3,
+        n_facts=8 if quick else 10,
+        preds=(("B", 2), ("C", 3)),
+        edge_prob=0.35,
+        neq_prob=0.1,
+    )
+    nary_query = DisjunctiveQuery(
+        tuple(
+            random_nary_query(
+                rng, 2, 2, 1, preds=(("B", 2), ("C", 3)), neq_prob=0.2
+            )
+            for _ in range(2)
+        )
+    )
+
+    def nary_bruteforce(db=nary_db, query=nary_query):
+        r = entails_bruteforce(db, query)
+        return (r.holds, r.countermodel)
+
+    yield (
+        "models/bruteforce",
+        {
+            "order_consts": 7 if quick else 8,
+            "facts": 8 if quick else 10,
+            "disjuncts": 2,
+        },
+        nary_bruteforce,
+        gated_repeats,
+    )
+
+    # the batched model sweep: many substituted candidate queries decided
+    # against one shared set of minimal-model tables
+    rng = random.Random(seed + 47)
+    sweep_db = random_nary_database(
+        rng,
+        n_order=6 if quick else 7,
+        n_objects=6 if quick else 8,
+        n_facts=10 if quick else 12,
+        preds=(("B", 2),),
+        edge_prob=0.35,
+    )
+    sweep_base = as_dnf(
+        random_nary_query(rng, 2, 2, 1, preds=(("B", 2),))
+    )
+    sweep_x = objvar("x0")
+    sweep_candidates = {}
+    for name in sorted(sweep_db.object_constants):
+        substituted = sweep_base.substitute({sweep_x: obj(name)})
+        sweep_candidates.setdefault(substituted, []).append(name)
+
+    yield (
+        "models/batched_sweep",
+        {
+            "order_consts": 6 if quick else 7,
+            "candidates": len(sweep_candidates),
+        },
+        lambda db=sweep_db, cands=sweep_candidates: frozenset(
+            prune_candidates_by_models(db, cands)
+        ),
+        repeats,
     )
 
 
@@ -486,7 +571,8 @@ def main(argv=None) -> int:
         type=float,
         default=2.0,
         help="--check threshold on the reduced/, theorem53/, "
-             "session/certain_answers and engine/batch benches",
+             "models/bruteforce, session/certain_answers and "
+             "engine/batch benches",
     )
     parser.add_argument("--seed", type=int, default=12345)
     parser.add_argument(
@@ -552,6 +638,7 @@ def main(argv=None) -> int:
                 (
                     "reduced/",
                     "theorem53/",
+                    "models/bruteforce",
                     "session/certain_answers",
                     "engine/batch",
                 )

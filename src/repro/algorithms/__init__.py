@@ -3,6 +3,7 @@
 from repro.algorithms.bruteforce import (
     EntailmentWitness,
     count_countermodels,
+    entailment_sweep,
     entails_bruteforce,
     entails_bruteforce_monadic,
 )
@@ -19,6 +20,8 @@ from repro.algorithms.disjunctive import (
     theorem53_entails,
 )
 from repro.algorithms.modelcheck import (
+    GroundingMachine,
+    MonadicFrontierMachine,
     structure_satisfies,
     word_satisfies,
     word_satisfies_dag,
@@ -30,7 +33,10 @@ __all__ = [
     "EntailmentWitness",
     "bounded_width_entails",
     "bounded_width_entails_dag",
+    "GroundingMachine",
+    "MonadicFrontierMachine",
     "count_countermodels",
+    "entailment_sweep",
     "entails_bruteforce",
     "entails_bruteforce_monadic",
     "iter_countermodels",

@@ -1,29 +1,50 @@
 """Brute-force entailment: the reference oracle for every fast algorithm.
 
 ``D |= phi`` iff every minimal model of ``D`` satisfies ``phi``
-(Corollary 2.9).  This module enumerates minimal models (generalized
-topological sorts) and model-checks each, returning the first countermodel
-found.  The minimal-model process runs in a polynomial number of steps per
-model and model checking is in NP, so this realizes the generic co-NP /
-Pi2p upper bounds of Proposition 3.1 — and is, of course, exponential in
-practice.  Every PTIME algorithm in :mod:`repro.algorithms` is validated
-against this oracle in the test suite.
+(Corollary 2.9).  The seed realized this literally — enumerate every
+block sequence, materialize it as a :class:`~repro.core.models.Structure`
+and restart a model check from scratch — which is exponential twice over.
+This module now runs on the region-DAG dynamic programming of
+:class:`repro.core.modelengine.RegionDP`: valid blocks are generated once
+per region on the bitset :class:`~repro.core.modelengine.ModelEngine`,
+satisfaction is carried prefix-incrementally by the machines in
+:mod:`repro.algorithms.modelcheck`, and memoizing on ``(region, state)``
+collapses the walk of every block sequence into one pass over the
+distinct region states — with first-countermodel short-circuit and lazy
+:class:`~repro.core.models.Structure` materialization only when a witness
+must be rendered.  Results (including *which* countermodel is returned:
+the DFS-first falsifying sequence) are identical to the seed algorithm,
+which remains available under
+:func:`repro.substrate.reference.naive_mode` and anchors the
+differential suite in ``tests/test_models_engine.py``.
+
+Every PTIME algorithm in :mod:`repro.algorithms` is validated against
+this oracle in the test suite.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
-from repro.algorithms.modelcheck import structure_satisfies
+from repro.algorithms.modelcheck import (
+    GroundingMachine,
+    MonadicFrontierMachine,
+    structure_satisfies,
+)
 from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.modelengine import RegionDP, engine_for
 from repro.core.models import (
     Structure,
     iter_minimal_models,
     iter_minimal_words,
+    structure_from_blocks,
 )
-from repro.core.query import Query, as_dnf
+from repro.core.ordergraph import OrderGraph
+from repro.core.query import DisjunctiveQuery, Query, as_dnf
 from repro.core.regions import RegionCacheHub
 from repro.flexiwords.flexiword import Word
+from repro.substrate import reference
 
 
 @dataclass(frozen=True)
@@ -44,37 +65,94 @@ class EntailmentWitness:
         return self.holds
 
 
+def _nary_dp(
+    db: IndefiniteDatabase,
+    dnf: DisjunctiveQuery,
+    caches: RegionCacheHub | None,
+    graph: OrderGraph | None,
+):
+    """``(norm, RegionDP)`` for an n-ary query, or ``(norm, None)`` when
+    the database has no minimal models (everything is entailed)."""
+    if graph is None:
+        graph = db.graph()
+    norm = graph.normalize()
+    if not norm.consistent:
+        return norm, None
+    engine = engine_for(norm.graph, caches)
+    machine = GroundingMachine(engine, db, norm.canon, dnf)
+    return norm, RegionDP(engine, machine)
+
+
+def _materialize(db, dp, norm, blocks) -> Structure:
+    names = dp.engine.names
+    return structure_from_blocks(
+        db, tuple(names(b) for b in blocks), norm.canon
+    )
+
+
 def entails_bruteforce(
-    db: IndefiniteDatabase, query: Query
+    db: IndefiniteDatabase,
+    query: Query,
+    caches: RegionCacheHub | None = None,
+    graph: OrderGraph | None = None,
 ) -> EntailmentWitness:
-    """Decide ``D |= phi`` by enumerating minimal models.
+    """Decide ``D |= phi`` over the minimal models.
 
     Query constants must be interpreted by the database (use
     ``eliminate_constants`` for foreign constants — the top-level
     :func:`repro.core.entailment.entails` does this automatically).
-    An inconsistent database entails everything vacuously.
+    An inconsistent database entails everything vacuously.  ``caches``
+    shares the region/block tables with other queries against the same
+    graph; ``graph`` reuses a prebuilt order graph of ``db``.
     """
     dnf = as_dnf(query).normalized()
-    for model in iter_minimal_models(db):
-        if not structure_satisfies(model, dnf):
-            return EntailmentWitness(False, model)
-    return EntailmentWitness(True)
+    if reference.NAIVE:
+        for model in iter_minimal_models(db):
+            if not structure_satisfies(model, dnf):
+                return EntailmentWitness(False, model)
+        return EntailmentWitness(True)
+    norm, dp = _nary_dp(db, dnf, caches, graph)
+    if dp is None or dp.entailed():
+        return EntailmentWitness(True)
+    blocks = dp.countermodel_blocks()
+    return EntailmentWitness(False, _materialize(db, dp, norm, blocks))
 
 
 def entails_bruteforce_monadic(
     dag: LabeledDag, query: Query, caches: "RegionCacheHub | None" = None
 ) -> EntailmentWitness:
-    """Monadic brute force: enumerate word models, check with Cor 5.1.
+    """Monadic brute force over word models (Corollary 5.1 checking).
 
-    Exponentially many models but each check is polynomial — this is the
-    co-NP upper bound of Proposition 5.2 run deterministically.
+    Exponentially many models, but the frontier DP shares the check
+    across every prefix reaching the same region with the same
+    earliest-feasible state — this is the co-NP upper bound of
+    Proposition 5.2 run deterministically.
     """
     dnf = as_dnf(query).normalized()
-    qdags = [d.monadic_dag() for d in dnf.disjuncts]
-    for word in iter_minimal_words(dag, caches):
-        if not any(_word_check(word, q) for q in qdags):
-            return EntailmentWitness(False, word)
-    return EntailmentWitness(True)
+    if reference.NAIVE:
+        qdags = [d.monadic_dag() for d in dnf.disjuncts]
+        for word in iter_minimal_words(dag, caches):
+            if not any(_word_check(word, q) for q in qdags):
+                return EntailmentWitness(False, word)
+        return EntailmentWitness(True)
+    # dag.normalized() raises InconsistentError on an inconsistent dag
+    # (matching the naive path through iter_minimal_words), so the graph
+    # here always admits models
+    norm_dag = dag.normalized()
+    graph = norm_dag.graph
+    engine = engine_for(graph, caches)
+    machine = MonadicFrontierMachine(
+        engine, norm_dag.labels, [d.monadic_dag() for d in dnf.disjuncts]
+    )
+    dp = RegionDP(engine, machine)
+    if dp.entailed():
+        return EntailmentWitness(True)
+    blocks = dp.countermodel_blocks()
+    word = tuple(
+        frozenset().union(*(norm_dag.labels[v] for v in engine.names(b)))
+        for b in blocks
+    )
+    return EntailmentWitness(False, word)
 
 
 def _word_check(word: Word, qdag: LabeledDag) -> bool:
@@ -83,28 +161,114 @@ def _word_check(word: Word, qdag: LabeledDag) -> bool:
     return word_satisfies_dag(word, qdag)
 
 
-def count_countermodels(db: IndefiniteDatabase, query: Query) -> int:
-    """How many minimal models falsify the query (diagnostics/tests)."""
+def count_countermodels(
+    db: IndefiniteDatabase,
+    query: Query,
+    caches: RegionCacheHub | None = None,
+    graph: OrderGraph | None = None,
+) -> int:
+    """How many minimal models falsify the query (diagnostics/tests).
+
+    One arithmetic pass over the distinct region states; dead regions
+    contribute their model count without being walked.
+    """
     dnf = as_dnf(query).normalized()
-    return sum(
-        1
-        for model in iter_minimal_models(db)
-        if not structure_satisfies(model, dnf)
-    )
+    if reference.NAIVE:
+        return sum(
+            1
+            for model in iter_minimal_models(db)
+            if not structure_satisfies(model, dnf)
+        )
+    _norm, dp = _nary_dp(db, dnf, caches, graph)
+    if dp is None:
+        return 0
+    return dp.count_failures()
 
 
 def iter_countermodels_nary(
-    db: IndefiniteDatabase, query: Query
-):
+    db: IndefiniteDatabase,
+    query: Query,
+    caches: RegionCacheHub | None = None,
+    graph: OrderGraph | None = None,
+) -> Iterator[Structure]:
     """Generate every minimal model falsifying the query (n-ary case).
 
     The general-predicate counterpart of
     :func:`repro.algorithms.disjunctive.iter_countermodels`: no polynomial
-    delay guarantee (each candidate model is enumerated and checked), but
-    it works for any database and positive existential query, including
-    '!=' atoms on both sides.
+    delay guarantee, but it works for any database and positive
+    existential query, including '!=' atoms on both sides.  Satisfied
+    subtrees of the region DAG are pruned wholesale; structures are
+    materialized only for the yielded countermodels.
     """
     dnf = as_dnf(query).normalized()
-    for model in iter_minimal_models(db):
-        if not structure_satisfies(model, dnf):
-            yield model
+    if reference.NAIVE:
+        for model in iter_minimal_models(db):
+            if not structure_satisfies(model, dnf):
+                yield model
+        return
+    norm, dp = _nary_dp(db, dnf, caches, graph)
+    if dp is None:
+        return
+    for blocks in dp.iter_failing_sequences():
+        yield _materialize(db, dp, norm, blocks)
+
+
+def entailment_sweep(
+    db: IndefiniteDatabase,
+    queries: Iterable[DisjunctiveQuery],
+    caches: RegionCacheHub | None = None,
+    graph: OrderGraph | None = None,
+    witness_queries: Iterable[DisjunctiveQuery] = (),
+) -> dict[DisjunctiveQuery, EntailmentWitness]:
+    """Decide many queries over ONE shared set of minimal-model tables.
+
+    The shared core of the batched model sweep
+    (:func:`repro.engine.batch.execute_many`) and of
+    :func:`repro.api.plan.prune_candidates_by_models`: every query is
+    decided against the same engine (one valid-block table per region
+    for the whole pool), with countermodels reconstructed only for the
+    queries in ``witness_queries``.  Queries are *not* normalized first
+    — semantically irrelevant for satisfaction, and it keeps parity with
+    the seed sweep, which checked the raw substituted queries.  Under
+    :func:`~repro.substrate.reference.naive_mode` this is the literal
+    seed sweep: one enumeration of the minimal models checking every
+    still-undecided query per model, stopping once all have failed.
+    """
+    queries = list(dict.fromkeys(queries))
+    if reference.NAIVE:
+        counters: dict[DisjunctiveQuery, Structure] = {}
+        for model in iter_minimal_models(db, graph=graph):
+            undecided = [q for q in queries if q not in counters]
+            if not undecided:
+                break
+            for q in undecided:
+                if not structure_satisfies(model, q):
+                    counters[q] = model
+        return {
+            q: EntailmentWitness(q not in counters, counters.get(q))
+            for q in queries
+        }
+    if graph is None:
+        graph = db.graph()
+    norm = graph.normalize()
+    if not norm.consistent:
+        return {q: EntailmentWitness(True) for q in queries}
+    engine = engine_for(norm.graph, caches)
+    fact_table = GroundingMachine.compile_facts(engine, db, norm.canon)
+    want = set(witness_queries)
+    out: dict[DisjunctiveQuery, EntailmentWitness] = {}
+    for q in queries:
+        machine = GroundingMachine(
+            engine, db, norm.canon, as_dnf(q), fact_table
+        )
+        dp = RegionDP(engine, machine)
+        if dp.entailed():
+            out[q] = EntailmentWitness(True)
+        elif q in want:
+            blocks = dp.countermodel_blocks()
+            out[q] = EntailmentWitness(
+                False, _materialize(db, dp, norm, blocks)
+            )
+        else:
+            out[q] = EntailmentWitness(False)
+    return out

@@ -1,6 +1,6 @@
 """Model checking: does a finite structure satisfy a positive existential query?
 
-Two checkers:
+Two per-model checkers:
 
 * :func:`structure_satisfies` — the generic n-ary checker, a backtracking
   assignment search.  This realizes the "expression complexity in NP"
@@ -12,16 +12,48 @@ Two checkers:
   computing the earliest feasible point for each query vertex in
   topological order (all constraints are lower bounds, so the earliest
   assignment is feasible iff any is).
+
+and two *prefix-incremental* satisfaction machines that drive the
+region-DAG dynamic programming of :class:`repro.core.modelengine.RegionDP`
+(both per-model checkers restart from scratch on every model; the
+machines carry their satisfaction state block by block and hash it, so
+distinct block-sequence prefixes that agree on the remaining region and
+the state share one subtree evaluation):
+
+* :class:`MonadicFrontierMachine` — the incremental form of
+  :func:`word_satisfies_dag`: its state is the earliest-feasible-point
+  frontier (the set of query-dag vertices already placeable in the word
+  prefix) per disjunct.  Placing at the earliest feasible letter is
+  complete, so the frontier is the *exact* interface between a prefix and
+  its completions.
+
+* :class:`GroundingMachine` — the incremental n-ary checker.  A candidate
+  satisfying assignment maps every query order term to a *vertex* of the
+  database graph (every point of a minimal model carries at least one
+  vertex, so vertex images are complete), which grounds the query into
+  finitely many vertex-pair constraint sets.  Each constraint resolves
+  exactly when its first endpoint is sorted into a block (later points
+  are strictly greater than earlier ones), so the machine state is just
+  the bitmask of still-viable groundings — a grounding with every
+  constraint resolved satisfies the query in *every* completion, and an
+  empty viable set falsifies it in every completion.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from itertools import product as iter_product
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.atoms import ProperAtom, Rel
-from repro.core.database import LabeledDag
+from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.modelengine import ALL_FAIL, SATISFIED, ModelEngine
 from repro.core.models import Structure
-from repro.core.query import ConjunctiveQuery, Query, as_dnf
+from repro.core.query import (
+    ConjunctiveQuery,
+    DisjunctiveQuery,
+    Query,
+    as_dnf,
+)
 from repro.core.sorts import Term
 from repro.flexiwords.flexiword import Word
 
@@ -193,3 +225,345 @@ def _topo(graph) -> list[str]:
     if len(out) != len(indeg):
         raise ValueError("query dag has a cycle; normalize first")
     return out
+
+
+# -- prefix-incremental machines for the region-DAG DP -----------------------
+
+
+class _QDag:
+    """One query dag interned over small bitmasks for the frontier machine."""
+
+    __slots__ = ("full", "pred_all", "pred_lt", "label")
+
+    def __init__(self, qdag: LabeledDag, pbit: dict[str, int]) -> None:
+        dag = qdag.normalized()
+        qverts = sorted(dag.graph.vertices)
+        qindex = {v: i for i, v in enumerate(qverts)}
+        k = len(qverts)
+        self.full = (1 << k) - 1
+        self.pred_all = [0] * k
+        self.pred_lt = [0] * k
+        self.label = [0] * k
+        for v in qverts:
+            vi = qindex[v]
+            for u in dag.graph.predecessors(v):
+                ui = qindex[u]
+                self.pred_all[vi] |= 1 << ui
+                if dag.graph.edge_label(u, v) is Rel.LT:
+                    self.pred_lt[vi] |= 1 << ui
+            for p in dag.labels[v]:
+                self.label[vi] |= 1 << pbit[p]
+
+
+class MonadicFrontierMachine:
+    """Earliest-feasible-frontier state for disjunctive monadic queries.
+
+    The state is a tuple of per-disjunct bitmasks of query-dag vertices
+    already placed in the word prefix.  Advancing by a block computes the
+    block's letter (the union of its vertex labels, projected onto the
+    query alphabet) and runs the greedy placement fixpoint: a query
+    vertex is placed as soon as its label fits the letter, all its
+    predecessors are placed, and its '<'-predecessors were placed in a
+    strictly earlier block.  Greedy-earliest placement is complete (all
+    constraints are lower bounds), so a fully placed disjunct means the
+    query holds in every completion (:data:`SATISFIED`).
+    """
+
+    __slots__ = ("vletter", "dags", "_letters")
+
+    def __init__(
+        self,
+        engine: ModelEngine,
+        labels: Mapping[str, frozenset[str]],
+        qdags: Sequence[LabeledDag],
+    ) -> None:
+        alphabet = sorted(
+            {p for qdag in qdags for lab in qdag.labels.values() for p in lab}
+        )
+        pbit = {p: i for i, p in enumerate(alphabet)}
+        self.vletter = [0] * engine.n
+        for v, vid in engine.index.items():
+            bits = 0
+            for p in labels.get(v, ()):
+                i = pbit.get(p)
+                if i is not None:
+                    bits |= 1 << i
+            self.vletter[vid] = bits
+        self.dags = [_QDag(qdag, pbit) for qdag in qdags]
+        self._letters: dict[int, int] = {}
+
+    def _letter(self, block: int) -> int:
+        try:
+            return self._letters[block]
+        except KeyError:
+            pass
+        bits = 0
+        vletter = self.vletter
+        m = block
+        while m:
+            low = m & -m
+            bits |= vletter[low.bit_length() - 1]
+            m ^= low
+        self._letters[block] = bits
+        return bits
+
+    def initial(self, full_region: int):
+        if not self.dags:
+            return ALL_FAIL  # empty disjunction: no model satisfies it
+        if any(d.full == 0 for d in self.dags):
+            return SATISFIED  # an empty disjunct holds in every model
+        return (0,) * len(self.dags)
+
+    def advance(self, state, region: int, block: int):
+        letter = self._letter(block)
+        out = []
+        for dag, placed in zip(self.dags, state):
+            cur = placed
+            progress = True
+            while progress:
+                progress = False
+                m = dag.full & ~cur
+                while m:
+                    low = m & -m
+                    qi = low.bit_length() - 1
+                    m ^= low
+                    if (
+                        dag.pred_all[qi] & ~cur == 0
+                        and dag.pred_lt[qi] & ~placed == 0
+                        and dag.label[qi] & ~letter == 0
+                    ):
+                        cur |= low
+                        progress = True
+            if cur == dag.full:
+                return SATISFIED
+            out.append(cur)
+        return tuple(out)
+
+
+#: Grounded vertex-pair constraint kinds.
+_EQ, _LT, _LE, _NE = 0, 1, 2, 3
+
+_FOREIGN = (
+    "constant {name!r} is not interpreted by the model; "
+    "eliminate query constants first"
+)
+
+
+class GroundingMachine:
+    """Viable-grounding state for n-ary queries over minimal models.
+
+    Compilation mirrors :func:`_conjunct_satisfied` once, against the
+    database instead of a materialized model: proper atoms are matched
+    against the database facts (object terms bind by name, order terms
+    anchor to the canonical vertex of the fact's constant), remaining
+    order variables are enumerated over the graph's vertices, and the
+    query's order atoms plus the anchor coincidences become vertex-pair
+    constraints (``=``/``<``/``<=``/``!=`` on block indices).  A
+    constraint resolves the moment its first endpoint is sorted into a
+    block, so the machine state is the bitmask of groundings with no
+    failed constraint; a viable grounding whose constraints are all
+    resolved satisfies the query in every completion.
+    """
+
+    __slots__ = ("groundings", "pair_lists")
+
+    @staticmethod
+    def compile_facts(
+        engine: ModelEngine,
+        db: IndefiniteDatabase,
+        canon: Mapping[str, str],
+    ) -> tuple[dict[str, list[tuple]], set[str]]:
+        """The query-independent fact table: ``pred -> entries`` (order
+        constants as interned canonical vertex ids, objects by name) plus
+        the object-constant set.  Build once per sweep and pass to every
+        machine over the same database."""
+        index = engine.index
+        facts: dict[str, list[tuple]] = {}
+        for atom in sorted(db.proper_atoms):
+            entry = tuple(
+                ("v", index[canon.get(t.name, t.name)])
+                if t.is_order
+                else ("o", t.name)
+                for t in atom.args
+            )
+            facts.setdefault(atom.pred, []).append(entry)
+        return facts, db.object_constants
+
+    def __init__(
+        self,
+        engine: ModelEngine,
+        db: IndefiniteDatabase,
+        canon: Mapping[str, str],
+        dnf: DisjunctiveQuery,
+        fact_table: tuple[dict[str, list[tuple]], set[str]] | None = None,
+    ) -> None:
+        index = engine.index
+        if fact_table is None:
+            fact_table = self.compile_facts(engine, db, canon)
+        facts, objects = fact_table
+        seen: dict[frozenset, None] = {}
+        for cq in dnf.disjuncts:
+            for pairs in self._disjunct_groundings(
+                cq, facts, objects, canon, index, engine.n
+            ):
+                seen.setdefault(pairs, None)
+        self.groundings = list(seen)
+        self.pair_lists = [
+            tuple(
+                (1 << u, 1 << v, kind, (1 << u) | (1 << v))
+                for u, v, kind in pairs
+            )
+            for pairs in self.groundings
+        ]
+
+    # -- compilation -------------------------------------------------------
+
+    @staticmethod
+    def _disjunct_groundings(cq, facts, objects, canon, index, n_verts):
+        """Yield each satisfying proper-match × loose-assignment of ``cq``
+        as a frozenset of ``(u, v, kind)`` vertex-pair constraints."""
+        proper = list(cq.proper_atoms)
+        order_atoms = cq.order_atoms
+        assignment: dict[Term, tuple] = {}
+        eqs: list[tuple[int, int]] = []
+
+        def resolve_order_const(name: str) -> int:
+            if name not in canon or canon[name] not in index:
+                raise KeyError(_FOREIGN.format(name=name))
+            return index[canon[name]]
+
+        def leaves():
+            loose = sorted(
+                (
+                    {
+                        t
+                        for a in order_atoms
+                        for t in (a.left, a.right)
+                        if t.is_var and t not in assignment
+                    }
+                    | {v for v in cq.extra_order_vars if v not in assignment}
+                ),
+                key=lambda t: t.name,
+            )
+            for combo in iter_product(range(n_verts), repeat=len(loose)):
+                binding = dict(zip(loose, combo))
+
+                def vid_of(term: Term) -> int:
+                    if term.is_const:
+                        return resolve_order_const(term.name)
+                    if term in binding:
+                        return binding[term]
+                    return assignment[term][1]
+
+                pairs: set[tuple[int, int, int]] = set()
+                dead = False
+                for a in order_atoms:
+                    u, v = vid_of(a.left), vid_of(a.right)
+                    if a.rel is Rel.LT:
+                        if u == v:
+                            dead = True
+                            break
+                        pairs.add((u, v, _LT))
+                    elif a.rel is Rel.LE:
+                        if u != v:
+                            pairs.add((u, v, _LE))
+                    else:
+                        if u == v:
+                            dead = True
+                            break
+                        pairs.add((min(u, v), max(u, v), _NE))
+                if dead:
+                    continue
+                for x, y in eqs:
+                    if x != y:
+                        pairs.add((min(x, y), max(x, y), _EQ))
+                yield frozenset(pairs)
+
+        def match(i: int):
+            if i == len(proper):
+                yield from leaves()
+                return
+            atom = proper[i]
+            for fact in facts.get(atom.pred, ()):
+                if len(fact) != len(atom.args):
+                    continue
+                bound: list[Term] = []
+                n_eqs = 0
+                ok = True
+                for term, val in zip(atom.args, fact):
+                    if term.is_var:
+                        existing = assignment.get(term)
+                        if existing is None:
+                            assignment[term] = val
+                            bound.append(term)
+                        elif term.is_order:
+                            eqs.append((existing[1], val[1]))
+                            n_eqs += 1
+                        elif existing != val:
+                            ok = False
+                            break
+                    elif term.is_order:
+                        eqs.append((resolve_order_const(term.name), val[1]))
+                        n_eqs += 1
+                    else:
+                        if term.name not in objects:
+                            raise KeyError(_FOREIGN.format(name=term.name))
+                        if ("o", term.name) != val:
+                            ok = False
+                            break
+                if ok:
+                    yield from match(i + 1)
+                for t in bound:
+                    del assignment[t]
+                if n_eqs:
+                    del eqs[-n_eqs:]
+
+        yield from match(0)
+
+    # -- the machine protocol ----------------------------------------------
+
+    def initial(self, full_region: int):
+        if not self.groundings:
+            return ALL_FAIL
+        viable = (1 << len(self.groundings)) - 1
+        return self._settle(viable, full_region)
+
+    def advance(self, state, region: int, block: int):
+        after = region & ~block
+        pair_lists = self.pair_lists
+        viable = state
+        m = state
+        while m:
+            low = m & -m
+            gi = low.bit_length() - 1
+            m ^= low
+            for ubit, vbit, kind, both in pair_lists[gi]:
+                if both & region != both:
+                    continue  # resolved by an earlier block
+                if not (both & block):
+                    continue  # both endpoints still unsorted
+                if ubit & block:
+                    if vbit & block:  # same block: equal points
+                        ok = kind == _EQ or kind == _LE
+                    else:  # u now, v strictly later
+                        ok = kind != _EQ
+                else:  # v now, u strictly later: only '!=' survives
+                    ok = kind == _NE
+                if not ok:
+                    viable &= ~low
+                    break
+        if viable == 0:
+            return ALL_FAIL
+        return self._settle(viable, after)
+
+    def _settle(self, viable: int, region: int):
+        """SATISFIED when some viable grounding has no unresolved pair."""
+        pair_lists = self.pair_lists
+        m = viable
+        while m:
+            low = m & -m
+            gi = low.bit_length() - 1
+            m ^= low
+            if all(p[3] & region != p[3] for p in pair_lists[gi]):
+                return SATISFIED
+        return viable

@@ -45,6 +45,7 @@ from itertools import product as iter_product
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.algorithms.bruteforce import (
+    entailment_sweep,
     entails_bruteforce,
     entails_bruteforce_monadic,
 )
@@ -53,7 +54,6 @@ from repro.algorithms.conjunctive import (
     paths_entails_dag,
 )
 from repro.algorithms.disjunctive import theorem53
-from repro.algorithms.modelcheck import structure_satisfies
 from repro.api.result import Result
 from repro.core.atoms import ProperAtom
 from repro.core.database import IndefiniteDatabase, LabeledDag
@@ -113,9 +113,12 @@ def dag_to_query(dag: LabeledDag) -> ConjunctiveQuery:
     )
 
 
-def first_minimal_model(db: IndefiniteDatabase) -> Structure | None:
+def first_minimal_model(
+    db: IndefiniteDatabase, caches: RegionCacheHub | None = None,
+    graph: OrderGraph | None = None,
+) -> Structure | None:
     """Any minimal model (the witness for globally-failing queries)."""
-    for model in iter_minimal_models(db):
+    for model in iter_minimal_models(db, caches, graph):
         return model
     return None
 
@@ -168,31 +171,34 @@ def object_part_holds(
 def prune_candidates_by_models(
     db: IndefiniteDatabase,
     candidates: Mapping[DisjunctiveQuery, Iterable],
+    caches: RegionCacheHub | None = None,
+    graph: OrderGraph | None = None,
 ) -> set:
     """One minimal-model sweep deciding many candidates at once.
 
     ``candidates`` maps each substituted (ground-in-the-object-sort)
     query to the opaque tokens that stand or fall with it; a token
     survives iff every minimal model of ``db`` satisfies its query.
-    Enumeration stops early once every query has failed.  This is the
-    shared core of the per-plan :meth:`PreparedQuery._model_answers_for`
-    sweep and of :func:`repro.engine.batch.execute_many`, which pools the
-    candidates of *every* model-path plan in a batch into a single
-    enumeration (tokens from different requests that substitute to the
-    same query are deduplicated by the mapping itself).
+    This is the shared core of the per-plan
+    :meth:`PreparedQuery._model_answers_for` sweep and of
+    :func:`repro.engine.batch.execute_many`, which pools the candidates
+    of *every* model-path plan in a batch (tokens from different
+    requests that substitute to the same query are deduplicated by the
+    mapping itself).  All queries are decided by
+    :func:`~repro.algorithms.bruteforce.entailment_sweep` against one
+    shared set of region/block tables (under
+    :func:`~repro.substrate.reference.naive_mode`: one literal
+    enumeration of the minimal models, stopping early once every query
+    has failed).
     """
-    remaining = {q: list(tokens) for q, tokens in candidates.items()}
-    surviving = {t for tokens in remaining.values() for t in tokens}
-    if not remaining:
-        return surviving
-    for model in iter_minimal_models(db):
-        if not remaining:
-            break
-        failed = [q for q in remaining if not structure_satisfies(model, q)]
-        for q in failed:
-            for token in remaining.pop(q):
-                surviving.discard(token)
-    return surviving
+    outcome = entailment_sweep(db, candidates.keys(), caches, graph)
+    surviving: set = set()
+    dead: set = set()
+    for q, tokens in candidates.items():
+        (surviving if outcome[q].holds else dead).update(tokens)
+    # a token listed under several queries survives only if ALL of them
+    # hold (the pre-sweep enumeration discarded it on any failing query)
+    return surviving - dead
 
 
 class ExecutionContext:
@@ -641,6 +647,35 @@ class PreparedQuery:
         self._result_key, self._result = key, result
         return result
 
+    @staticmethod
+    def _monadic_applicable(static: StaticPlan, ctx: ExecutionContext) -> bool:
+        """Can this execution take a monadic fast path at all?  (All
+        disjuncts split, no '!=' anywhere, all db facts unary.)"""
+        return (
+            static.splits is not None
+            and not ctx.has_neq
+            and ctx.splittable
+        )
+
+    def _closed_bruteforce_path(
+        self, static: StaticPlan, ctx: ExecutionContext
+    ) -> bool:
+        """Would :meth:`_run_closed` decide this (live, non-trivial) plan
+        by a minimal-model sweep?
+
+        True when brute force is requested explicitly, or when auto
+        dispatch cannot take a monadic fast path.  The single source of
+        truth for the closed model-path dispatch — used by
+        :meth:`_run_closed` itself and by the batch engine's pooling
+        predicate (:func:`repro.engine.batch._closed_sweepable`), so the
+        two can never disagree.
+        """
+        if self.method == "bruteforce":
+            return True
+        if self.method != "auto":
+            return False
+        return not self._monadic_applicable(static, ctx)
+
     def _run_closed(self) -> Result:
         base = self.session.context()
         if not base.consistent:
@@ -649,25 +684,27 @@ class PreparedQuery:
         dnf = static.dnf
         if not dnf.disjuncts:
             return Result(
-                False, "unsatisfiable-query", first_minimal_model(ctx.db)
+                False,
+                "unsatisfiable-query",
+                first_minimal_model(ctx.db, ctx.hub, ctx.graph),
             )
         if static.any_empty:
             return Result(True, "trivial")
         method = self.method
-        if method == "bruteforce":
-            r = entails_bruteforce(ctx.db, dnf)
+        if self._closed_bruteforce_path(static, ctx):
+            r = entails_bruteforce(ctx.db, dnf, ctx.hub, ctx.graph)
             return Result(r.holds, "bruteforce", r.countermodel)
-        if static.splits is None or ctx.has_neq or not ctx.splittable:
-            if method != "auto":
-                raise ValueError(
-                    f"method {method!r} requires monadic, '!='-free inputs"
-                )
-            r = entails_bruteforce(ctx.db, dnf)
-            return Result(r.holds, "bruteforce", r.countermodel)
+        if not self._monadic_applicable(static, ctx):
+            # a specialized monadic method forced onto an inapplicable input
+            raise ValueError(
+                f"method {method!r} requires monadic, '!='-free inputs"
+            )
         indices = self._surviving(static, ctx)
         if not indices:
             # Every disjunct's definite object part already fails.
-            return Result(False, "object-part", first_minimal_model(ctx.db))
+            return Result(
+                False, "object-part", first_minimal_model(ctx.db, ctx.hub, ctx.graph)
+            )
         if any(
             not static.splits[i].order_dag.graph.vertices for i in indices
         ):
@@ -710,11 +747,8 @@ class PreparedQuery:
         self, static: StaticPlan, ctx: ExecutionContext
     ) -> bool:
         """Can this execution take the Section 4 object/order split?"""
-        return (
-            self.method != "bruteforce"
-            and static.splits is not None
-            and not ctx.has_neq
-            and ctx.splittable
+        return self.method != "bruteforce" and self._monadic_applicable(
+            static, ctx
         )
 
     def answers_for(
@@ -808,7 +842,10 @@ class PreparedQuery:
         """
         return frozenset(
             prune_candidates_by_models(
-                ctx.db, self.candidate_queries(static, combos)
+                ctx.db,
+                self.candidate_queries(static, combos),
+                ctx.hub,
+                ctx.graph,
             )
         )
 

@@ -19,6 +19,16 @@ provides homomorphism checking for the Proposition 2.8 tests.
 
 The Section 7 extension is supported natively: a block may not contain two
 vertices related by '!='.
+
+Enumeration and counting run on the bitset
+:class:`~repro.core.modelengine.ModelEngine` — valid blocks are generated
+per region by walking the '!='-free downsets of the minor poset and the
+results are memoized on the region bitmask, instead of filtering all
+subsets of the minors at every visit.  Under
+:func:`repro.substrate.reference.naive_mode` every entry point reroutes to
+the retained seed algorithms (:func:`_valid_blocks` plus the subset-filter
+recursion), which the differential suite and the benchmarks use as the
+oracle; both paths enumerate sequences in exactly the same order.
 """
 
 from __future__ import annotations
@@ -28,8 +38,10 @@ from itertools import combinations
 from typing import Iterator
 
 from repro.core.database import IndefiniteDatabase, LabeledDag
+from repro.core.modelengine import engine_for
 from repro.core.ordergraph import OrderGraph
 from repro.core.regions import RegionCache, RegionCacheHub
+from repro.substrate import reference
 from repro.flexiwords.flexiword import Word
 
 Block = frozenset[str]
@@ -41,8 +53,9 @@ def _valid_blocks(graph: OrderGraph) -> Iterator[Block]:
 
     S ranges over nonempty subsets of the minor vertices that are closed
     under '<='-predecessors (conditions S1 and S2) and contain no '!=' pair.
-    Enumeration is exponential in the number of minor vertices — intended
-    for the brute-force oracle on small inputs.
+    Enumeration is exponential in the number of minor vertices — this is
+    the seed algorithm, retained as the differential oracle for the bitset
+    engine's direct downset generation.
     """
     minors = sorted(graph.minor_vertices())
     neq = {p for p in graph.neq_pairs if len(p) == 2}
@@ -54,6 +67,13 @@ def _valid_blocks(graph: OrderGraph) -> Iterator[Block]:
             if any(pair <= s for pair in neq):
                 continue
             yield s
+
+
+def _no_models(graph: OrderGraph) -> bool:
+    """True when the graph admits no block sequence at all."""
+    if any(len(p) == 1 for p in graph.neq_pairs):
+        return True
+    return not graph.normalize().consistent
 
 
 def iter_block_sequences(
@@ -68,11 +88,21 @@ def iter_block_sequences(
     For a graph with a '<=<'-cycle or an ``x != x`` pair, nothing is
     yielded (no models).  The empty graph yields the empty sequence.
     """
-    if any(len(p) == 1 for p in graph.neq_pairs):
+    if _no_models(graph):
         return
-    norm = graph.normalize()
-    if not norm.consistent:
+    if reference.NAIVE:
+        yield from _naive_block_sequences(graph, caches)
         return
+    engine = engine_for(graph, caches)
+    names = engine.names
+    for masks in engine.iter_sequences(engine.full):
+        yield tuple(names(b) for b in masks)
+
+
+def _naive_block_sequences(
+    graph: OrderGraph, caches: RegionCacheHub | None = None
+) -> Iterator[BlockSequence]:
+    """The seed recursion: subset-filter block generation per visit."""
     # Residual graphs are regions of the input graph; distinct prefixes
     # reach the same remaining-vertex set, so the induced subgraphs (and
     # their cached minors) are shared through a RegionCache.
@@ -93,11 +123,12 @@ def iter_block_sequences(
 def count_minimal_models(
     graph: OrderGraph, caches: RegionCacheHub | None = None
 ) -> int:
-    """The number of minimal models, memoized on the remaining vertex set."""
-    if any(len(p) == 1 for p in graph.neq_pairs):
+    """The number of minimal models: one arithmetic pass per region."""
+    if _no_models(graph):
         return 0
-    if not graph.normalize().consistent:
-        return 0
+    if not reference.NAIVE:
+        engine = engine_for(graph, caches)
+        return engine.count(engine.full)
     regions = caches.get(graph) if caches is not None else RegionCache(graph)
     cache: dict[frozenset[str], int] = {}
 
@@ -202,13 +233,23 @@ def structure_from_blocks(
     )
 
 
-def iter_minimal_models(db: IndefiniteDatabase) -> Iterator[Structure]:
-    """All minimal models of ``db`` (empty when ``db`` is inconsistent)."""
-    graph = db.graph()
+def iter_minimal_models(
+    db: IndefiniteDatabase,
+    caches: RegionCacheHub | None = None,
+    graph: OrderGraph | None = None,
+) -> Iterator[Structure]:
+    """All minimal models of ``db`` (empty when ``db`` is inconsistent).
+
+    ``caches`` shares the engine's per-region block tables across calls;
+    ``graph`` reuses a prebuilt order graph of ``db`` (a session's
+    long-lived instance) instead of rebuilding one per call.
+    """
+    if graph is None:
+        graph = db.graph()
     norm = graph.normalize()
     if not norm.consistent:
         return
-    for blocks in iter_block_sequences(norm.graph):
+    for blocks in iter_block_sequences(norm.graph, caches):
         yield structure_from_blocks(db, blocks, norm.canon)
 
 

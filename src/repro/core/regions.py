@@ -17,7 +17,13 @@ the frozen vertex set:
 * :meth:`~RegionCache.minors` / :meth:`~RegionCache.minimal` — the minor
   and minimal vertices of the induced subgraph;
 * :meth:`~RegionCache.block_labels` — the label union of a block (when the
-  cache was built with a label map).
+  cache was built with a label map);
+* :meth:`~RegionCache.model_engine` — the shared
+  :class:`~repro.core.modelengine.ModelEngine`, whose per-region valid-
+  block, model-count and minor tables are keyed on *region bitmasks* over
+  the graph's interned vertex ids (the minimal-model paths run entirely
+  on those mask-keyed tables; the frozenset-keyed memos above remain for
+  the theorem searches, which manipulate named vertex sets).
 
 Under :func:`repro.substrate.reference.naive_mode` every call recomputes
 without storing, reproducing the seed's cost model for benchmarks and
@@ -28,6 +34,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+from repro.core.modelengine import ModelEngine
 from repro.core.ordergraph import OrderGraph
 from repro.substrate import reference
 
@@ -49,6 +56,7 @@ class RegionCache:
         "_minors",
         "_minimal",
         "_block_labels",
+        "_engine",
     )
 
     def __init__(
@@ -64,6 +72,22 @@ class RegionCache:
         self._minors: dict[frozenset[str], frozenset[str]] = {}
         self._minimal: dict[frozenset[str], frozenset[str]] = {}
         self._block_labels: dict[frozenset[str], frozenset[str]] = {}
+        self._engine: ModelEngine | None = None
+
+    def model_engine(self) -> ModelEngine:
+        """The shared bitset minimal-model engine over this cache's graph.
+
+        The engine is purely structural (its valid-block, minor and
+        count tables depend only on the graph), so one instance is
+        memoized per cache and — like the other structural memos —
+        shared with forks.  Its tables are append-only: treat the
+        returned engine as a read-only shared object.
+        """
+        if reference.NAIVE:
+            return ModelEngine(self.graph)
+        if self._engine is None:
+            self._engine = ModelEngine(self.graph)
+        return self._engine
 
     def up_set(self, sources: Iterable[str]) -> frozenset[str]:
         """The weak up-set ``D ^ S`` of ``sources`` (memoized)."""
@@ -164,6 +188,7 @@ class RegionCache:
         twin._minors = self._minors
         twin._minimal = self._minimal
         twin._block_labels = dict(self._block_labels)
+        twin._engine = self._engine
         return twin
 
 

@@ -11,19 +11,24 @@ and many sharing the expensive part of their evaluation.
   once against the session's warm caches and the single
   :class:`~repro.api.result.Result` is fanned back out to every request
   in the group;
-* **a combined minimal-model sweep** — open queries that take the
-  model-enumeration path each need one pass over the minimal models of
-  the database.  In a batch, all such plan groups pool their candidate
-  substitutions into one :func:`~repro.api.plan.prune_candidates_by_models`
-  sweep: the models are enumerated *once for the whole batch*, and
-  candidate tuples from different requests that substitute to the same
-  ground query are deduplicated and decided together.
+* **a combined minimal-model sweep** — every query that takes the
+  model-enumeration path needs a pass over the minimal models of the
+  database: open plans one per candidate substitution, *closed*
+  bruteforce-path plans one per query ("does every model satisfy?").
+  In a batch, all such plan groups pool into one
+  :func:`~repro.algorithms.bruteforce.entailment_sweep`: the region/
+  valid-block tables are built *once for the whole batch*, candidate
+  tuples from different requests that substitute to the same ground
+  query are deduplicated and decided together, and closed queries ride
+  the same sweep with their countermodels reconstructed from it.
 
 :func:`execute_stream` extends this to mixed read/write traffic: maximal
 runs of reads between two writes form one batch, and writes are applied
 through the session's granular-invalidation mutators in stream order, so
 the observable results are exactly those of a sequential one-at-a-time
-loop.
+loop.  Consecutive writes of the same polarity (asserts, or retracts)
+are coalesced into a single mutator call — one invalidation round —
+before the next read batch.
 """
 
 from __future__ import annotations
@@ -32,7 +37,8 @@ from dataclasses import dataclass, field
 from itertools import product as iter_product
 from typing import Iterable
 
-from repro.api.plan import PreparedQuery, prune_candidates_by_models
+from repro.algorithms.bruteforce import entailment_sweep
+from repro.api.plan import PreparedQuery
 from repro.api.result import Result
 from repro.api.session import Session
 from repro.core.atoms import OrderAtom, ProperAtom
@@ -88,27 +94,63 @@ class Mutation:
         getattr(session, self.kind)(*self.atoms)
 
 
+def _poolable(plan: PreparedQuery):
+    """The shared pooling guard: ``(static, ctx)`` when the plan is
+    constant-free, unpadded (so it binds to the session's shared base
+    context), consistent and has a live non-trivial DNF — the
+    preconditions every early return of ``PreparedQuery._run_closed`` /
+    ``_run_answers`` handles before the model path; ``None`` otherwise.
+    """
+    if plan._has_constants:
+        return None
+    if not plan.session.context().consistent:
+        return None
+    static, ctx = plan._bind()
+    if static.pad_dnf is not None:
+        return None
+    if not static.dnf.disjuncts or static.any_empty:
+        return None
+    return static, ctx
+
+
 def _sweepable(plan: PreparedQuery) -> bool:
     """Would this open plan take the minimal-model path on this database?
 
-    Mirrors the dispatch of ``PreparedQuery._run_answers``: the plan must
-    be open, constant-free and unpadded (so it binds to the session's
-    shared base context), have a live non-trivial DNF, and *not* qualify
-    for the Section 4 split (the split path is memoized and cheap; the
-    model path is the one worth pooling across the batch).
+    Mirrors the dispatch of ``PreparedQuery._run_answers``: a poolable
+    open plan that does *not* qualify for the Section 4 split (the split
+    path is memoized and cheap; the model path is the one worth pooling
+    across the batch).
     """
-    if plan.free_vars is None or plan._has_constants:
+    if plan.free_vars is None:
         return False
-    if not plan.session.context().consistent:
+    bound = _poolable(plan)
+    if bound is None:
         return False
-    static, ctx = plan._bind()
-    if static.pad_dnf is not None:
-        return False
-    if not static.dnf.disjuncts or static.any_empty:
-        return False
+    static, ctx = bound
     if plan._splits_apply(static, ctx):
         return False
     return plan.method in ("auto", "bruteforce")
+
+
+def _closed_sweepable(plan: PreparedQuery) -> bool:
+    """Would this *closed* plan take the bruteforce model path?
+
+    Mirrors the dispatch of ``PreparedQuery._run_closed``: a poolable
+    closed plan that either asks for ``bruteforce`` explicitly or
+    auto-dispatches to it (n-ary atoms, a '!=' database, or a
+    non-splittable fact set — the
+    :meth:`~repro.api.plan.PreparedQuery._closed_bruteforce_path`
+    predicate ``_run_closed`` itself uses).  Each such query needs only
+    "does every minimal model satisfy?" — so a batch of them shares one
+    model sweep with the open plans.
+    """
+    if plan.free_vars is not None:
+        return False
+    bound = _poolable(plan)
+    if bound is None:
+        return False
+    static, ctx = bound
+    return plan._closed_bruteforce_path(static, ctx)
 
 
 def execute_many(
@@ -118,9 +160,9 @@ def execute_many(
 
     Returns one :class:`~repro.api.result.Result` per request, in
     request order; requests with equal plan keys receive the *same*
-    result object.  Results are identical in verdict and answers to
-    executing each request's plan individually (the batched model sweep
-    reports its method as ``"batched-models"``).
+    result object.  Results are identical in verdict, answers and
+    countermodels to executing each request's plan individually (the
+    batched model sweep reports its method as ``"batched-models"``).
     """
     requests = list(requests)
     groups: dict[tuple, list[int]] = {}
@@ -128,49 +170,73 @@ def execute_many(
         groups.setdefault(request.plan_key, []).append(i)
 
     results: list[Result | None] = [None] * len(requests)
-    sweep: list[tuple[list[int], PreparedQuery]] = []
+    open_pool: list[tuple[list[int], PreparedQuery]] = []
+    closed_pool: list[tuple[list[int], PreparedQuery]] = []
     for key, indices in groups.items():
         plan = requests[indices[0]].prepare(session)
         if _sweepable(plan):
-            sweep.append((indices, plan))
-            continue
-        result = plan.execute()
-        for i in indices:
-            results[i] = result
+            open_pool.append((indices, plan))
+        elif _closed_sweepable(plan):
+            closed_pool.append((indices, plan))
+        else:
+            result = plan.execute()
+            for i in indices:
+                results[i] = result
 
-    if len(sweep) == 1:
-        # a lone model-path plan gains nothing from pooling
-        indices, plan = sweep[0]
-        result = plan.execute()
-        for i in indices:
-            results[i] = result
-    elif sweep:
-        # Pool every model-path plan's candidates into ONE enumeration of
-        # the minimal models.  Tokens are (entry, combo) pairs so each
-        # plan gets its own answers back; identical substituted queries
-        # from different plans merge into one satisfiability check.
-        candidates: dict = {}
-        entries = []
-        for entry, (indices, plan) in enumerate(sweep):
+    if len(open_pool) + len(closed_pool) <= 1:
+        # a lone model-path plan gains nothing from pooling (and keeps
+        # its per-generation result memo and native method tag)
+        for indices, plan in open_pool + closed_pool:
+            result = plan.execute()
+            for i in indices:
+                results[i] = result
+    else:
+        # Pool every model-path plan into ONE sweep over shared minimal-
+        # model tables.  Open plans contribute their candidate tuples'
+        # substituted queries; closed plans contribute their DNF directly
+        # (identical substituted queries from different plans merge into
+        # one satisfiability check).  Closed verdicts come back with the
+        # sweep's countermodel witness.
+        base = session.context()
+        per_plan: list[tuple[list[int], PreparedQuery, dict]] = []
+        queries: set = set()
+        for indices, plan in open_pool:
             static, ctx = plan._bind()
             domain = ctx.object_domain
             combos = iter_product(domain, repeat=len(plan.free_vars))
-            for q, cs in plan.candidate_queries(static, combos).items():
-                candidates.setdefault(q, []).extend(
-                    (entry, combo) for combo in cs
-                )
-            entries.append((indices, plan))
-        surviving = prune_candidates_by_models(
-            session.context().db, candidates
+            groups_of = plan.candidate_queries(static, combos)
+            per_plan.append((indices, plan, groups_of))
+            queries.update(groups_of)
+        closed_queries: dict = {}
+        for indices, plan in closed_pool:
+            static, _ctx = plan._bind()
+            closed_queries.setdefault(static.dnf, []).append(indices)
+        queries.update(closed_queries)
+        outcome = entailment_sweep(
+            base.db,
+            queries,
+            caches=base.hub,
+            graph=base.graph,
+            witness_queries=closed_queries,
         )
-        answers_of: dict[int, set] = {e: set() for e in range(len(entries))}
-        for entry, combo in surviving:
-            answers_of[entry].add(combo)
-        for entry, (indices, _plan) in enumerate(entries):
-            answers = frozenset(answers_of[entry])
+        for indices, _plan, groups_of in per_plan:
+            answers = frozenset(
+                combo
+                for q, combos in groups_of.items()
+                if outcome[q].holds
+                for combo in combos
+            )
             result = Result(bool(answers), "batched-models", answers=answers)
             for i in indices:
                 results[i] = result
+        for dnf, index_groups in closed_queries.items():
+            witness = outcome[dnf]
+            result = Result(
+                witness.holds, "batched-models", witness.countermodel
+            )
+            for indices in index_groups:
+                for i in indices:
+                    results[i] = result
 
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]
@@ -186,13 +252,43 @@ def execute_stream(
     ``None`` for each write.  Writes are applied in stream order, so
     every read observes exactly the database a sequential loop would
     have shown it; maximal runs of consecutive reads share one
-    :func:`execute_many` batch.
+    :func:`execute_many` batch, and maximal runs of consecutive writes
+    of one polarity coalesce into a single mutator call (asserts route
+    order atoms ahead of proper facts exactly like a one-at-a-time
+    replay, and assert/retract boundaries are preserved, so the final
+    state and the invalidation generations are those of the sequential
+    loop — minus the redundant intermediate invalidations).
     """
     ops = list(ops)
     out: list[Result | None] = [None] * len(ops)
     pending: list[int] = []
+    writes: list[Mutation] = []
 
-    def flush() -> None:
+    def flush_writes() -> None:
+        pending_writes = writes[:]
+        writes.clear()
+        polarity = None
+        staged: list = []
+        for mutation in pending_writes:
+            asserting = mutation.kind.startswith("assert")
+            if asserting and not all(a.is_ground for a in mutation.atoms):
+                # The assert mutators reject non-ground atoms; apply the
+                # offending write alone so it raises with exactly the
+                # prefix state a sequential one-at-a-time loop would
+                # leave behind (retracts never validate: they no-op on
+                # unknown atoms and coalesce safely).
+                _apply_run(session, polarity, staged)
+                polarity, staged = None, []
+                mutation.apply(session)
+                continue
+            if polarity is not None and asserting is not polarity:
+                _apply_run(session, polarity, staged)
+                staged = []
+            polarity = asserting
+            staged.extend(mutation.atoms)
+        _apply_run(session, polarity, staged)
+
+    def flush_reads() -> None:
         if not pending:
             return
         batch = [ops[i] for i in pending]
@@ -202,14 +298,26 @@ def execute_stream(
 
     for i, op in enumerate(ops):
         if isinstance(op, QueryRequest):
+            flush_writes()
             pending.append(i)
         elif isinstance(op, Mutation):
-            flush()
-            op.apply(session)
+            flush_reads()
+            writes.append(op)
         else:
             raise TypeError(f"stream op must be QueryRequest or Mutation: {op!r}")
-    flush()
+    flush_writes()
+    flush_reads()
     return out
+
+
+def _apply_run(session: Session, asserting: bool | None, atoms: list) -> None:
+    """Apply one coalesced same-polarity write run as a single mutation."""
+    if asserting is None or not atoms:
+        return
+    if asserting:
+        session.assert_facts(*atoms)
+    else:
+        session.retract_facts(*atoms)
 
 
 __all__ = [

@@ -320,11 +320,13 @@ def random_nary_database(
     preds: Sequence[tuple[str, int]] = (("B", 2),),
     edge_prob: float = 0.3,
     le_prob: float = 0.3,
+    neq_prob: float = 0.0,
 ) -> IndefiniteDatabase:
     """A random database with binary-and-up predicates mixing both sorts.
 
     Each predicate signature alternates (order, object, order, ...)
-    starting with an order argument.
+    starting with an order argument.  ``neq_prob`` sprinkles Section 7
+    '!=' atoms over the order-constant pairs.
     """
     order_names = [f"u{i}" for i in range(n_order)]
     object_names = [f"a{i}" for i in range(n_objects)]
@@ -343,6 +345,10 @@ def random_nary_database(
             if rng.random() < edge_prob:
                 rel = Rel.LE if rng.random() < le_prob else Rel.LT
                 atoms.append(OrderAtom(ordc(order_names[i]), rel, ordc(order_names[j])))
+            if neq_prob and rng.random() < neq_prob:
+                atoms.append(
+                    OrderAtom(ordc(order_names[i]), Rel.NE, ordc(order_names[j]))
+                )
     return IndefiniteDatabase.from_atoms(atoms)
 
 
@@ -353,8 +359,13 @@ def random_nary_query(
     n_object_vars: int,
     preds: Sequence[tuple[str, int]] = (("B", 2),),
     order_atom_prob: float = 0.5,
+    neq_prob: float = 0.0,
 ) -> ConjunctiveQuery:
-    """A random conjunctive query over the same signature."""
+    """A random conjunctive query over the same signature.
+
+    ``neq_prob`` mixes '!=' atoms between order-variable pairs into the
+    order part (the Section 7 query-side extension).
+    """
     order_vars = [ordvar(f"t{i}") for i in range(n_order_vars)]
     object_vars = [objvar(f"x{i}") for i in range(n_object_vars)]
     atoms: list = []
@@ -372,6 +383,8 @@ def random_nary_query(
             if rng.random() < order_atom_prob:
                 rel = Rel.LT if rng.random() < 0.7 else Rel.LE
                 atoms.append(OrderAtom(order_vars[i], rel, order_vars[j]))
+            if neq_prob and rng.random() < neq_prob:
+                atoms.append(OrderAtom(order_vars[i], Rel.NE, order_vars[j]))
     return ConjunctiveQuery.from_atoms(atoms)
 
 

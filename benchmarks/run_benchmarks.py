@@ -555,6 +555,86 @@ def build_engine_benchmarks(quick: bool, seed: int):
             1,
         )
 
+    # -- persistent daemon pool: incremental resync vs fork-per-batch ------
+    # (same multi-core / non-quick conditions as engine/pool above)
+    if not quick and (os.cpu_count() or 1) >= 2:
+        from repro.engine.batch import execute_stream
+        from repro.engine.pool import DaemonPool, WorkerPool
+
+        rng = random.Random(seed + 37)
+        db, ops = random_request_stream(
+            rng,
+            width=4,
+            chain_length=4,
+            n_objects=8,
+            n_queries=10,
+            n_ops=20,
+            write_prob=0.0,
+        )
+        requests = [op for op in ops if isinstance(op, QueryRequest)]
+        toggles = [ProperAtom("Tag", (obj(f"dp{i}"),)) for i in range(4)]
+
+        def pool_per_batch(db=db, requests=requests, toggles=toggles):
+            session = Session(db)
+            out = []
+            for fact in toggles:
+                session.assert_facts(fact)
+                with WorkerPool(session, workers=2) as pool:
+                    out.append(pool.execute_many(requests))
+            return out
+
+        def daemon_pool(db=db, requests=requests, toggles=toggles):
+            session = Session(db)
+            out = []
+            with DaemonPool(session, workers=2) as pool:
+                for fact in toggles:
+                    session.assert_facts(fact)
+                    pool.resnapshot(session)
+                    out.append(pool.execute_many(requests))
+            return out
+
+        yield (
+            "engine/daemon_pool",
+            {"requests": len(requests), "batches": len(toggles),
+             "workers": 2},
+            pool_per_batch,
+            daemon_pool,
+            1,
+        )
+
+        # -- pipelined mixed streams: write-boundary epochs on the pool ----
+        # (gated >= 2x in --check on multi-core hosts: the stream is
+        # read-dominated, so sharding each epoch's plan groups across the
+        # workers while the main process applies the next epoch's writes
+        # must beat the in-process sequential loop; results are compared
+        # for exact — Result-level — equality)
+        rng = random.Random(seed + 41)
+        db, ops = random_request_stream(
+            rng,
+            width=4,
+            chain_length=5,
+            n_objects=10,
+            n_queries=12,
+            n_ops=60,
+            write_prob=0.12,
+        )
+        stream_workers = max(2, min(4, os.cpu_count() or 1))
+
+        def stream_sequential(db=db, ops=ops):
+            return execute_stream(Session(db), list(ops))
+
+        def stream_pipelined(db=db, ops=ops, workers=stream_workers):
+            return execute_stream(Session(db), list(ops), workers=workers)
+
+        yield (
+            "engine/stream_parallel",
+            {"ops": len(ops), "workers": stream_workers,
+             "write_prob": 0.12},
+            stream_sequential,
+            stream_pipelined,
+            1,
+        )
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -571,8 +651,8 @@ def main(argv=None) -> int:
         type=float,
         default=2.0,
         help="--check threshold on the reduced/, theorem53/, "
-             "models/bruteforce, session/certain_answers and "
-             "engine/batch benches",
+             "models/bruteforce, session/certain_answers, engine/batch "
+             "and engine/stream_parallel benches",
     )
     parser.add_argument("--seed", type=int, default=12345)
     parser.add_argument(
@@ -641,6 +721,9 @@ def main(argv=None) -> int:
                     "models/bruteforce",
                     "session/certain_answers",
                     "engine/batch",
+                    # multi-core only: the row is skipped (never gated)
+                    # on 1-CPU hosts and in --quick, like engine/pool
+                    "engine/stream_parallel",
                 )
             )
             if gated and row["speedup"] is not None:

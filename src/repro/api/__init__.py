@@ -24,7 +24,7 @@ See :mod:`repro.api.session` for the mutation/invalidation contract and
 
 from repro.api.plan import ExecutionContext, PreparedQuery
 from repro.api.result import Result, render_model
-from repro.api.session import MutationEvent, Session
+from repro.api.session import MutationEvent, Session, SnapshotDelta
 
 __all__ = [
     "ExecutionContext",
@@ -32,5 +32,6 @@ __all__ = [
     "PreparedQuery",
     "Result",
     "Session",
+    "SnapshotDelta",
     "render_model",
 ]

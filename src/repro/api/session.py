@@ -56,6 +56,34 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 _PLAN_CACHE_LIMIT = 128
 
 
+class SnapshotDelta(NamedTuple):
+    """The incremental state change between two generations of a session.
+
+    Produced by :meth:`Session.snapshot_delta` and consumed by
+    :meth:`Session.apply_snapshot_delta`: the atoms that appeared and
+    disappeared, the target generation counters, and which of the three
+    counters bumped — exactly the information a process holding a copy
+    of the older state needs to advance to the newer one while
+    invalidating only what the bumped generations require.  This is the
+    resync payload the persistent daemon pool
+    (:class:`repro.engine.pool.DaemonPool`) ships to its workers instead
+    of re-forking them.
+
+    Atom tuples are sorted, so a delta is a deterministic function of
+    the two states.
+    """
+
+    added_proper: tuple[ProperAtom, ...]
+    removed_proper: tuple[ProperAtom, ...]
+    added_order: tuple[OrderAtom, ...]
+    removed_order: tuple[OrderAtom, ...]
+    #: the target ``(graph, label, object)`` generation triple
+    gens: tuple[int, int, int]
+    graph: bool
+    label: bool
+    object: bool
+
+
 class MutationEvent(NamedTuple):
     """What a single mutation invalidated, as delivered to observers.
 
@@ -90,6 +118,7 @@ class Session:
         self._order: set[OrderAtom] = set(db.order_atoms)
         self._db: IndefiniteDatabase | None = db
         self._order_names: set[str] | None = None
+        self._object_names: set[str] | None = None
         self._graph_gen = 0
         self._label_gen = 0
         self._object_gen = 0
@@ -133,6 +162,47 @@ class Session:
             self._order_names = self.db.order_constants
         return self._order_names
 
+    def _known_object_names(self) -> set[str]:
+        if self._object_names is None:
+            self._object_names = self.db.object_constants
+        return self._object_names
+
+    def _check_sort_clash(
+        self,
+        proper_atoms: Iterable[ProperAtom],
+        order_atoms: Iterable[OrderAtom],
+    ) -> None:
+        """Reject names that would end up at both sorts — before mutating.
+
+        The frozen :class:`~repro.core.database.IndefiniteDatabase`
+        performs the same check, but only when it is (lazily) rebuilt —
+        by which point the session's own sets would already have
+        absorbed the offending atoms and every later ``db`` access would
+        keep raising.  Validating up front keeps the mutators atomic on
+        failure: a raising assert leaves the session exactly as it was
+        (the stream engine's coalesced-write fallback relies on this).
+        """
+        new_order: set[str] = set()
+        new_object: set[str] = set()
+        for atom in proper_atoms:
+            for t in atom.args:
+                (new_order if t.is_order else new_object).add(t.name)
+        for atom in order_atoms:
+            new_order.add(atom.left.name)
+            new_order.add(atom.right.name)
+        if not new_order and not new_object:
+            return
+        clash = new_order & new_object
+        if new_order:
+            clash |= new_order & self._known_object_names()
+        if new_object:
+            clash |= new_object & self._known_order_names()
+        if clash:
+            raise SortError(
+                "constant name(s) used at both sorts: "
+                + ", ".join(sorted(clash))
+            )
+
     def context(self) -> ExecutionContext:
         """The session's shared database-side execution state."""
         if self._ctx is None:
@@ -158,6 +228,76 @@ class Session:
         snap = SessionSnapshot(self)
         self._graph_shared = True
         return snap
+
+    def snapshot_delta(self, since: "Session") -> SnapshotDelta | None:
+        """What changed since ``since`` (an older snapshot of *this*
+        session): added/removed atoms plus which generation counters
+        bumped, or ``None`` when nothing changed.
+
+        The incremental-resync hook of the persistent daemon pool
+        (:class:`repro.engine.pool.DaemonPool`): instead of re-forking
+        its workers per batch, the pool ships them this delta and each
+        worker advances its private copy of the older state with
+        :meth:`apply_snapshot_delta` — arriving at exactly this
+        session's state while keeping every cache the bumped
+        generations do not invalidate warm.
+        """
+        old = since._gens()
+        new = self._gens()
+        if old == new:
+            return None
+        return SnapshotDelta(
+            added_proper=tuple(sorted(self._proper - since._proper)),
+            removed_proper=tuple(sorted(since._proper - self._proper)),
+            added_order=tuple(sorted(self._order - since._order)),
+            removed_order=tuple(sorted(since._order - self._order)),
+            gens=new,
+            graph=old[0] != new[0],
+            label=old[1] != new[1],
+            object=old[2] != new[2],
+        )
+
+    def apply_snapshot_delta(self, delta: SnapshotDelta) -> "Session":
+        """Advance a *process-private* copy of an older state by ``delta``.
+
+        Mirrors the granular invalidation a live replay of the
+        underlying mutations would have done, in one round: object-only
+        deltas keep the order graph, its closures, the labelled dag and
+        every order-part memo warm; label deltas keep graph closures and
+        structural region caches; graph deltas rebuild lazily.  The
+        generation counters jump to the delta's target, so prepared-plan
+        memos keyed on them invalidate exactly as on the live session.
+
+        Intended for daemon-pool workers, whose session (even when it is
+        a fork-inherited :class:`~repro.engine.snapshot.SessionSnapshot`
+        by type) is private to the worker process — never call this on a
+        snapshot other code can still observe.
+        """
+        self._proper.update(delta.added_proper)
+        self._proper.difference_update(delta.removed_proper)
+        self._order.update(delta.added_order)
+        self._order.difference_update(delta.removed_order)
+        self._db = None
+        self._order_names = None
+        self._object_names = None
+        (self._graph_gen, self._label_gen, self._object_gen) = delta.gens
+        if self._ctx is not None:
+            if delta.graph:
+                self._ctx.graph_changed(self.db, keep_graph=False)
+            elif delta.label:
+                self._ctx.labels_changed(self.db)
+            elif delta.object:
+                self._ctx.facts_changed(self.db)
+        if self._observers:
+            touched = {
+                t.name
+                for atoms in (delta.added_proper, delta.removed_proper)
+                for a in atoms
+                for t in a.args
+                if t.is_object
+            }
+            self._notify(delta.graph, delta.label, delta.object, touched)
+        return self
 
     # -- observers ---------------------------------------------------------
 
@@ -192,17 +332,27 @@ class Session:
     # -- mutation ----------------------------------------------------------
 
     def assert_facts(self, *atoms: ProperAtom | OrderAtom) -> "Session":
-        """Add ground facts.  Order atoms route to :meth:`assert_order`."""
+        """Add ground facts.  Order atoms route to :meth:`assert_order`.
+
+        Validation (groundness, sort clashes) covers the *whole* call
+        before anything mutates, so a raising assert leaves the session
+        untouched.
+        """
         proper = [a for a in atoms if isinstance(a, ProperAtom)]
         order = [a for a in atoms if isinstance(a, OrderAtom)]
-        if order:
-            self.assert_order(*order)
         added = [a for a in proper if a not in self._proper]
-        if not added:
-            return self
         for atom in added:
             if not atom.is_ground:
                 raise SortError(f"database proper atom must be ground: {atom}")
+        order_added = [a for a in order if a not in self._order]
+        for atom in order_added:
+            if not atom.is_ground:
+                raise SortError(f"database order atom must be ground: {atom}")
+        self._check_sort_clash(added, order_added)
+        if order:
+            self.assert_order(*order)
+        if not added:
+            return self
         # Snapshot the known order constants BEFORE mutating, so names
         # that only these new atoms mention count as fresh vertices.
         known = self._known_order_names()
@@ -211,9 +361,14 @@ class Session:
         order_args = [
             t for a in added for t in a.args if t.is_order
         ]
+        # Zero-arity (propositional) facts ride the object generation:
+        # the mildest invalidation that still resets the splittability
+        # flag and the result memos — without it, nothing would bump at
+        # all and live contexts, observers and snapshot deltas would
+        # silently miss the mutation.
         has_object_args = any(
             t.is_object for a in added for t in a.args
-        )
+        ) or any(not a.args for a in added)
         fresh: set[str] = set()
         if order_args:
             fresh = {t.name for t in order_args} - known
@@ -236,6 +391,10 @@ class Session:
                 self._ctx.labels_changed(self.db)
         if has_object_args:
             self._object_gen += 1
+            if self._object_names is not None:
+                self._object_names.update(
+                    t.name for a in added for t in a.args if t.is_object
+                )
             if self._ctx is not None and not order_args:
                 self._ctx.facts_changed(self.db)
         self._notify(
@@ -266,7 +425,10 @@ class Session:
         self._proper.difference_update(removed)
         self._db = None
         had_order = any(t.is_order for a in removed for t in a.args)
-        had_object = any(t.is_object for a in removed for t in a.args)
+        # zero-arity facts ride the object generation (see assert_facts)
+        had_object = any(
+            t.is_object for a in removed for t in a.args
+        ) or any(not a.args for a in removed)
         if had_order:
             # An order constant may have vanished: rebuild the graph lazily.
             # (The shared instance, if a snapshot holds one, is untouched.)
@@ -278,6 +440,7 @@ class Session:
                 self._ctx.graph_changed(self.db, keep_graph=False)
         if had_object:
             self._object_gen += 1
+            self._object_names = None
             if self._ctx is not None:
                 self._ctx.facts_changed(self.db)
         self._notify(
@@ -291,13 +454,18 @@ class Session:
         return self
 
     def assert_order(self, *atoms: OrderAtom) -> "Session":
-        """Add ground order atoms, updating the cached graph in place."""
+        """Add ground order atoms, updating the cached graph in place.
+
+        Like :meth:`assert_facts`, validation precedes every mutation:
+        a raising assert leaves the session untouched.
+        """
         added = [a for a in atoms if a not in self._order]
         if not added:
             return self
         for atom in added:
             if not atom.is_ground:
                 raise SortError(f"database order atom must be ground: {atom}")
+        self._check_sort_clash((), added)
         self._order.update(added)
         self._db = None
         self._graph_gen += 1
@@ -414,4 +582,4 @@ class Session:
         return f"Session({self.size()} atoms, gens={self._gens()})"
 
 
-__all__ = ["MutationEvent", "Session"]
+__all__ = ["MutationEvent", "Session", "SnapshotDelta"]

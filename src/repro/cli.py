@@ -10,7 +10,9 @@ Commands:
 * ``batch DB STREAM``  — run a request-stream file (queries, ``answers``
   lines, ``assert:``/``retract:`` writes) through the batching engine
   (:mod:`repro.engine.batch`); ``--workers N`` fans a write-free stream
-  out over a snapshot worker pool;
+  out over a snapshot worker pool, and pipelines a *mixed* stream over a
+  persistent daemon pool (epoch *N*'s reads execute on the workers while
+  the next epoch's writes apply);
 * ``watch DB QUERY --free-vars ... STREAM`` — maintain a
   :class:`repro.engine.views.MaterializedView` of an open query across
   the writes in STREAM, reporting answer deltas after each step;
@@ -207,7 +209,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         execute_many,
         execute_stream,
     )
-    from repro.engine.pool import WorkerPool
+    from repro.engine.pool import DaemonPool, WorkerPool
 
     db_text = pathlib.Path(args.database).read_text()
     stream_text = pathlib.Path(args.stream).read_text()
@@ -225,6 +227,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         with WorkerPool(session, workers=args.workers) as pool:
             results = pool.execute_many(ops)
             mode = f"pool[{args.workers}]" if pool.parallel else "sequential"
+    elif args.workers > 1:
+        # mixed stream: write-boundary epoch pipelining over a
+        # persistent daemon pool (results identical to --workers 1)
+        with DaemonPool(session, workers=args.workers) as pool:
+            results = execute_stream(session, ops, pool=pool)
+            mode = (
+                f"pipeline[{args.workers}]" if pool.parallel else "stream"
+            )
     else:
         results = execute_stream(session, ops)
         mode = "stream"
@@ -458,7 +468,9 @@ def build_parser() -> argparse.ArgumentParser:
     bt.add_argument("stream", help="file of queries / answers(..) / "
                                    "assert: / retract: lines")
     bt.add_argument("--workers", type=int, default=1,
-                    help="fan a write-free stream over N snapshot workers")
+                    help="fan a write-free stream over N snapshot workers; "
+                         "on mixed streams, pipeline read epochs over N "
+                         "persistent daemon workers")
     bt.add_argument("--json", action="store_true",
                     help="machine-readable JSON output")
     bt.set_defaults(func=_cmd_batch)

@@ -7,13 +7,19 @@ request *streams*:
 * :mod:`repro.engine.batch` — :func:`~repro.engine.batch.execute_many`
   groups a batch of requests by compiled plan and pools the
   minimal-model sweeps; :func:`~repro.engine.batch.execute_stream`
-  interleaves batched reads with writes in stream order.
+  interleaves batched reads with writes in stream order, and with
+  ``workers=``/``pool=`` pipelines a mixed stream across write
+  boundaries: one epoch's reads execute on a daemon pool while the main
+  process applies the next epoch's writes.
 * :mod:`repro.engine.snapshot` — cheap read-only
   :class:`~repro.engine.snapshot.SessionSnapshot` copies (shared frozen
   database + warm closures) safe to ship to workers.
 * :mod:`repro.engine.pool` — :class:`~repro.engine.pool.WorkerPool`
-  shards plan groups across processes, each answering from a snapshot,
-  and merges results deterministically.
+  shards plan groups across per-batch processes;
+  :class:`~repro.engine.pool.DaemonPool` keeps *persistent* workers
+  alive across batches, resyncing them to newer session state with
+  incremental snapshot deltas.  Both merge deterministically and both
+  degrade to in-process sequential execution in restricted sandboxes.
 * :mod:`repro.engine.views` — :class:`~repro.engine.views.MaterializedView`
   keeps a registered certain-answers query up to date across mutations,
   re-evaluating only the delta the bumped generation permits.
@@ -36,11 +42,12 @@ from repro.engine.batch import (
     execute_many,
     execute_stream,
 )
-from repro.engine.pool import WorkerPool, execute_parallel
+from repro.engine.pool import DaemonPool, WorkerPool, execute_parallel
 from repro.engine.snapshot import SessionSnapshot, SnapshotMutationError
 from repro.engine.views import MaterializedView
 
 __all__ = [
+    "DaemonPool",
     "MaterializedView",
     "Mutation",
     "QueryRequest",

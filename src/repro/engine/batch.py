@@ -25,10 +25,22 @@ and many sharing the expensive part of their evaluation.
 :func:`execute_stream` extends this to mixed read/write traffic: maximal
 runs of reads between two writes form one batch, and writes are applied
 through the session's granular-invalidation mutators in stream order, so
-the observable results are exactly those of a sequential one-at-a-time
-loop.  Consecutive writes of the same polarity (asserts, or retracts)
-are coalesced into a single mutator call — one invalidation round —
-before the next read batch.
+the results are exactly — byte for byte — those of a sequential
+one-at-a-time loop.  Consecutive writes of the same polarity (asserts,
+or retracts) are coalesced into a single mutator call — one invalidation
+round — before the next read batch; if a coalesced call raises, the run
+is replayed one mutation at a time so the exception surfaces with
+exactly the prefix state a sequential loop would have left behind.
+
+Passing ``workers=N`` (or a live :class:`~repro.engine.pool.DaemonPool`
+via ``pool=``) turns on the **write-boundary epoch pipeline**: the
+stream splits into epochs at write boundaries, each boundary ships one
+incremental snapshot delta to the pool's persistent workers, and epoch
+*N*'s reads execute on the pool while the main process is already
+applying epoch *N+1*'s writes.  Sequential semantics are preserved by
+construction — every read runs against the exact snapshot a sequential
+loop would have shown it — and the merge is the same deterministic
+per-plan fan-out, so pipelined results equal sequential ones exactly.
 """
 
 from __future__ import annotations
@@ -160,9 +172,12 @@ def execute_many(
 
     Returns one :class:`~repro.api.result.Result` per request, in
     request order; requests with equal plan keys receive the *same*
-    result object.  Results are identical in verdict, answers and
-    countermodels to executing each request's plan individually (the
-    batched model sweep reports its method as ``"batched-models"``).
+    result object.  Results are byte-for-byte identical — verdict,
+    method tag, countermodel and answers — to executing each request's
+    plan individually: plans decided by the combined sweep come back
+    with the method tag and witness their own execution would have
+    produced, so batched, pooled and sequential execution can never be
+    told apart from the results.
     """
     requests = list(requests)
     groups: dict[tuple, list[int]] = {}
@@ -196,7 +211,9 @@ def execute_many(
         # substituted queries; closed plans contribute their DNF directly
         # (identical substituted queries from different plans merge into
         # one satisfiability check).  Closed verdicts come back with the
-        # sweep's countermodel witness.
+        # sweep's countermodel witness — the same DFS-first witness a
+        # solo `entails_bruteforce` reconstructs — and every result
+        # carries the method tag its plan's own execution would have.
         base = session.context()
         per_plan: list[tuple[list[int], PreparedQuery, dict]] = []
         queries: set = set()
@@ -226,13 +243,13 @@ def execute_many(
                 if outcome[q].holds
                 for combo in combos
             )
-            result = Result(bool(answers), "batched-models", answers=answers)
+            result = Result(bool(answers), "prepared-models", answers=answers)
             for i in indices:
                 results[i] = result
         for dnf, index_groups in closed_queries.items():
             witness = outcome[dnf]
             result = Result(
-                witness.holds, "batched-models", witness.countermodel
+                witness.holds, "bruteforce", witness.countermodel
             )
             for indices in index_groups:
                 for i in indices:
@@ -242,8 +259,69 @@ def execute_many(
     return results  # type: ignore[return-value]
 
 
+def _epochs(ops: list):
+    """Split a stream into ``(write_run, read_indices)`` epochs, in order.
+
+    Every op lands in exactly one epoch: a maximal run of consecutive
+    writes followed by the maximal run of consecutive reads after it
+    (either side may be empty at the stream's edges).
+    """
+    idx, n = 0, len(ops)
+    while idx < n:
+        writes: list[Mutation] = []
+        while idx < n and isinstance(ops[idx], Mutation):
+            writes.append(ops[idx])
+            idx += 1
+        reads: list[int] = []
+        while idx < n and isinstance(ops[idx], QueryRequest):
+            reads.append(idx)
+            idx += 1
+        yield writes, reads
+
+
+def _apply_writes(session: Session, mutations: list[Mutation]) -> None:
+    """Apply a run of consecutive writes in stream order.
+
+    Maximal same-polarity sub-runs (asserts, or retracts) coalesce into
+    a single mutator call — one invalidation round.  The session
+    mutators validate the whole call before mutating anything, so when a
+    coalesced call raises the session is untouched: the run falls back
+    to a one-mutation-at-a-time replay, which applies the earlier writes
+    and re-raises at exactly the op — with exactly the prefix state — a
+    sequential loop would have raised at.
+    """
+    runs: list[tuple[bool, list[Mutation]]] = []
+    for mutation in mutations:
+        asserting = mutation.kind.startswith("assert")
+        if runs and runs[-1][0] is asserting:
+            runs[-1][1].append(mutation)
+        else:
+            runs.append((asserting, [mutation]))
+    for asserting, run in runs:
+        if len(run) == 1:
+            run[0].apply(session)
+            continue
+        atoms = [a for m in run for a in m.atoms]
+        try:
+            if asserting:
+                session.assert_facts(*atoms)
+            else:
+                session.retract_facts(*atoms)
+        except Exception:
+            # Atomic mutators left no trace; the sequential replay
+            # either raises at the true offending mutation (with the
+            # prefix applied) or proves the failure was a coalescing
+            # artifact and completes the run.
+            for mutation in run:
+                mutation.apply(session)
+
+
 def execute_stream(
-    session: Session, ops: Iterable[QueryRequest | Mutation]
+    session: Session,
+    ops: Iterable[QueryRequest | Mutation],
+    *,
+    pool=None,
+    workers: int | None = None,
 ) -> list[Result | None]:
     """Run a mixed read/write stream with reads batched between writes.
 
@@ -255,69 +333,117 @@ def execute_stream(
     :func:`execute_many` batch, and maximal runs of consecutive writes
     of one polarity coalesce into a single mutator call (asserts route
     order atoms ahead of proper facts exactly like a one-at-a-time
-    replay, and assert/retract boundaries are preserved, so the final
-    state and the invalidation generations are those of the sequential
-    loop — minus the redundant intermediate invalidations).
+    replay, assert/retract boundaries are preserved, and a raising
+    coalesced call falls back to the sequential replay — see
+    :func:`_apply_writes` — so the final state, and the state at any
+    raised exception, are those of the sequential loop, minus the
+    redundant intermediate invalidations).
+
+    **Pipelined mode** — pass ``workers=N`` (a private
+    :class:`~repro.engine.pool.DaemonPool` is created for the stream and
+    closed afterwards) or ``pool=`` (a live daemon pool, left resynced
+    to the final state): reads execute on the pool's persistent workers
+    one write-boundary epoch behind the main process's writes.  Results
+    are byte-for-byte those of the sequential mode; only the wall-clock
+    changes.  A read that raises (an invalid request) surfaces its
+    exception at the next collection point, by which time later epochs'
+    writes may already be applied — writes that raise keep exact
+    sequential state parity either way.
     """
     ops = list(ops)
+    for op in ops:
+        if not isinstance(op, (QueryRequest, Mutation)):
+            raise TypeError(
+                f"stream op must be QueryRequest or Mutation: {op!r}"
+            )
+    if pool is not None or (workers is not None and workers > 1):
+        return _execute_stream_pipelined(session, ops, pool, workers)
+    return _execute_stream_sequential(session, ops)
+
+
+def _execute_stream_sequential(
+    session: Session, ops: list
+) -> list[Result | None]:
+    """The in-process epoch loop: apply a write run, batch a read run."""
     out: list[Result | None] = [None] * len(ops)
-    pending: list[int] = []
-    writes: list[Mutation] = []
-
-    def flush_writes() -> None:
-        pending_writes = writes[:]
-        writes.clear()
-        polarity = None
-        staged: list = []
-        for mutation in pending_writes:
-            asserting = mutation.kind.startswith("assert")
-            if asserting and not all(a.is_ground for a in mutation.atoms):
-                # The assert mutators reject non-ground atoms; apply the
-                # offending write alone so it raises with exactly the
-                # prefix state a sequential one-at-a-time loop would
-                # leave behind (retracts never validate: they no-op on
-                # unknown atoms and coalesce safely).
-                _apply_run(session, polarity, staged)
-                polarity, staged = None, []
-                mutation.apply(session)
-                continue
-            if polarity is not None and asserting is not polarity:
-                _apply_run(session, polarity, staged)
-                staged = []
-            polarity = asserting
-            staged.extend(mutation.atoms)
-        _apply_run(session, polarity, staged)
-
-    def flush_reads() -> None:
-        if not pending:
-            return
-        batch = [ops[i] for i in pending]
-        for i, result in zip(pending, execute_many(session, batch)):
-            out[i] = result
-        pending.clear()
-
-    for i, op in enumerate(ops):
-        if isinstance(op, QueryRequest):
-            flush_writes()
-            pending.append(i)
-        elif isinstance(op, Mutation):
-            flush_reads()
-            writes.append(op)
-        else:
-            raise TypeError(f"stream op must be QueryRequest or Mutation: {op!r}")
-    flush_writes()
-    flush_reads()
+    for writes, read_indices in _epochs(ops):
+        if writes:
+            _apply_writes(session, writes)
+        if read_indices:
+            batch = [ops[i] for i in read_indices]
+            for i, result in zip(read_indices, execute_many(session, batch)):
+                out[i] = result
     return out
 
 
-def _apply_run(session: Session, asserting: bool | None, atoms: list) -> None:
-    """Apply one coalesced same-polarity write run as a single mutation."""
-    if asserting is None or not atoms:
-        return
-    if asserting:
-        session.assert_facts(*atoms)
-    else:
-        session.retract_facts(*atoms)
+def _execute_stream_pipelined(
+    session: Session, ops: list, pool, workers: int | None
+) -> list[Result | None]:
+    """Write-boundary epoch pipelining over a persistent daemon pool.
+
+    Each epoch boundary costs one snapshot plus one incremental resync
+    delta (:meth:`repro.api.session.Session.snapshot_delta`) shipped to
+    every worker; submissions and resyncs ride the same per-worker
+    message stream, so neither blocks the main process.  Epoch *N*'s
+    reads therefore execute on the pool while the main process applies
+    epoch *N+1*'s writes; the in-flight results are collected just
+    before the next submission.  Sequential semantics hold by
+    construction — each read runs against exactly the snapshot a
+    sequential loop would have shown it — and the merge is
+    :func:`execute_many`'s deterministic per-plan fan-out.
+    """
+    from repro.engine.pool import DaemonPool
+
+    out: list[Result | None] = [None] * len(ops)
+    own_pool = pool is None
+    if own_pool:
+        pool = DaemonPool(session, workers=workers)
+    if not pool.parallel:
+        # No real workers (degraded sandbox, workers=1): the pipeline
+        # would only add per-epoch snapshot and copy-on-write churn
+        # with zero overlap — run the plain sequential loop instead,
+        # keeping an external pool's end-of-stream sync contract.
+        try:
+            return _execute_stream_sequential(session, ops)
+        finally:
+            if own_pool:
+                pool.close()
+            else:
+                pool.resnapshot(session)
+    inflight: tuple[list[int], object] | None = None
+
+    def collect_inflight() -> None:
+        nonlocal inflight
+        if inflight is None:
+            return
+        indices, pending = inflight
+        inflight = None
+        for i, result in zip(indices, pool.collect(pending)):
+            out[i] = result
+
+    try:
+        for writes, read_indices in _epochs(ops):
+            if writes:
+                _apply_writes(session, writes)
+            if read_indices:
+                collect_inflight()
+                pool.resnapshot(session)
+                pending = pool.submit([ops[i] for i in read_indices])
+                inflight = (read_indices, pending)
+        collect_inflight()
+        if not own_pool:
+            # a trailing write epoch has no read batch to trigger a
+            # resync; sync here so the caller's pool really is left at
+            # the stream's final state, as documented
+            pool.resnapshot(session)
+    finally:
+        if own_pool:
+            pool.close()
+        elif inflight is not None:
+            # an exception abandoned the stream mid-flight: drain the
+            # outstanding replies so the caller's pool stays usable
+            pool.abandon(inflight[1])
+    return out
 
 
 __all__ = [

@@ -4,28 +4,38 @@ Because every verdict is a pure function of (database, plan), read-only
 traffic parallelizes embarrassingly: take one
 :class:`~repro.engine.snapshot.SessionSnapshot`, hand it to N worker
 processes, and let each worker decide a disjoint shard of the batch's
-plan groups.  :class:`WorkerPool` does exactly that:
+plan groups.  Two pool shapes share that substrate:
 
-* under the ``fork`` start method (Linux, the production case) the
-  workers inherit the snapshot — including its warm order-graph closures
-  and region caches — through copy-on-write pages, so shipping a
-  snapshot costs nothing;
-* under ``spawn`` (or when initializer inheritance is unavailable) each
-  worker receives the frozen database and rebuilds its own session,
-  warming its caches on first use — colder, but identical results;
-* when no process pool can be created at all (restricted sandboxes),
-  the pool degrades to in-process sequential execution over the same
-  snapshot, so callers never need a fallback path of their own.
+* :class:`WorkerPool` — the per-batch pool: a fresh set of processes per
+  pool, frozen at its construction snapshot (``resnapshot`` rebuilds the
+  processes);
+* :class:`DaemonPool` — the persistent pool: long-lived daemon workers
+  that survive across batches, each holding a private session resynced
+  to newer state by *incremental snapshot deltas*
+  (:meth:`~repro.api.session.Session.snapshot_delta` — only the changed
+  atoms and the bumped generation counters travel), and a split
+  ``submit``/``collect`` round trip that the write-boundary stream
+  pipeline (``execute_stream(..., pool=...)``) overlaps with the main
+  process's writes.
+
+Both degrade identically when no process pool can be created (restricted
+sandboxes, 1-CPU hosts): in-process sequential execution over the same
+snapshot, so callers never need a fallback path of their own.  Under the
+``fork`` start method (Linux, the production case) workers inherit the
+snapshot — including its warm order-graph closures and region caches —
+through copy-on-write pages; under ``spawn`` each worker receives the
+frozen database and rebuilds its own session, warming lazily.
 
 Results are merged deterministically: each unique plan key is executed
-exactly once (in a worker chosen by round-robin over first-appearance
-order), and the per-key results are fanned back out in request order —
-the output is byte-for-byte the list :func:`repro.engine.batch.execute_many`
-would produce sequentially, modulo the batched-sweep method tag.
+exactly once and the per-key results are fanned back out in request
+order — the output is byte-for-byte the list
+:func:`repro.engine.batch.execute_many` would produce sequentially
+(including method tags and countermodel witnesses).
 """
 
 from __future__ import annotations
 
+import logging
 import os
 from typing import Iterable, Sequence
 
@@ -34,8 +44,54 @@ from repro.api.session import Session
 from repro.core.database import IndefiniteDatabase
 from repro.engine.batch import QueryRequest, execute_many
 
+log = logging.getLogger(__name__)
+
+#: Environment variable overriding the automatic worker-count cap.
+WORKER_CAP_ENV = "REPRO_POOL_MAX_WORKERS"
+
+#: Default cap on auto-sized pools: spreading a batch wider than this
+#: rarely pays for the extra process/IPC overhead on typical workloads.
+DEFAULT_WORKER_CAP = 4
+
 #: Per-process session used by pool workers (set by the initializer).
 _WORKER_SESSION: Session | None = None
+
+
+def _worker_cap() -> int:
+    """The worker-count cap: ``REPRO_POOL_MAX_WORKERS`` or the default."""
+    raw = os.environ.get(WORKER_CAP_ENV)
+    if raw:
+        try:
+            cap = int(raw)
+        except ValueError:
+            log.warning(
+                "ignoring non-integer %s=%r; using default cap %d",
+                WORKER_CAP_ENV, raw, DEFAULT_WORKER_CAP,
+            )
+        else:
+            if cap >= 1:
+                return cap
+            log.warning(
+                "ignoring %s=%d (must be >= 1); using default cap %d",
+                WORKER_CAP_ENV, cap, DEFAULT_WORKER_CAP,
+            )
+    return DEFAULT_WORKER_CAP
+
+
+def _default_workers() -> int:
+    """Spread over the cores up to the (configurable, logged) cap.
+
+    A 1-CPU host sizes to one worker, which both pool classes treat as
+    "run sequentially in-process".
+    """
+    cap = _worker_cap()
+    cpus = os.cpu_count() or 1
+    n = max(1, min(cap, cpus))
+    log.debug(
+        "auto-sizing pool to %d workers (cpu_count=%d, cap=%d; set %s to "
+        "change the cap)", n, cpus, cap, WORKER_CAP_ENV,
+    )
+    return n
 
 
 def _init_worker(payload) -> None:
@@ -55,9 +111,37 @@ def _run_shard(shard: Sequence[tuple[int, QueryRequest]]) -> list[tuple[int, Res
     return [(i, result) for (i, _), result in zip(shard, results)]
 
 
-def _default_workers() -> int:
-    """Spread over the cores, capped; a 1-CPU host degrades to sequential."""
-    return max(1, min(4, os.cpu_count() or 1))
+def _unique_groups(
+    requests: Sequence[QueryRequest],
+) -> tuple[list[tuple[int, QueryRequest]], list[list[int]]]:
+    """``(unique, owners)``: one representative per plan key + fan-out lists.
+
+    ``unique[j] == (j, request)`` is the first request with the *j*-th
+    distinct plan key; ``owners[j]`` lists every request index sharing
+    that key.
+    """
+    key_index: dict[tuple, int] = {}
+    unique: list[tuple[int, QueryRequest]] = []
+    owners: list[list[int]] = []
+    for i, request in enumerate(requests):
+        ki = key_index.get(request.plan_key)
+        if ki is None:
+            ki = key_index[request.plan_key] = len(unique)
+            unique.append((ki, request))
+            owners.append([])
+        owners[ki].append(i)
+    return unique, owners
+
+
+def _fan_out(
+    owners: list[list[int]], by_key: dict[int, Result], n_requests: int
+) -> list[Result]:
+    """Per-key results fanned back out in request order."""
+    results: list[Result] = [None] * n_requests  # type: ignore[list-item]
+    for ki, indices in enumerate(owners):
+        for i in indices:
+            results[i] = by_key[ki]
+    return results
 
 
 class WorkerPool:
@@ -65,8 +149,9 @@ class WorkerPool:
 
     The snapshot is taken at construction time; the pool keeps answering
     against that state even while the live session mutates (take a new
-    pool — or call :meth:`resnapshot` — to pick up newer state).  Usable
-    as a context manager.
+    pool — or call :meth:`resnapshot`, which rebuilds the processes — to
+    pick up newer state; :class:`DaemonPool` resyncs its long-lived
+    workers incrementally instead).  Usable as a context manager.
     """
 
     def __init__(
@@ -98,8 +183,18 @@ class WorkerPool:
             return ctx.Pool(
                 self._workers, initializer=_init_worker, initargs=(payload,)
             )
-        except (ImportError, OSError, ValueError):
-            return None  # restricted environment: sequential fallback
+        except (ImportError, OSError, ValueError, RuntimeError):
+            # Restricted sandboxes surface anything from missing
+            # semaphores (OSError) to spawn-bootstrap RuntimeErrors.
+            # A raising Pool.__init__ terminates and joins whatever
+            # workers it had already started (CPython's repopulate
+            # cleanup), so nothing leaks here; DaemonPool._start manages
+            # its explicit processes the same way by hand.
+            log.info(
+                "process pool unavailable; degrading to in-process "
+                "sequential execution", exc_info=True,
+            )
+            return None
 
     # -- state -------------------------------------------------------------
 
@@ -125,18 +220,7 @@ class WorkerPool:
         owns their group.
         """
         requests = list(requests)
-        keys: list[tuple] = []
-        key_index: dict[tuple, int] = {}
-        owners: list[list[int]] = []
-        for i, request in enumerate(requests):
-            ki = key_index.get(request.plan_key)
-            if ki is None:
-                ki = key_index[request.plan_key] = len(keys)
-                keys.append(request.plan_key)
-                owners.append([])
-            owners[ki].append(i)
-
-        unique = [(ki, requests[owners[ki][0]]) for ki in range(len(keys))]
+        unique, owners = _unique_groups(requests)
         if self._pool is None or len(unique) < 2:
             by_key = {
                 ki: result
@@ -154,12 +238,7 @@ class WorkerPool:
             for shard_result in self._pool.map(_run_shard, shards):
                 for ki, result in shard_result:
                     by_key[ki] = result
-
-        results: list[Result] = [None] * len(requests)  # type: ignore[list-item]
-        for ki, indices in enumerate(owners):
-            for i in indices:
-                results[i] = by_key[ki]
-        return results
+        return _fan_out(owners, by_key, len(requests))
 
     def resnapshot(self, session: Session) -> None:
         """Point the pool at a fresh snapshot of ``session``.
@@ -200,4 +279,386 @@ def execute_parallel(
         return pool.execute_many(requests)
 
 
-__all__ = ["WorkerPool", "execute_parallel"]
+# -- the persistent daemon pool -------------------------------------------
+
+
+def _close_quietly(conn) -> None:
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+def _daemon_main(payload, conn) -> None:
+    """A daemon worker: one private session, advanced by resync deltas.
+
+    ``payload`` is the construction snapshot (``fork``: inherited with
+    its warm caches through copy-on-write pages) or the frozen database
+    (``spawn``: rebuilt cold, warming lazily).  Post-fork the session is
+    private to this process, so applying snapshot deltas to it — even
+    though it is a ``SessionSnapshot`` by type — can never violate
+    snapshot immutability in the parent.
+
+    Protocol (one message per :meth:`~multiprocessing.connection
+    .Connection.recv`, processed strictly in order, which is what lets
+    the leader queue a resync and the next batch without waiting):
+
+    * ``("resync", delta)`` — apply a
+      :class:`~repro.api.session.SnapshotDelta`; no reply.
+    * ``("run", shard)`` — execute a shard of unique plan groups; replies
+      ``(True, [(key_index, Result), ...])`` or ``(False, exception)``.
+    * ``("stop",)`` — exit.
+    """
+    session = (
+        Session(payload)
+        if isinstance(payload, IndefiniteDatabase)
+        else payload
+    )
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "stop":
+                break
+            if kind == "resync":
+                session.apply_snapshot_delta(msg[1])
+            elif kind == "run":
+                shard = msg[1]
+                try:
+                    results = execute_many(
+                        session, [r for _ki, r in shard]
+                    )
+                    reply = (
+                        True,
+                        [(ki, res) for (ki, _), res in zip(shard, results)],
+                    )
+                except Exception as exc:
+                    reply = (False, exc)
+                try:
+                    conn.send(reply)
+                except Exception:
+                    # unpicklable result or exception: report what we can
+                    conn.send(
+                        (False, RuntimeError(
+                            "daemon worker reply was not picklable: "
+                            + str(reply)[:200]
+                        ))
+                    )
+    finally:
+        _close_quietly(conn)
+
+
+class _PendingBatch:
+    """An in-flight daemon-pool batch; ``DaemonPool.collect`` resolves it.
+
+    Holds the request fan-out bookkeeping, the worker ids a reply is
+    owed by, and the snapshot the batch was submitted under (immutable,
+    so a worker failure can transparently re-execute against it).
+    """
+
+    __slots__ = ("owners", "n_requests", "unique", "snapshot", "workers",
+                 "by_key")
+
+    def __init__(self, owners, n_requests, unique, snapshot) -> None:
+        self.owners = owners
+        self.n_requests = n_requests
+        self.unique = unique
+        self.snapshot = snapshot
+        self.workers: tuple[int, ...] = ()
+        self.by_key: dict[int, Result] | None = None
+
+
+class DaemonPool:
+    """A persistent pool of daemon workers surviving across batches.
+
+    Where :class:`WorkerPool` forks a fresh set of processes per pool
+    and must be torn down and rebuilt to observe newer session state, a
+    ``DaemonPool``'s workers are long-lived: each holds a private
+    session (inherited warm under ``fork``, rebuilt lazily under
+    ``spawn``) and :meth:`resnapshot` ships them an *incremental*
+    snapshot delta — only the changed atoms and bumped generation
+    counters — so object-fact churn leaves worker graph closures, region
+    tables, compiled plans and order-part memos warm across batches.
+
+    Unique plan keys are assigned to workers by stable hash, so a
+    repeated query keeps landing on the worker whose plan cache already
+    holds it.  :meth:`submit` / :meth:`collect` split the round trip —
+    submission (and resync) only *write* to the per-worker message
+    streams, so the caller can keep working while the workers execute;
+    that is the overlap the write-boundary stream pipeline
+    (:func:`repro.engine.batch.execute_stream` with ``pool=``/
+    ``workers=``) is built on.  :meth:`execute_many` is the synchronous
+    convenience.
+
+    Restricted sandboxes (and ``workers=1``) degrade to in-process
+    sequential execution over the same snapshot; a worker failing
+    mid-flight degrades the pool the same way and re-executes the
+    affected batch against the snapshot it was submitted under, so
+    callers always get their results.  Must be resynced from the session
+    it was constructed over.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        self._workers = workers if workers is not None else _default_workers()
+        self._snapshot = session.snapshot()
+        self._conns: list = []
+        self._procs: list = []
+        #: the single parallel batch allowed in flight (see submit)
+        self._inflight: _PendingBatch | None = None
+        if self._workers > 1:
+            self._start(start_method)
+
+    def _start(self, start_method: str | None) -> None:
+        conns: list = []
+        procs: list = []
+        try:
+            import multiprocessing as mp
+
+            methods = mp.get_all_start_methods()
+            if start_method is None:
+                start_method = "fork" if "fork" in methods else methods[0]
+            ctx = mp.get_context(start_method)
+            payload = (
+                self._snapshot if start_method == "fork" else self._snapshot.db
+            )
+            for _ in range(self._workers):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_daemon_main, args=(payload, child), daemon=True
+                )
+                proc.start()
+                child.close()
+                conns.append(parent)
+                procs.append(proc)
+        except (ImportError, OSError, ValueError, RuntimeError):
+            # terminate the partially started workers before degrading
+            for conn in conns:
+                _close_quietly(conn)
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join()
+            log.info(
+                "daemon pool unavailable; degrading to in-process "
+                "sequential execution", exc_info=True,
+            )
+            return
+        self._conns, self._procs = conns, procs
+
+    def _degrade(self) -> None:
+        """Tear the worker processes down; later batches run in-process."""
+        conns, procs = self._conns, self._procs
+        self._conns, self._procs = [], []
+        self._inflight = None  # its replies died with the connections
+        for conn in conns:
+            _close_quietly(conn)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join()
+        if procs:
+            log.warning(
+                "daemon pool worker failure: degraded to in-process "
+                "sequential execution"
+            )
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """True while the long-lived worker processes are alive."""
+        return bool(self._conns)
+
+    @property
+    def snapshot(self):
+        """The snapshot the pool currently answers against."""
+        return self._snapshot
+
+    # -- resync ------------------------------------------------------------
+
+    def resnapshot(self, session: Session) -> None:
+        """Advance the pool to ``session``'s current state, incrementally.
+
+        Cheap by design: a no-op when nothing changed since the last
+        sync; otherwise one snapshot plus one
+        :class:`~repro.api.session.SnapshotDelta` message per worker,
+        with no reply awaited — per-connection ordering guarantees the
+        next submitted batch sees the synced state.
+
+        Like :meth:`submit`, this writes to the bounded per-worker
+        pipes, so it must not run while a parallel batch is in flight
+        (a busy worker could be blocked sending its reply at the same
+        time — both pipe directions full is a deadlock): ``collect()``
+        or ``abandon()`` the batch first, or this raises
+        ``RuntimeError``.
+        """
+        if self._inflight is not None and self._inflight.workers:
+            raise RuntimeError(
+                "a daemon-pool batch is in flight; collect() or abandon() "
+                "it before resnapshot()"
+            )
+        delta = session.snapshot_delta(self._snapshot)
+        if delta is None:
+            return
+        self._snapshot = session.snapshot()
+        if not self._conns:
+            return
+        try:
+            for conn in self._conns:
+                conn.send(("resync", delta))
+        except (OSError, BrokenPipeError, EOFError):
+            self._degrade()
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute_local(self, unique, snapshot) -> dict[int, Result]:
+        """The in-process path: decide the unique groups on ``snapshot``."""
+        results = execute_many(snapshot, [r for _, r in unique])
+        return {ki: result for (ki, _), result in zip(unique, results)}
+
+    def submit(self, requests: Iterable[QueryRequest]) -> _PendingBatch:
+        """Ship a batch to the workers; returns a handle for :meth:`collect`.
+
+        With live workers this only *writes* the shard messages and
+        returns immediately — the caller can keep applying writes to the
+        live session (the submitted batch is pinned to the current
+        snapshot) while the workers execute.
+
+        At most ONE parallel batch may be in flight: :meth:`collect` (or
+        :meth:`abandon`) the previous one first, or this raises
+        ``RuntimeError``.  The per-worker pipes are bounded OS buffers;
+        queueing a second batch behind uncollected replies could block
+        both sides of a pipe at once and deadlock.
+        """
+        requests = list(requests)
+        if self._inflight is not None and self._inflight.workers:
+            raise RuntimeError(
+                "a daemon-pool batch is already in flight; collect() or "
+                "abandon() it before submitting another"
+            )
+        unique, owners = _unique_groups(requests)
+        pending = _PendingBatch(
+            owners, len(requests), unique, self._snapshot
+        )
+        if not self._conns or not unique:
+            pending.by_key = self._execute_local(unique, pending.snapshot)
+            return pending
+        # Stable-hash worker affinity: the same plan key lands on the
+        # same worker for the life of the pool, so its compiled plan and
+        # result memos stay hot across batches and epochs.
+        n = len(self._conns)
+        shards: dict[int, list] = {}
+        for ki, request in unique:
+            shards.setdefault(hash(request.plan_key) % n, []).append(
+                (ki, request)
+            )
+        try:
+            for w in sorted(shards):
+                self._conns[w].send(("run", shards[w]))
+        except (OSError, BrokenPipeError, EOFError):
+            self._degrade()
+            pending.by_key = self._execute_local(unique, pending.snapshot)
+            return pending
+        pending.workers = tuple(sorted(shards))
+        self._inflight = pending
+        return pending
+
+    def collect(self, pending: _PendingBatch) -> list[Result]:
+        """Wait for a submitted batch; results in request order.
+
+        The merge is deterministic (per-key results fanned out in
+        request order).  A worker that died mid-batch degrades the pool
+        and the batch transparently re-executes in-process against the
+        snapshot it was submitted under; a worker that *reports* an
+        exception (an invalid request) has it re-raised here, after all
+        of the batch's replies have been drained.
+        """
+        if pending.by_key is None:
+            workers, pending.workers = pending.workers, ()
+            if self._inflight is pending:
+                self._inflight = None
+            by_key: dict[int, Result] = {}
+            error: Exception | None = None
+            try:
+                for w in workers:
+                    ok, payload = self._conns[w].recv()
+                    if ok:
+                        for ki, result in payload:
+                            by_key[ki] = result
+                    elif error is None:
+                        error = payload
+            except (OSError, EOFError, IndexError):
+                self._degrade()
+                by_key = self._execute_local(
+                    pending.unique, pending.snapshot
+                )
+                error = None
+            if error is not None:
+                raise error
+            pending.by_key = by_key
+        return _fan_out(pending.owners, pending.by_key, pending.n_requests)
+
+    def abandon(self, pending: _PendingBatch) -> None:
+        """Drain an in-flight batch without returning results.
+
+        Used when an exception abandons a pipelined stream mid-flight:
+        the outstanding replies are consumed (and discarded) so the
+        pool's message streams stay consistent for the next caller.
+        """
+        workers, pending.workers = pending.workers, ()
+        if self._inflight is pending:
+            self._inflight = None
+        try:
+            for w in workers:
+                self._conns[w].recv()
+        except (OSError, EOFError, IndexError):
+            self._degrade()
+
+    def execute_many(
+        self, requests: Iterable[QueryRequest]
+    ) -> list[Result]:
+        """Synchronous batched execution: submit, collect, fan out."""
+        return self.collect(self.submit(requests))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the daemon workers down (idempotent)."""
+        conns, procs = self._conns, self._procs
+        self._conns, self._procs = [], []
+        for conn in conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+            _close_quietly(conn)
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+
+    def __enter__(self) -> "DaemonPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = [
+    "DEFAULT_WORKER_CAP",
+    "DaemonPool",
+    "WORKER_CAP_ENV",
+    "WorkerPool",
+    "execute_parallel",
+]

@@ -20,9 +20,13 @@ copy-on-write handoff:
 
 Snapshots are therefore cheap (no copying of graph closures, no cold
 caches) and durable (valid for their whole lifetime).  They are the unit
-the worker pool (:mod:`repro.engine.pool`) ships to workers: under a
+the worker pools (:mod:`repro.engine.pool`) ship to workers: under a
 ``fork`` start method the operating system's copy-on-write pages make
-the warm closures free to inherit.
+the warm closures free to inherit.  A daemon-pool worker's fork-
+inherited snapshot is *process-private*, which is what lets the worker
+advance it with :meth:`Session.apply_snapshot_delta
+<repro.api.session.Session.apply_snapshot_delta>` resync deltas without
+ever violating immutability of any snapshot the parent can observe.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ class SessionSnapshot(Session):
         self._order = set(db.order_atoms)
         self._db = db
         self._order_names = None
+        self._object_names = None
         self._graph_gen, self._label_gen, self._object_gen = session._gens()
         ctx = session.context()
         ctx.graph  # noqa: B018 - build before sharing so both sides warm it

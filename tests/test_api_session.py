@@ -218,6 +218,23 @@ class TestMutationInvalidation:
         assert not plan.execute().holds
         assert session.size() == 0
 
+    def test_zero_arity_facts_invalidate_live_session(self):
+        # a propositional (zero-arity) fact has neither object nor order
+        # arguments; it must still bump a generation (it rides the
+        # object one) or live contexts, observers and snapshot deltas
+        # would silently miss it
+        rain = ProperAtom("Rain", ())
+        q = ConjunctiveQuery.of(rain)
+        session = Session()
+        assert not session.entails(q)
+        snap = session.snapshot()
+        session.assert_facts(rain)
+        assert session.entails(q)  # the live session sees its own write
+        assert Session(session.db).entails(q)
+        assert session.snapshot_delta(snap) is not None
+        session.retract_facts(rain)
+        assert not session.entails(q)
+
     def test_mutators_validate_groundness(self):
         session = Session()
         from repro.core.errors import SortError
@@ -402,15 +419,33 @@ class TestInvalidationEdgeCases:
 
     def test_object_name_reused_at_order_sort_is_rejected(self):
         # one spelling at two sorts would corrupt the minimal-model
-        # constant map; the database layer refuses it loudly
+        # constant map; the session mutators refuse it up front, BEFORE
+        # mutating anything, so a raising assert leaves the session
+        # fully usable (it used to poison the lazily rebuilt database)
         from repro.core.errors import SortError
 
         session = Session(
             IndefiniteDatabase.of(ProperAtom("Tag", (obj("a"),)))
         )
-        session.assert_facts(P(ordc("a")))
         with pytest.raises(SortError):
-            session.db
+            session.assert_facts(P(ordc("a")))
+        assert session.size() == 1
+        assert session.db.proper_atoms == frozenset(
+            {ProperAtom("Tag", (obj("a"),))}
+        )
+        # the reverse direction and the order mutator refuse too
+        with pytest.raises(SortError):
+            session.assert_order(lt(ordc("a"), v))
+        session2 = Session(IndefiniteDatabase.of(P(u)))
+        with pytest.raises(SortError):
+            session2.assert_facts(ProperAtom("Tag", (obj("u"),)))
+        # intra-call clash: nothing from the call lands
+        session3 = Session()
+        with pytest.raises(SortError):
+            session3.assert_facts(
+                ProperAtom("Tag", (obj("zz"),)), P(ordc("zz"))
+            )
+        assert session3.size() == 0
 
     def test_object_constants_appearing_in_order_facts_churn(self):
         # object-gen churn interleaved with an order-constant fact on the

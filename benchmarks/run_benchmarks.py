@@ -112,6 +112,92 @@ def _run_api_pair(name, params, one_shot_fn, prepared_fn, repeats):
     }
 
 
+def _run_overhead_pair(name, params, baseline_fn, guarded_fn, repeats):
+    """Time a bare loop against the same loop under a durability guard.
+
+    Unlike the other row shapes, *lower* is better for the ratio: the
+    ``overhead`` column is ``guarded_s / baseline_s`` and ``--check``
+    gates it from above (the guard must cost < ``--max-overhead`` x).
+    """
+    baseline_s, baseline_result = _best_time(baseline_fn, repeats)
+    guarded_s, guarded_result = _best_time(guarded_fn, repeats)
+    return {
+        "name": name,
+        "mode": "overhead",
+        "params": params,
+        "baseline_s": round(baseline_s, 6),
+        "guarded_s": round(guarded_s, 6),
+        "overhead": round(guarded_s / baseline_s, 2) if baseline_s else None,
+        "results_match": baseline_result == guarded_result,
+    }
+
+
+def build_wal_benchmarks(quick: bool, seed: int):
+    """Yield ``(name, params, baseline_fn, guarded_fn, repeats)`` tuples.
+
+    The steady-state mutator path with and without a
+    :class:`~repro.engine.wal.WriteAheadLog` attached.  The WAL side uses
+    ``sync="flush"`` — the page-cache durability level the crash-recovery
+    tests assert — so the measured overhead is the record encoding +
+    buffered write, not the disk's fsync latency.  The result pair is the
+    final session state *and* what :func:`repro.engine.wal.recover`
+    rebuilds from the log, so the row doubles as an end-to-end
+    durability check.
+    """
+    import tempfile
+
+    from repro.engine.wal import WriteAheadLog, recover, snap_path
+    from repro.workloads.generators import mutation_class_stream
+
+    rounds = 80 if quick else 200
+    rng_seed = seed + 53
+    tmpdir = tempfile.mkdtemp(prefix="repro-wal-bench-")
+    wal_file = os.path.join(tmpdir, "bench.wal")
+    recover_checked = []
+
+    def state_of(session):
+        return (
+            frozenset(session._proper),
+            frozenset(session._order),
+            session._gens(),
+        )
+
+    def baseline(rounds=rounds):
+        db, ops = mutation_class_stream(random.Random(rng_seed), rounds)
+        session = Session(db)
+        for op in ops:
+            op.apply(session)
+        return state_of(session)
+
+    def with_wal(rounds=rounds, path=wal_file):
+        for stale in (path, snap_path(path)):
+            if os.path.exists(stale):
+                os.remove(stale)
+        db, ops = mutation_class_stream(random.Random(rng_seed), rounds)
+        session = Session(db)
+        with WriteAheadLog(path, sync="flush") as wal:
+            wal.attach(session)
+            for op in ops:
+                op.apply(session)
+        if not recover_checked:
+            # end-to-end durability check, once: best-of-N timing takes
+            # the later (recover-free, steady-state) calls
+            recover_checked.append(True)
+            if state_of(recover(path)) != state_of(session):
+                raise RuntimeError(
+                    "WAL recovery diverged from the live session"
+                )
+        return state_of(session)
+
+    yield (
+        "wal/write_overhead",
+        {"rounds": rounds, "mutations": rounds * 8, "sync": "flush"},
+        baseline,
+        with_wal,
+        3,  # best-of-3 like the other gated rows: noise must not gate CI
+    )
+
+
 def build_benchmarks(quick: bool, seed: int):
     """Yield ``(name, params, fn, repeats)`` tuples."""
     repeats = 1 if quick else 3
@@ -654,6 +740,13 @@ def main(argv=None) -> int:
              "models/bruteforce, session/certain_answers, engine/batch "
              "and engine/stream_parallel benches",
     )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=2.0,
+        help="--check ceiling on the wal/write_overhead ratio (WAL-on "
+             "steady-state writes vs the memory-only mutator path)",
+    )
     parser.add_argument("--seed", type=int, default=12345)
     parser.add_argument(
         "--out",
@@ -684,6 +777,19 @@ def main(argv=None) -> int:
             f"one-shot {row['one_shot_s']*1000:6.2f} ms   "
             f"prepared  {row['prepared_s']*1000:9.2f} ms   "
             f"x{row['speedup']:<8} {match}"
+        )
+
+    for name, params, baseline_fn, guarded_fn, repeats in build_wal_benchmarks(
+        args.quick, args.seed
+    ):
+        row = _run_overhead_pair(name, params, baseline_fn, guarded_fn, repeats)
+        rows.append(row)
+        match = "ok" if row["results_match"] else "MISMATCH"
+        print(
+            f"{row['name']:<24} {str(row['params']):<52} "
+            f"memory {row['baseline_s']*1000:8.2f} ms   "
+            f"wal       {row['guarded_s']*1000:9.2f} ms   "
+            f"x{row['overhead']:<8} {match}"
         )
 
     payload = {
@@ -731,6 +837,12 @@ def main(argv=None) -> int:
                     failures.append(
                         f"{row['name']}: speedup {row['speedup']} < "
                         f"{args.min_speedup}"
+                    )
+            if row["mode"] == "overhead" and row["overhead"] is not None:
+                if row["overhead"] > args.max_overhead:
+                    failures.append(
+                        f"{row['name']}: overhead {row['overhead']}x > "
+                        f"{args.max_overhead}x"
                     )
         if failures:
             print("CHECK FAILED:")

@@ -562,6 +562,7 @@ class PreparedQuery:
         self._result: Result | None = None
         self._memo_key: tuple[int, int] | None = None
         self._order_memo: dict[tuple[int, ...], Result] = {}
+        self._validated_key: tuple[int, int, int] | None = None
         # Per-tuple sub-plans of the constants fallback path, kept here
         # (bounded by the candidate count) so they neither thrash nor
         # evict the session's shared plan cache.
@@ -631,6 +632,115 @@ class PreparedQuery:
                 ctx, surviving, self.method
             )
         return cached
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise exactly the dispatch errors :meth:`execute` would — now.
+
+        Mirrors the cheap, query-side part of the dispatch: the
+        ``ValueError`` family for a specialized method forced onto an
+        inapplicable input (non-monadic / ``'!='`` inputs; single-
+        disjunct methods facing several surviving disjuncts; ``seq``
+        facing a non-sequential one).  No decision procedure runs —
+        ``auto``/``bruteforce``/``theorem53`` plans validate in O(1),
+        and the single-disjunct methods pay only the object-part
+        filtering :meth:`execute` performs anyway.
+
+        The point is *raise-point parity* for the pipelined stream
+        engine: calling this at submit time surfaces an invalid read
+        where the sequential loop would have raised it, instead of an
+        epoch later at collect.  Never raises when :meth:`execute`
+        would succeed.
+        """
+        key = self.session._gens()
+        if self._validated_key == key:
+            return
+        if self.session.context().consistent:
+            if self.free_vars is None:
+                self._validate_closed()
+            else:
+                self._validate_answers()
+        self._validated_key = key
+
+    def _validate_single_disjunct(
+        self, static: StaticPlan, indices: tuple[int, ...]
+    ) -> None:
+        """The per-surviving-set checks of the single-disjunct methods."""
+        if self.method == "seq":
+            if len(indices) != 1:
+                raise ValueError(
+                    "method 'seq' needs a single sequential disjunct"
+                )
+            # mirrors seq_countermodel's flexi-word conversion, which
+            # raises on a non-sequential (width > 1) disjunct
+            static.splits[indices[0]].order_dag.to_flexiword()
+        elif len(indices) != 1:
+            raise ValueError(
+                f"method {self.method!r} needs a conjunctive query"
+            )
+
+    def _validate_closed(self) -> None:
+        static, ctx = self._bind()
+        if not static.dnf.disjuncts or static.any_empty:
+            return
+        if self._closed_bruteforce_path(static, ctx):
+            return
+        if not self._monadic_applicable(static, ctx):
+            raise ValueError(
+                f"method {self.method!r} requires monadic, '!='-free inputs"
+            )
+        if self.method in ("auto", "theorem53"):
+            return
+        indices = self._surviving(static, ctx)
+        if not indices:
+            return
+        if any(
+            not static.splits[i].order_dag.graph.vertices for i in indices
+        ):
+            return
+        self._validate_single_disjunct(static, indices)
+
+    def _validate_answers(self) -> None:
+        domain = self.session.context().object_domain
+        if self._has_constants:
+            # the fallback path executes one closed sub-plan per tuple,
+            # in combo order; validating them in the same order raises
+            # exactly where the first raising tuple would
+            for combo in self._combos(domain):
+                mapping = {
+                    v: obj(c) for v, c in zip(self.free_vars, combo)
+                }
+                q_c = self._dnf0.substitute(mapping)
+                plan = self._fallback_plans.get(q_c)
+                if plan is None:
+                    plan = self._fallback_plans[q_c] = PreparedQuery(
+                        self.session, q_c, self.semantics, self.method
+                    )
+                plan.validate()
+            return
+        static, ctx = self._bind()
+        if not static.dnf.disjuncts or static.any_empty:
+            return
+        if self._splits_apply(static, ctx):
+            if self.method in ("auto", "bruteforce", "theorem53"):
+                return
+            for combo in self._combos(domain):
+                pre = dict(zip(self.free_vars, combo))
+                indices = self._surviving(static, ctx, pre)
+                if not indices:
+                    continue
+                if any(
+                    not static.splits[i].order_dag.graph.vertices
+                    for i in indices
+                ):
+                    continue
+                self._validate_single_disjunct(static, indices)
+            return
+        if self.method not in ("auto", "bruteforce"):
+            raise ValueError(
+                f"method {self.method!r} requires monadic, '!='-free inputs"
+            )
 
     # -- closed-query execution --------------------------------------------
 

@@ -97,12 +97,23 @@ class MutationEvent(NamedTuple):
             constants changed).
         objects: the object-constant names mentioned by the mutated
             facts — the delta an incrementally maintained view needs.
+        added: the atoms this mutation actually added (effective
+            mutations only — already-present atoms are not repeated).
+        removed: the atoms this mutation actually removed.
+
+    ``added``/``removed`` make the observer channel a *trigger layer*
+    carrying the full change, so a durability log
+    (:class:`repro.engine.wal.WriteAheadLog`) can persist each mutation
+    as a :class:`SnapshotDelta`-shaped record without shadowing the
+    session's atom sets.
     """
 
     graph: bool
     label: bool
     object: bool
     objects: frozenset[str]
+    added: tuple = ()
+    removed: tuple = ()
 
 
 class Session:
@@ -138,6 +149,21 @@ class Session:
     ) -> "Session":
         """Start a session from a flat iterable of ground atoms."""
         return cls(IndefiniteDatabase.from_atoms(atoms))
+
+    @classmethod
+    def recover(
+        cls, path, plan_cache_limit: int = _PLAN_CACHE_LIMIT
+    ) -> "Session":
+        """Rebuild a session from the write-ahead log at ``path``.
+
+        Loads the last compaction snapshot (if any) and replays every
+        intact log record on top; a torn or corrupt tail record —
+        detected by the length prefix and CRC — is truncated away rather
+        than poisoning recovery.  See :mod:`repro.engine.wal`.
+        """
+        from repro.engine.wal import recover as _recover
+
+        return _recover(path, plan_cache_limit=plan_cache_limit)
 
     # -- state -------------------------------------------------------------
 
@@ -296,7 +322,11 @@ class Session:
                 for t in a.args
                 if t.is_object
             }
-            self._notify(delta.graph, delta.label, delta.object, touched)
+            self._notify(
+                delta.graph, delta.label, delta.object, touched,
+                added=delta.added_proper + delta.added_order,
+                removed=delta.removed_proper + delta.removed_order,
+            )
         return self
 
     # -- observers ---------------------------------------------------------
@@ -322,10 +352,14 @@ class Session:
         label: bool = False,
         object_: bool = False,
         objects: Iterable[str] = (),
+        added: tuple = (),
+        removed: tuple = (),
     ) -> None:
         if not self._observers:
             return
-        event = MutationEvent(graph, label, object_, frozenset(objects))
+        event = MutationEvent(
+            graph, label, object_, frozenset(objects), added, removed
+        )
         for callback in list(self._observers):
             callback(event)
 
@@ -404,6 +438,7 @@ class Session:
             objects=(
                 t.name for a in added for t in a.args if t.is_object
             ),
+            added=tuple(added),
         )
         return self
 
@@ -450,6 +485,7 @@ class Session:
             objects=(
                 t.name for a in removed for t in a.args if t.is_object
             ),
+            removed=tuple(removed),
         )
         return self
 
@@ -489,7 +525,7 @@ class Session:
                             a.left.name, a.right.name, a.rel
                         )
                 self._ctx.graph_changed(self.db)
-        self._notify(graph=True)
+        self._notify(graph=True, added=tuple(added))
         return self
 
     def retract_order(self, *atoms: OrderAtom) -> "Session":
@@ -505,7 +541,7 @@ class Session:
         self._graph_shared = False
         if self._ctx is not None:
             self._ctx.graph_changed(self.db, keep_graph=False)
-        self._notify(graph=True)
+        self._notify(graph=True, removed=tuple(removed))
         return self
 
     # -- querying ----------------------------------------------------------

@@ -16,6 +16,9 @@ Commands:
 * ``watch DB QUERY --free-vars ... STREAM`` — maintain a
   :class:`repro.engine.views.MaterializedView` of an open query across
   the writes in STREAM, reporting answer deltas after each step;
+* ``recover WAL``      — rebuild the session persisted in a write-ahead
+  log (:mod:`repro.engine.wal`) and report its state (``--json``;
+  ``--compact`` folds the log into a fresh snapshot);
 * ``models DB``        — count (or ``--list``) the minimal models;
 * ``classify DB QUERY``— the Tables 1-2 complexity profile;
 * ``width DB``         — the database's width and a maximum antichain;
@@ -27,6 +30,13 @@ Commands:
 (:mod:`repro.substrate.parser`); ``QUERY`` is a query string or a path to
 a file containing one.  Every query-answering command runs through a
 :class:`repro.api.Session`, so multi-query invocations share warm caches.
+
+``query``, ``answers``, ``batch`` and ``watch`` accept ``--wal PATH`` to
+run against a *durable* session: if a write-ahead log already exists at
+PATH the session state is recovered from it (DB then only supplies parse
+vocabulary); otherwise DB seeds a fresh log.  Mutations applied by the
+command are appended to the log, so a later invocation — or ``recover``
+— picks up exactly where this one stopped.
 """
 
 from __future__ import annotations
@@ -68,15 +78,36 @@ def _load_query(source: str, db: IndefiniteDatabase):
     return parse_query(source, db)
 
 
+def _session_with_wal(db: IndefiniteDatabase, wal_path: str | None):
+    """A session for ``db`` — durable when ``--wal`` names a log path.
+
+    An existing log wins over the database file (it *is* the session's
+    later state, seeded from that file by an earlier invocation); a
+    fresh path starts the log from ``db``.  Returns ``(session, wal)``
+    with ``wal`` ``None`` when no path was given; the caller closes it.
+    """
+    if wal_path is None:
+        return Session(db), None
+    from repro.engine.wal import WriteAheadLog, snap_path
+
+    if pathlib.Path(snap_path(wal_path)).exists():
+        session = Session.recover(wal_path)
+    else:
+        session = Session(db)
+    return session, WriteAheadLog(wal_path).attach(session)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     db = _load_database(args.database)
-    session = Session(db)
-    query = _load_query(args.query, db)
+    session, wal = _session_with_wal(db, args.wal)
+    query = _load_query(args.query, session.db.union(db))
     result = session.prepare(
         query,
         semantics=_SEMANTICS[args.semantics],
         method=args.method,
     ).execute()
+    if wal is not None:
+        wal.close()
     if args.json:
         payload = _result_payload(result)
         if args.countermodel and not result.holds:
@@ -100,8 +131,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_answers(args: argparse.Namespace) -> int:
     db = _load_database(args.database)
-    session = Session(db)
-    query = _load_query(args.query, db)
+    session, wal = _session_with_wal(db, args.wal)
+    query = _load_query(args.query, session.db.union(db))
     free_vars = tuple(
         objvar(name) for name in args.free_vars.split(",") if name
     )
@@ -110,6 +141,8 @@ def _cmd_answers(args: argparse.Namespace) -> int:
         semantics=_SEMANTICS[args.semantics],
         free_vars=free_vars,
     ).execute()
+    if wal is not None:
+        wal.close()
     assert result.answers is not None
     if args.json:
         print(json.dumps(_result_payload(result), sort_keys=True))
@@ -221,23 +254,29 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         op = _parse_stream_line(line, vocab, order_names)
         if op is not None:
             ops.append(op)
-    session = Session(db)
-    pure_reads = all(isinstance(op, QueryRequest) for op in ops)
-    if args.workers > 1 and pure_reads:
-        with WorkerPool(session, workers=args.workers) as pool:
-            results = pool.execute_many(ops)
-            mode = f"pool[{args.workers}]" if pool.parallel else "sequential"
-    elif args.workers > 1:
-        # mixed stream: write-boundary epoch pipelining over a
-        # persistent daemon pool (results identical to --workers 1)
-        with DaemonPool(session, workers=args.workers) as pool:
-            results = execute_stream(session, ops, pool=pool)
-            mode = (
-                f"pipeline[{args.workers}]" if pool.parallel else "stream"
-            )
-    else:
-        results = execute_stream(session, ops)
-        mode = "stream"
+    session, wal = _session_with_wal(db, args.wal)
+    try:
+        pure_reads = all(isinstance(op, QueryRequest) for op in ops)
+        if args.workers > 1 and pure_reads:
+            with WorkerPool(session, workers=args.workers) as pool:
+                results = pool.execute_many(ops)
+                mode = (
+                    f"pool[{args.workers}]" if pool.parallel else "sequential"
+                )
+        elif args.workers > 1:
+            # mixed stream: write-boundary epoch pipelining over a
+            # persistent daemon pool (results identical to --workers 1)
+            with DaemonPool(session, workers=args.workers) as pool:
+                results = execute_stream(session, ops, pool=pool)
+                mode = (
+                    f"pipeline[{args.workers}]" if pool.parallel else "stream"
+                )
+        else:
+            results = execute_stream(session, ops)
+            mode = "stream"
+    finally:
+        if wal is not None:
+            wal.close()
 
     rows = []
     for i, (op, result) in enumerate(zip(ops, results)):
@@ -276,7 +315,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     order_names = _stream_order_names(db_text, stream_text)
     db = parse_database(db_text, extra_order=order_names)
     vocab = _stream_vocabulary(db, stream_text, order_names)
-    session = Session(db)
+    session, wal = _session_with_wal(db, args.wal)
     query = _load_query(args.query, vocab)
     free_vars = tuple(
         objvar(name) for name in args.free_vars.split(",") if name
@@ -308,6 +347,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             "count": len(updated),
         })
         current = updated
+    if wal is not None:
+        wal.close()
     summary = {
         "full_refreshes": view.full_refreshes,
         "delta_refreshes": view.delta_refreshes,
@@ -331,6 +372,48 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     print(f"refreshes: {summary['full_refreshes']} full, "
           f"{summary['delta_refreshes']} delta "
           f"(delta-capable: {summary['delta_capable']})")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Rebuild the session persisted in a write-ahead log; report it."""
+    from repro.engine.wal import WriteAheadLog, read_log, recover
+
+    session = recover(args.wal)
+    base, clean, records = read_log(args.wal)
+    size = pathlib.Path(args.wal).stat().st_size
+    gens = session._gens()
+    replayed = sum(1 for d in records if sum(d.gens) > base)
+    payload = {
+        "atoms": session.size(),
+        "proper_atoms": len(session.db.proper_atoms),
+        "order_atoms": len(session.db.order_atoms),
+        "gens": list(gens),
+        "log_records": len(records),
+        "replayed": replayed,
+        "skipped": len(records) - replayed,
+        "torn_bytes": size - clean,
+        "compacted": bool(args.compact),
+    }
+    if args.compact:
+        with WriteAheadLog(args.wal).attach(session) as wal:
+            wal.compact()
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(f"recovered session: {payload['atoms']} atoms "
+          f"({payload['proper_atoms']} proper, "
+          f"{payload['order_atoms']} order), generations {gens}")
+    print(f"log: {payload['log_records']} records "
+          f"({replayed} replayed, {payload['skipped']} below the "
+          f"snapshot epoch)")
+    if payload["torn_bytes"]:
+        print(f"torn tail ignored: {payload['torn_bytes']} byte(s)")
+    if args.compact:
+        print("compacted: log folded into a fresh snapshot")
+    if args.dump:
+        for atom in sorted(str(a) for a in session.db.atoms()):
+            print(atom)
     return 0
 
 
@@ -448,6 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a falsifying minimal model if any")
     q.add_argument("--json", action="store_true",
                    help="machine-readable JSON output")
+    q.add_argument("--wal", metavar="PATH", default=None,
+                   help="durable session: recover from / log to this "
+                        "write-ahead log")
     q.set_defaults(func=_cmd_query)
 
     a = sub.add_parser("answers", help="certain answers of an open query")
@@ -458,6 +544,9 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--semantics", choices=sorted(_SEMANTICS), default="fin")
     a.add_argument("--json", action="store_true",
                    help="machine-readable JSON output")
+    a.add_argument("--wal", metavar="PATH", default=None,
+                   help="durable session: recover from / log to this "
+                        "write-ahead log")
     a.set_defaults(func=_cmd_answers)
 
     bt = sub.add_parser(
@@ -473,6 +562,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "persistent daemon workers")
     bt.add_argument("--json", action="store_true",
                     help="machine-readable JSON output")
+    bt.add_argument("--wal", metavar="PATH", default=None,
+                    help="durable session: recover from / log to this "
+                         "write-ahead log (stream writes are appended)")
     bt.set_defaults(func=_cmd_batch)
 
     wt = sub.add_parser(
@@ -487,7 +579,25 @@ def build_parser() -> argparse.ArgumentParser:
     wt.add_argument("--semantics", choices=sorted(_SEMANTICS), default="fin")
     wt.add_argument("--json", action="store_true",
                     help="machine-readable JSON output")
+    wt.add_argument("--wal", metavar="PATH", default=None,
+                    help="durable session: recover from / log to this "
+                         "write-ahead log (stream writes are appended)")
     wt.set_defaults(func=_cmd_watch)
+
+    rc = sub.add_parser(
+        "recover",
+        help="rebuild the session persisted in a write-ahead log",
+    )
+    rc.add_argument("wal", help="write-ahead log path (with its .snap "
+                                "sibling)")
+    rc.add_argument("--compact", action="store_true",
+                    help="fold the log into a fresh snapshot after "
+                         "recovery")
+    rc.add_argument("--dump", action="store_true",
+                    help="print every recovered atom")
+    rc.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    rc.set_defaults(func=_cmd_recover)
 
     m = sub.add_parser("models", help="count or list minimal models")
     m.add_argument("database")

@@ -23,6 +23,14 @@ request *streams*:
 * :mod:`repro.engine.views` — :class:`~repro.engine.views.MaterializedView`
   keeps a registered certain-answers query up to date across mutations,
   re-evaluating only the delta the bumped generation permits.
+* :mod:`repro.engine.wal` — :class:`~repro.engine.wal.WriteAheadLog`
+  makes a session durable (checksummed per-mutation records, snapshot
+  compaction, ``Session.recover``) and doubles as a cross-process change
+  feed via :class:`~repro.engine.wal.WalFollower`.
+* :mod:`repro.engine.faults` — deterministic, seedable fault injection
+  (worker crash/hang/delay, torn WAL writes, lost resync deltas) behind
+  the ``REPRO_FAULTS`` env knob, driving the pool's timeout / degrade /
+  self-heal hardening.
 
 Quickstart::
 
@@ -45,6 +53,7 @@ from repro.engine.batch import (
 from repro.engine.pool import DaemonPool, WorkerPool, execute_parallel
 from repro.engine.snapshot import SessionSnapshot, SnapshotMutationError
 from repro.engine.views import MaterializedView
+from repro.engine.wal import WalError, WalFollower, WriteAheadLog, recover
 
 __all__ = [
     "DaemonPool",
@@ -53,8 +62,12 @@ __all__ = [
     "QueryRequest",
     "SessionSnapshot",
     "SnapshotMutationError",
+    "WalError",
+    "WalFollower",
     "WorkerPool",
+    "WriteAheadLog",
     "execute_many",
     "execute_parallel",
     "execute_stream",
+    "recover",
 ]

@@ -345,10 +345,11 @@ def execute_stream(
     to the final state): reads execute on the pool's persistent workers
     one write-boundary epoch behind the main process's writes.  Results
     are byte-for-byte those of the sequential mode; only the wall-clock
-    changes.  A read that raises (an invalid request) surfaces its
-    exception at the next collection point, by which time later epochs'
-    writes may already be applied — writes that raise keep exact
-    sequential state parity either way.
+    changes.  Reads are pre-validated at submit time
+    (:meth:`repro.api.plan.PreparedQuery.validate`), so an invalid read
+    raises before later epochs' writes are applied — both raising
+    reads and raising writes keep exact raise-point parity with the
+    sequential loop (same exception, same session state at the raise).
     """
     ops = list(ops)
     for op in ops:
@@ -427,6 +428,12 @@ def _execute_stream_pipelined(
                 _apply_writes(session, writes)
             if read_indices:
                 collect_inflight()
+                # Pre-validate in batch order *before* shipping the
+                # epoch: a raising read must surface here — where the
+                # sequential loop would raise it, with the same session
+                # state — not an epoch later at the collection point.
+                for i in read_indices:
+                    ops[i].prepare(session).validate()
                 pool.resnapshot(session)
                 pending = pool.submit([ops[i] for i in read_indices])
                 inflight = (read_indices, pending)

@@ -37,11 +37,14 @@ from __future__ import annotations
 
 import logging
 import os
+import time
+import weakref
 from typing import Iterable, Sequence
 
 from repro.api.result import Result
 from repro.api.session import Session
 from repro.core.database import IndefiniteDatabase
+from repro.engine import faults
 from repro.engine.batch import QueryRequest, execute_many
 
 log = logging.getLogger(__name__)
@@ -52,6 +55,15 @@ WORKER_CAP_ENV = "REPRO_POOL_MAX_WORKERS"
 #: Default cap on auto-sized pools: spreading a batch wider than this
 #: rarely pays for the extra process/IPC overhead on typical workloads.
 DEFAULT_WORKER_CAP = 4
+
+#: Environment variables overriding the daemon pool's reply timeout and
+#: the number of timed-out waits retried (with doubling backoff) before
+#: the pool degrades.  Validated like :data:`WORKER_CAP_ENV`: bad values
+#: warn and fall back to the default instead of raising.
+REPLY_TIMEOUT_ENV = "REPRO_POOL_REPLY_TIMEOUT"
+DEFAULT_REPLY_TIMEOUT = 60.0
+REPLY_RETRIES_ENV = "REPRO_POOL_REPLY_RETRIES"
+DEFAULT_REPLY_RETRIES = 2
 
 #: Per-process session used by pool workers (set by the initializer).
 _WORKER_SESSION: Session | None = None
@@ -76,6 +88,57 @@ def _worker_cap() -> int:
                 WORKER_CAP_ENV, cap, DEFAULT_WORKER_CAP,
             )
     return DEFAULT_WORKER_CAP
+
+
+def _reply_timeout_default() -> float:
+    """``REPRO_POOL_REPLY_TIMEOUT`` or the default, warn-and-fall-back."""
+    raw = os.environ.get(REPLY_TIMEOUT_ENV)
+    if raw:
+        try:
+            timeout = float(raw)
+        except ValueError:
+            log.warning(
+                "ignoring non-numeric %s=%r; using default %.3gs",
+                REPLY_TIMEOUT_ENV, raw, DEFAULT_REPLY_TIMEOUT,
+            )
+        else:
+            if timeout > 0:
+                return timeout
+            log.warning(
+                "ignoring %s=%g (must be > 0); using default %.3gs",
+                REPLY_TIMEOUT_ENV, timeout, DEFAULT_REPLY_TIMEOUT,
+            )
+    return DEFAULT_REPLY_TIMEOUT
+
+
+def _reply_retries_default() -> int:
+    """``REPRO_POOL_REPLY_RETRIES`` or the default, warn-and-fall-back."""
+    raw = os.environ.get(REPLY_RETRIES_ENV)
+    if raw:
+        try:
+            retries = int(raw)
+        except ValueError:
+            log.warning(
+                "ignoring non-integer %s=%r; using default %d",
+                REPLY_RETRIES_ENV, raw, DEFAULT_REPLY_RETRIES,
+            )
+        else:
+            if retries >= 0:
+                return retries
+            log.warning(
+                "ignoring %s=%d (must be >= 0); using default %d",
+                REPLY_RETRIES_ENV, retries, DEFAULT_REPLY_RETRIES,
+            )
+    return DEFAULT_REPLY_RETRIES
+
+
+class _ReplyTimeout(Exception):
+    """A daemon worker failed to reply within the timeout + retries."""
+
+    def __init__(self, worker: int, waited: float) -> None:
+        super().__init__(f"worker {worker} silent for {waited:.3g}s")
+        self.worker = worker
+        self.waited = waited
 
 
 def _default_workers() -> int:
@@ -289,31 +352,56 @@ def _close_quietly(conn) -> None:
         pass
 
 
+def _set_gens(session: Session, gens: tuple[int, int, int]) -> None:
+    """Force a worker-private session's generation counters."""
+    (session._graph_gen, session._label_gen, session._object_gen) = gens
+
+
 def _daemon_main(payload, conn) -> None:
     """A daemon worker: one private session, advanced by resync deltas.
 
     ``payload`` is the construction snapshot (``fork``: inherited with
-    its warm caches through copy-on-write pages) or the frozen database
-    (``spawn``: rebuilt cold, warming lazily).  Post-fork the session is
-    private to this process, so applying snapshot deltas to it — even
-    though it is a ``SessionSnapshot`` by type — can never violate
-    snapshot immutability in the parent.
+    its warm caches through copy-on-write pages) or a ``(database,
+    gens)`` pair (``spawn``: rebuilt cold, warming lazily).  Post-fork
+    the session is private to this process, so applying snapshot deltas
+    to it — even though it is a ``SessionSnapshot`` by type — can never
+    violate snapshot immutability in the parent.
 
     Protocol (one message per :meth:`~multiprocessing.connection
     .Connection.recv`, processed strictly in order, which is what lets
     the leader queue a resync and the next batch without waiting):
 
-    * ``("resync", delta)`` — apply a
-      :class:`~repro.api.session.SnapshotDelta`; no reply.
-    * ``("run", shard)`` — execute a shard of unique plan groups; replies
-      ``(True, [(key_index, Result), ...])`` or ``(False, exception)``.
+    * ``("resync", delta, from_gens)`` — apply a
+      :class:`~repro.api.session.SnapshotDelta`; no reply.  The delta is
+      only valid on the exact state it was computed from, so a worker
+      whose generations do not match ``from_gens`` (it lost an earlier
+      delta) marks itself desynced instead of applying — its atoms would
+      silently diverge while the delta's *absolute* target generations
+      made it look current.
+    * ``("run", shard, gens)`` — execute a shard of unique plan groups
+      against the state at ``gens``; replies ``("ok", [(key_index,
+      Result), ...])``, ``("err", exception)`` for an invalid request,
+      or ``("stale", own_gens)`` when this worker is not at ``gens`` —
+      the leader then executes the shard itself and heals the worker.
+    * ``("reset", database, gens)`` — rebuild the session from scratch
+      (the heal path); no reply.
     * ``("stop",)`` — exit.
+
+    Fault-injection sites (:mod:`repro.engine.faults`, installed from
+    ``REPRO_FAULTS`` at startup so they work under any start method):
+    ``pool.worker.crash`` dies via ``os._exit`` before replying,
+    ``pool.worker.hang`` sleeps long enough to trip the leader's reply
+    timeout, ``pool.worker.delay`` sleeps briefly and replies normally.
     """
-    session = (
-        Session(payload)
-        if isinstance(payload, IndefiniteDatabase)
-        else payload
-    )
+    if not faults.active():
+        faults.install_from_env()
+    if isinstance(payload, tuple):
+        db, gens = payload
+        session = Session(db)
+        _set_gens(session, gens)
+    else:
+        session = payload
+    desynced = False
     try:
         while True:
             try:
@@ -324,25 +412,50 @@ def _daemon_main(payload, conn) -> None:
             if kind == "stop":
                 break
             if kind == "resync":
-                session.apply_snapshot_delta(msg[1])
+                delta, from_gens = msg[1], msg[2]
+                if session._gens() == from_gens:
+                    session.apply_snapshot_delta(delta)
+                else:
+                    desynced = True
+                    log.warning(
+                        "daemon worker desynced: at gens %r, resync "
+                        "expected %r", session._gens(), from_gens,
+                    )
+            elif kind == "reset":
+                session = Session(msg[1])
+                _set_gens(session, msg[2])
+                desynced = False
             elif kind == "run":
-                shard = msg[1]
-                try:
-                    results = execute_many(
-                        session, [r for _ki, r in shard]
-                    )
-                    reply = (
-                        True,
-                        [(ki, res) for (ki, _), res in zip(shard, results)],
-                    )
-                except Exception as exc:
-                    reply = (False, exc)
+                shard, gens = msg[1], msg[2]
+                rule = faults.fire(faults.SITE_WORKER_CRASH)
+                if rule is not None:
+                    os._exit(int(rule.param("code", 1)))
+                rule = faults.fire(faults.SITE_WORKER_HANG)
+                if rule is not None:
+                    time.sleep(rule.param("seconds", 60.0))
+                rule = faults.fire(faults.SITE_WORKER_DELAY)
+                if rule is not None:
+                    time.sleep(rule.param("seconds", 0.05))
+                if desynced or session._gens() != gens:
+                    reply = ("stale", session._gens())
+                else:
+                    try:
+                        results = execute_many(
+                            session, [r for _ki, r in shard]
+                        )
+                        reply = (
+                            "ok",
+                            [(ki, res)
+                             for (ki, _), res in zip(shard, results)],
+                        )
+                    except Exception as exc:
+                        reply = ("err", exc)
                 try:
                     conn.send(reply)
                 except Exception:
                     # unpicklable result or exception: report what we can
                     conn.send(
-                        (False, RuntimeError(
+                        ("err", RuntimeError(
                             "daemon worker reply was not picklable: "
                             + str(reply)[:200]
                         ))
@@ -360,7 +473,7 @@ class _PendingBatch:
     """
 
     __slots__ = ("owners", "n_requests", "unique", "snapshot", "workers",
-                 "by_key")
+                 "by_key", "shards", "gens")
 
     def __init__(self, owners, n_requests, unique, snapshot) -> None:
         self.owners = owners
@@ -369,6 +482,11 @@ class _PendingBatch:
         self.snapshot = snapshot
         self.workers: tuple[int, ...] = ()
         self.by_key: dict[int, Result] | None = None
+        #: worker id -> the (key_index, request) shard it was sent, so a
+        #: stale or silent worker's share can re-execute in-process
+        self.shards: dict[int, list] = {}
+        #: the generation triple the batch was pinned to at submit time
+        self.gens: tuple[int, int, int] = (0, 0, 0)
 
 
 class DaemonPool:
@@ -406,13 +524,27 @@ class DaemonPool:
         session: Session,
         workers: int | None = None,
         start_method: str | None = None,
+        reply_timeout: float | None = None,
+        reply_retries: int | None = None,
     ) -> None:
         self._workers = workers if workers is not None else _default_workers()
+        self._reply_timeout = (
+            reply_timeout if reply_timeout is not None
+            else _reply_timeout_default()
+        )
+        self._reply_retries = (
+            reply_retries if reply_retries is not None
+            else _reply_retries_default()
+        )
         self._snapshot = session.snapshot()
         self._conns: list = []
         self._procs: list = []
         #: the single parallel batch allowed in flight (see submit)
         self._inflight: _PendingBatch | None = None
+        #: GC/interpreter-exit guard: stops the daemons when a pool is
+        #: dropped without close() (or a caller raises past it), so no
+        #: worker process can outlive its leader as an orphan.
+        self._finalizer: weakref.finalize | None = None
         if self._workers > 1:
             self._start(start_method)
 
@@ -427,7 +559,9 @@ class DaemonPool:
                 start_method = "fork" if "fork" in methods else methods[0]
             ctx = mp.get_context(start_method)
             payload = (
-                self._snapshot if start_method == "fork" else self._snapshot.db
+                self._snapshot
+                if start_method == "fork"
+                else (self._snapshot.db, self._snapshot._gens())
             )
             for _ in range(self._workers):
                 parent, child = ctx.Pipe()
@@ -453,9 +587,37 @@ class DaemonPool:
             )
             return
         self._conns, self._procs = conns, procs
+        # The callback must not capture self (it would never collect);
+        # it shares the *list objects*, which close()/_degrade() empty
+        # after their own cleanup so the guard never double-stops.
+        self._finalizer = weakref.finalize(
+            self, DaemonPool._cleanup, conns, procs
+        )
 
-    def _degrade(self) -> None:
-        """Tear the worker processes down; later batches run in-process."""
+    @staticmethod
+    def _cleanup(conns: list, procs: list) -> None:
+        """Stop workers (finalize guard + the close() implementation)."""
+        for conn in conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+            _close_quietly(conn)
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        conns.clear()
+        procs.clear()
+
+    def _degrade(self, reason: str, **fields) -> None:
+        """Tear the worker processes down; later batches run in-process.
+
+        ``reason`` (plus any ``fields``) goes to the log in structured
+        ``key=value`` form — a degradation is silent-data-slowdown
+        territory, so operators get the *why* every time.
+        """
         conns, procs = self._conns, self._procs
         self._conns, self._procs = [], []
         self._inflight = None  # its replies died with the connections
@@ -466,10 +628,15 @@ class DaemonPool:
                 proc.terminate()
         for proc in procs:
             proc.join()
-        if procs:
+        had_procs = bool(procs)
+        # the finalize guard shares these list objects: emptied, it no-ops
+        conns.clear()
+        procs.clear()
+        if had_procs:
             log.warning(
-                "daemon pool worker failure: degraded to in-process "
-                "sequential execution"
+                "daemon pool degraded to in-process execution: reason=%s%s",
+                reason,
+                "".join(f" {k}={v}" for k, v in sorted(fields.items())),
             )
 
     # -- state -------------------------------------------------------------
@@ -510,14 +677,19 @@ class DaemonPool:
         delta = session.snapshot_delta(self._snapshot)
         if delta is None:
             return
+        from_gens = self._snapshot._gens()
         self._snapshot = session.snapshot()
         if not self._conns:
             return
+        rule = faults.fire(faults.SITE_RESYNC_DROP)
+        drop = int(rule.param("worker", 0)) if rule is not None else None
         try:
-            for conn in self._conns:
-                conn.send(("resync", delta))
+            for w, conn in enumerate(self._conns):
+                if w == drop:
+                    continue  # injected delta loss: this worker desyncs
+                conn.send(("resync", delta, from_gens))
         except (OSError, BrokenPipeError, EOFError):
-            self._degrade()
+            self._degrade("resync-send-failed")
 
     # -- execution ---------------------------------------------------------
 
@@ -562,26 +734,65 @@ class DaemonPool:
             shards.setdefault(hash(request.plan_key) % n, []).append(
                 (ki, request)
             )
+        gens = self._snapshot._gens()
         try:
             for w in sorted(shards):
-                self._conns[w].send(("run", shards[w]))
+                self._conns[w].send(("run", shards[w], gens))
         except (OSError, BrokenPipeError, EOFError):
-            self._degrade()
+            self._degrade("submit-send-failed")
             pending.by_key = self._execute_local(unique, pending.snapshot)
             return pending
         pending.workers = tuple(sorted(shards))
+        pending.shards = shards
+        pending.gens = gens
         self._inflight = pending
         return pending
+
+    def _recv_reply(self, w: int):
+        """One worker's reply, bounded by timeout + retries w/ backoff.
+
+        A hung (or wedged, or merely very slow) worker used to block
+        ``collect`` forever; now each wait is bounded.  Every timed-out
+        wait is retried with a doubled window — a slow worker usually
+        answers on a retry, and the stretched total gives the benefit of
+        the doubt before the pool declares it dead — then
+        :class:`_ReplyTimeout` sends the caller down the same degrade
+        path as a crashed worker.  A worker that died outright surfaces
+        immediately: ``poll`` returns ready on EOF and ``recv`` raises.
+        """
+        conn = self._conns[w]
+        wait = self._reply_timeout
+        waited = 0.0
+        for attempt in range(self._reply_retries + 1):
+            if conn.poll(wait):
+                return conn.recv()
+            waited += wait
+            if attempt < self._reply_retries:
+                log.warning(
+                    "daemon worker %d reply timed out after %.3gs; "
+                    "retrying with %.3gs window (attempt %d/%d)",
+                    w, wait, wait * 2, attempt + 1, self._reply_retries,
+                )
+            wait *= 2
+        raise _ReplyTimeout(w, waited)
 
     def collect(self, pending: _PendingBatch) -> list[Result]:
         """Wait for a submitted batch; results in request order.
 
         The merge is deterministic (per-key results fanned out in
-        request order).  A worker that died mid-batch degrades the pool
-        and the batch transparently re-executes in-process against the
-        snapshot it was submitted under; a worker that *reports* an
-        exception (an invalid request) has it re-raised here, after all
-        of the batch's replies have been drained.
+        request order).  Failure handling, all of it yielding results
+        identical to the sequential path:
+
+        * a worker that died mid-batch, or stayed silent past the reply
+          timeout + retries, degrades the pool and the whole batch
+          transparently re-executes in-process against the snapshot it
+          was submitted under;
+        * a worker that replies ``stale`` (it lost a resync delta) has
+          its shard re-executed in-process and is then healed with a
+          full state reset — the pool stays parallel;
+        * a worker that *reports* an exception (an invalid request) has
+          it re-raised here, after all of the batch's replies have been
+          drained.
         """
         if pending.by_key is None:
             workers, pending.workers = pending.workers, ()
@@ -589,24 +800,61 @@ class DaemonPool:
                 self._inflight = None
             by_key: dict[int, Result] = {}
             error: Exception | None = None
+            stale: list[int] = []
             try:
                 for w in workers:
-                    ok, payload = self._conns[w].recv()
-                    if ok:
+                    tag, payload = self._recv_reply(w)
+                    if tag == "ok":
                         for ki, result in payload:
                             by_key[ki] = result
+                    elif tag == "stale":
+                        stale.append(w)
+                        log.warning(
+                            "daemon worker %d stale at gens %r "
+                            "(batch at %r); re-executing its shard "
+                            "in-process and healing the worker",
+                            w, payload, pending.gens,
+                        )
                     elif error is None:
                         error = payload
-            except (OSError, EOFError, IndexError):
-                self._degrade()
+            except _ReplyTimeout as exc:
+                self._degrade(
+                    "reply-timeout", worker=exc.worker,
+                    waited=f"{exc.waited:.3g}s",
+                )
                 by_key = self._execute_local(
                     pending.unique, pending.snapshot
                 )
                 error = None
+                stale = []
+            except (OSError, EOFError, IndexError) as exc:
+                self._degrade("worker-dead", error=type(exc).__name__)
+                by_key = self._execute_local(
+                    pending.unique, pending.snapshot
+                )
+                error = None
+                stale = []
+            for w in stale:
+                by_key.update(
+                    self._execute_local(pending.shards[w], pending.snapshot)
+                )
+            if stale:
+                self._heal(stale)
             if error is not None:
                 raise error
             pending.by_key = by_key
         return _fan_out(pending.owners, pending.by_key, pending.n_requests)
+
+    def _heal(self, workers: list[int]) -> None:
+        """Reset desynced workers to the pool's current state."""
+        if not self._conns:
+            return
+        db, gens = self._snapshot.db, self._snapshot._gens()
+        try:
+            for w in workers:
+                self._conns[w].send(("reset", db, gens))
+        except (OSError, BrokenPipeError, EOFError):
+            self._degrade("heal-send-failed")
 
     def abandon(self, pending: _PendingBatch) -> None:
         """Drain an in-flight batch without returning results.
@@ -614,15 +862,29 @@ class DaemonPool:
         Used when an exception abandons a pipelined stream mid-flight:
         the outstanding replies are consumed (and discarded) so the
         pool's message streams stay consistent for the next caller.
+        A stale reply still heals the worker; a dead or silent worker
+        still degrades the pool.
         """
         workers, pending.workers = pending.workers, ()
         if self._inflight is pending:
             self._inflight = None
+        stale: list[int] = []
         try:
             for w in workers:
-                self._conns[w].recv()
-        except (OSError, EOFError, IndexError):
-            self._degrade()
+                tag, payload = self._recv_reply(w)
+                if tag == "stale":
+                    stale.append(w)
+        except _ReplyTimeout as exc:
+            self._degrade(
+                "abandon-reply-timeout", worker=exc.worker,
+                waited=f"{exc.waited:.3g}s",
+            )
+            return
+        except (OSError, EOFError, IndexError) as exc:
+            self._degrade("abandon-worker-dead", error=type(exc).__name__)
+            return
+        if stale:
+            self._heal(stale)
 
     def execute_many(
         self, requests: Iterable[QueryRequest]
@@ -633,20 +895,18 @@ class DaemonPool:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the daemon workers down (idempotent)."""
+        """Shut the daemon workers down (idempotent).
+
+        Runs the same cleanup the ``weakref.finalize`` guard would at
+        GC/interpreter exit; either path empties the shared lists, so
+        whichever runs second is a no-op.
+        """
         conns, procs = self._conns, self._procs
         self._conns, self._procs = [], []
-        for conn in conns:
-            try:
-                conn.send(("stop",))
-            except (OSError, BrokenPipeError):
-                pass
-            _close_quietly(conn)
-        for proc in procs:
-            proc.join(timeout=5)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join()
+        DaemonPool._cleanup(conns, procs)
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
 
     def __enter__(self) -> "DaemonPool":
         return self
@@ -656,8 +916,12 @@ class DaemonPool:
 
 
 __all__ = [
+    "DEFAULT_REPLY_RETRIES",
+    "DEFAULT_REPLY_TIMEOUT",
     "DEFAULT_WORKER_CAP",
     "DaemonPool",
+    "REPLY_RETRIES_ENV",
+    "REPLY_TIMEOUT_ENV",
     "WORKER_CAP_ENV",
     "WorkerPool",
     "execute_parallel",

@@ -1,0 +1,604 @@
+"""Write-ahead log: durable sessions, crash recovery, change feed.
+
+A :class:`WriteAheadLog` attaches to a live
+:class:`~repro.api.session.Session` as a mutation observer and appends
+one checksummed record per effective mutation, so the session's state
+survives the process.  :func:`recover` (surfaced as
+``Session.recover(path)``) rebuilds the session from disk: load the last
+compaction snapshot, replay every intact log record on top, and truncate
+— rather than choke on — a torn tail left by a crash mid-write.
+
+On-disk layout (two sibling files):
+
+``<path>``
+    the log: an 16-byte header (``b"REPROWAL"`` magic + the base
+    *epoch*, see below, as ``<Q``), then zero or more frames of
+    ``<I length><I crc32>`` followed by ``length`` payload bytes: one
+    :class:`~repro.api.session.SnapshotDelta` reduced to builtin tuples
+    (:func:`_encode_delta` — ~4x faster to serialize than pickling atom
+    objects, which matters on the per-mutation write path).
+``<path>.snap``
+    the last compaction snapshot: ``b"REPROSNP"`` magic + ``<I crc32>``
+    over a pickled ``(proper_atoms, order_atoms, gens)`` triple.
+    Written to a temp file, fsync'd, then atomically ``os.replace``\\ d.
+
+**Epochs.**  Every effective mutation bumps at least one of the
+session's three generation counters and none ever decreases, so
+``sum(gens)`` is strictly increasing across mutations.  Each record
+carries its target gens; the log header carries the epoch of the state
+the log is *based on*.  Recovery replays only records whose epoch
+exceeds the snapshot's — which makes a crash *between* compaction's two
+non-atomic steps (snapshot replace, log truncate) harmless: the stale
+log records are simply skipped.
+
+**Sync policies.**  ``sync="fsync"`` (the default) fsyncs every record —
+full power-loss durability.  ``sync="flush"`` flushes to the kernel page
+cache, which survives any process death (``SIGKILL`` included) but not a
+kernel panic; it is what the crash-recovery differential tests and the
+write-overhead benchmark use.  ``sync="none"`` leaves buffering to the
+``io`` layer.
+
+**Change feed.**  The same log doubles as a subscribe-able bus:
+:class:`WalFollower` tails a log from another process (or a later point
+in this one), applying new records to its own replica session — whose
+observers, e.g. :class:`~repro.engine.views.MaterializedView`, fire
+exactly as if the mutations were local.  Compaction under the follower's
+feet is detected and handled by rebasing onto the new snapshot.
+
+Fault-injection sites (:mod:`repro.engine.faults`): ``wal.torn_write``
+makes :meth:`WriteAheadLog.append` write only a prefix of a record and
+die; ``wal.compact.crash`` kills :meth:`WriteAheadLog.compact` between
+its non-atomic steps.
+"""
+
+from __future__ import annotations
+
+import io
+import logging
+import os
+import pickle
+import struct
+import zlib
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.atoms import OrderAtom, ProperAtom, Rel
+from repro.core.database import IndefiniteDatabase
+from repro.core.errors import ReproError
+from repro.core.sorts import obj, ordc
+from repro.engine import faults
+
+if TYPE_CHECKING:
+    from repro.api.session import MutationEvent, Session, SnapshotDelta
+
+log = logging.getLogger(__name__)
+
+#: log file magic (8 bytes) followed by ``<Q`` base epoch.
+_LOG_MAGIC = b"REPROWAL"
+_HEADER = struct.Struct("<8sQ")
+#: per-record frame prefix: payload length, crc32 of the payload.
+_FRAME = struct.Struct("<II")
+#: snapshot file magic followed by ``<I`` crc32 of the pickled payload.
+_SNAP_MAGIC = b"REPROSNP"
+_SNAP_HEADER = struct.Struct("<8sI")
+
+_SYNC_POLICIES = ("fsync", "flush", "none")
+
+
+class WalError(ReproError):
+    """Unrecoverable corruption in a WAL or its compaction snapshot.
+
+    Torn *tail* records are expected crash debris and are truncated
+    silently; this is for damage recovery cannot paper over — a bad
+    magic, a snapshot that fails its checksum.
+    """
+
+
+def _epoch(gens: tuple[int, int, int]) -> int:
+    """The strictly-increasing scalar order on generation triples."""
+    return gens[0] + gens[1] + gens[2]
+
+
+def _fsync_dir(path: str) -> None:
+    """Make a rename in ``path``'s directory durable (best effort)."""
+    try:
+        fd = os.open(os.path.dirname(os.path.abspath(path)) or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# -- snapshot sibling file ---------------------------------------------------
+
+
+def snap_path(path: str) -> str:
+    """The compaction-snapshot sibling of the log at ``path``."""
+    return path + ".snap"
+
+
+def _write_snapshot(
+    path: str,
+    proper: frozenset[ProperAtom],
+    order: frozenset[OrderAtom],
+    gens: tuple[int, int, int],
+) -> None:
+    """Atomically (re)write the snapshot sibling of the log at ``path``."""
+    payload = pickle.dumps(
+        (tuple(sorted(proper)), tuple(sorted(order)), gens),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    target = snap_path(path)
+    tmp = target + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(_SNAP_HEADER.pack(_SNAP_MAGIC, zlib.crc32(payload)))
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    rule = faults.fire(faults.SITE_WAL_COMPACT)
+    if rule is not None and int(rule.param("stage", 0)) == 0:
+        # died after writing the temp snapshot, before the atomic rename:
+        # the old snapshot (or its absence) is still in force.
+        raise faults.InjectedCrash("wal.compact.crash stage=0")
+    os.replace(tmp, target)
+    _fsync_dir(target)
+    if rule is not None and int(rule.param("stage", 0)) == 1:
+        # died after the rename, before the log was truncated: recovery
+        # must skip the log's stale records by epoch.
+        raise faults.InjectedCrash("wal.compact.crash stage=1")
+
+
+def _read_snapshot(
+    path: str,
+) -> tuple[frozenset[ProperAtom], frozenset[OrderAtom], tuple[int, int, int]] | None:
+    """Load the snapshot sibling, or ``None`` when there is none."""
+    target = snap_path(path)
+    try:
+        with open(target, "rb") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return None
+    if len(raw) < _SNAP_HEADER.size:
+        raise WalError(f"snapshot {target!r} is truncated")
+    magic, crc = _SNAP_HEADER.unpack_from(raw)
+    payload = raw[_SNAP_HEADER.size :]
+    if magic != _SNAP_MAGIC:
+        raise WalError(f"snapshot {target!r} has bad magic {magic!r}")
+    if zlib.crc32(payload) != crc:
+        raise WalError(f"snapshot {target!r} failed its checksum")
+    proper, order, gens = pickle.loads(payload)
+    return frozenset(proper), frozenset(order), tuple(gens)
+
+
+# -- record wire format ------------------------------------------------------
+#
+# Records are on the steady-state write path (one per mutation), so they
+# do NOT pickle atom objects — reducing each ground atom to builtin
+# tuples before pickling is ~4x faster to serialize and smaller on disk.
+# The cold read path rebuilds real atoms; the (rarely written) snapshot
+# sibling keeps the straightforward atom pickle.
+
+
+def _encode_delta(delta: "SnapshotDelta") -> bytes:
+    """One record's payload: the delta reduced to builtin tuples."""
+    return pickle.dumps(
+        (
+            tuple(
+                (a.pred, tuple((t.name, t.is_object) for t in a.args))
+                for a in delta.added_proper
+            ),
+            tuple(
+                (a.pred, tuple((t.name, t.is_object) for t in a.args))
+                for a in delta.removed_proper
+            ),
+            tuple(
+                (a.left.name, a.rel.value, a.right.name)
+                for a in delta.added_order
+            ),
+            tuple(
+                (a.left.name, a.rel.value, a.right.name)
+                for a in delta.removed_order
+            ),
+            delta.gens,
+            delta.graph,
+            delta.label,
+            delta.object,
+        ),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _decode_delta(payload: bytes) -> "SnapshotDelta":
+    """Rebuild a :class:`~repro.api.session.SnapshotDelta` from a record."""
+    from repro.api.session import SnapshotDelta
+
+    ap, rp, ao, ro, gens, graph, label, object_ = pickle.loads(payload)
+
+    def proper(entries):
+        return tuple(
+            ProperAtom(
+                pred,
+                tuple(
+                    obj(name) if is_object else ordc(name)
+                    for name, is_object in args
+                ),
+            )
+            for pred, args in entries
+        )
+
+    def order(entries):
+        return tuple(
+            OrderAtom(ordc(left), Rel(rel), ordc(right))
+            for left, rel, right in entries
+        )
+
+    return SnapshotDelta(
+        added_proper=proper(ap),
+        removed_proper=proper(rp),
+        added_order=order(ao),
+        removed_order=order(ro),
+        gens=tuple(gens),
+        graph=graph,
+        label=label,
+        object=object_,
+    )
+
+
+# -- log frames --------------------------------------------------------------
+
+
+def _scan_frames(raw: bytes) -> tuple[int, list["SnapshotDelta"]]:
+    """Walk the frames in ``raw`` (header included).
+
+    Returns ``(clean_length, records)`` where ``clean_length`` is the
+    byte offset just past the last *intact* frame — anything beyond it
+    is a torn or corrupt tail to be truncated.
+    """
+    if len(raw) < _HEADER.size:
+        raise WalError("log is shorter than its header")
+    magic, _base = _HEADER.unpack_from(raw)
+    if magic != _LOG_MAGIC:
+        raise WalError(f"log has bad magic {magic!r}")
+    records: list["SnapshotDelta"] = []
+    offset = _HEADER.size
+    while True:
+        if offset + _FRAME.size > len(raw):
+            break
+        length, crc = _FRAME.unpack_from(raw, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > len(raw):
+            break
+        payload = raw[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            records.append(_decode_delta(payload))
+        except Exception:  # a crc collision over garbage — treat as torn
+            break
+        offset = end
+    return offset, records
+
+
+def read_log(
+    path: str,
+) -> tuple[int, int, list["SnapshotDelta"]]:
+    """Read the log at ``path``: ``(base_epoch, clean_length, records)``.
+
+    Torn/corrupt tail bytes are *reported* (via ``clean_length`` <
+    file size) but not modified — callers that own the file truncate.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    clean, records = _scan_frames(raw)
+    _, base = _HEADER.unpack_from(raw)
+    return base, clean, records
+
+
+# -- the log -----------------------------------------------------------------
+
+
+class WriteAheadLog:
+    """Durability for one session: every mutation becomes a log record.
+
+    Use :meth:`attach` to subscribe to a live session (writing the
+    initial compaction snapshot if the log is new), or construct and
+    attach in one step::
+
+        wal = WriteAheadLog("session.wal").attach(session)
+        session.assert_facts(...)          # appended + fsync'd
+        wal.close()
+
+    ``compact_every=N`` folds the log into a fresh snapshot after every
+    ``N`` appended records; :meth:`compact` does it on demand.
+    ``sync`` is one of ``"fsync"`` / ``"flush"`` / ``"none"`` (see the
+    module docstring).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        sync: str = "fsync",
+        compact_every: int | None = None,
+    ) -> None:
+        if sync not in _SYNC_POLICIES:
+            raise ValueError(
+                f"sync must be one of {_SYNC_POLICIES}, got {sync!r}"
+            )
+        if compact_every is not None and compact_every <= 0:
+            raise ValueError("compact_every must be positive")
+        self.path = path
+        self.sync = sync
+        self.compact_every = compact_every
+        self._fh: io.BufferedWriter | None = None
+        self._session: "Session" | None = None
+        self._since_compact = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self, session: "Session") -> "WriteAheadLog":
+        """Subscribe to ``session``; start or continue the log at ``path``.
+
+        A fresh path gets a compaction snapshot of the session's current
+        state plus an empty log — recovery needs no special "no snapshot
+        yet" case.  An existing path is continued: its torn tail (if
+        any) is truncated, and appending resumes where the intact
+        records end.  The caller is responsible for attaching to a
+        session that actually *is* the recovered state — which
+        :func:`recover` guarantees.
+        """
+        if self._session is not None:
+            raise WalError("log is already attached to a session")
+        exists = os.path.exists(self.path)
+        if exists:
+            base, clean, records = read_log(self.path)
+            size = os.path.getsize(self.path)
+            if clean < size:
+                log.warning(
+                    "truncating torn WAL tail: %d byte(s) after offset %d in %s",
+                    size - clean,
+                    clean,
+                    self.path,
+                )
+            self._fh = open(self.path, "r+b")
+            self._fh.truncate(clean)
+            self._fh.seek(clean)
+            self._since_compact = len(records)
+        else:
+            _write_snapshot(
+                self.path,
+                frozenset(session._proper),
+                frozenset(session._order),
+                session._gens(),
+            )
+            self._fh = open(self.path, "wb")
+            self._fh.write(_HEADER.pack(_LOG_MAGIC, _epoch(session._gens())))
+            self._sync()
+            self._since_compact = 0
+        self._session = session
+        session.add_observer(self._on_mutation)
+        return self
+
+    def close(self) -> None:
+        """Detach from the session and close the file (idempotent)."""
+        if self._session is not None:
+            self._session.remove_observer(self._on_mutation)
+            self._session = None
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+            finally:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- writing --------------------------------------------------------
+
+    def _sync(self) -> None:
+        assert self._fh is not None
+        if self.sync == "none":
+            return
+        self._fh.flush()
+        if self.sync == "fsync":
+            os.fsync(self._fh.fileno())
+
+    def _on_mutation(self, event: "MutationEvent") -> None:
+        from repro.api.session import SnapshotDelta
+
+        session = self._session
+        if session is None:  # closed mid-notify by another observer
+            return
+        delta = SnapshotDelta(
+            added_proper=tuple(
+                a for a in event.added if isinstance(a, ProperAtom)
+            ),
+            removed_proper=tuple(
+                a for a in event.removed if isinstance(a, ProperAtom)
+            ),
+            added_order=tuple(
+                a for a in event.added if isinstance(a, OrderAtom)
+            ),
+            removed_order=tuple(
+                a for a in event.removed if isinstance(a, OrderAtom)
+            ),
+            gens=session._gens(),
+            graph=event.graph,
+            label=event.label,
+            object=event.object,
+        )
+        self.append(delta)
+
+    def append(self, delta: "SnapshotDelta") -> None:
+        """Append one record (fault site ``wal.torn_write``)."""
+        if self._fh is None:
+            raise WalError("log is not open")
+        payload = _encode_delta(delta)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        rule = faults.fire(faults.SITE_WAL_TORN)
+        if rule is not None:
+            torn = frame[: max(1, int(len(frame) * rule.param("fraction", 0.5)))]
+            self._fh.write(torn)
+            self._fh.flush()
+            raise faults.InjectedCrash("wal.torn_write")
+        self._fh.write(frame)
+        self._sync()
+        self._since_compact += 1
+        if self.compact_every and self._since_compact >= self.compact_every:
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold the log into a fresh snapshot and truncate it.
+
+        Two non-atomic steps — replace the snapshot sibling, then reset
+        the log with the new base epoch — with the fault site
+        ``wal.compact.crash`` between/around them.  A crash at either
+        point recovers cleanly: stage 0 leaves the old snapshot + full
+        log; stage 1 leaves the new snapshot + a log whose records are
+        all at or below the new base epoch, so replay skips them.
+        """
+        if self._fh is None or self._session is None:
+            raise WalError("log is not attached")
+        session = self._session
+        _write_snapshot(
+            self.path,
+            frozenset(session._proper),
+            frozenset(session._order),
+            session._gens(),
+        )
+        self._fh.seek(0)
+        self._fh.truncate(0)
+        self._fh.write(_HEADER.pack(_LOG_MAGIC, _epoch(session._gens())))
+        self._sync()
+        self._since_compact = 0
+
+
+# -- recovery ----------------------------------------------------------------
+
+
+def recover(path: str, plan_cache_limit: int | None = None) -> "Session":
+    """Rebuild the session persisted in the WAL at ``path``.
+
+    Last snapshot + replay of every intact record with a later epoch.
+    The result is a plain live :class:`~repro.api.session.Session` —
+    re-attach a :class:`WriteAheadLog` to keep logging.
+    """
+    from repro.api.session import Session
+
+    snap = _read_snapshot(path)
+    if snap is None:
+        raise WalError(f"no WAL snapshot at {snap_path(path)!r}")
+    proper, order, gens = snap
+    kwargs = {} if plan_cache_limit is None else {
+        "plan_cache_limit": plan_cache_limit
+    }
+    session = Session(IndefiniteDatabase(proper, order), **kwargs)
+    (session._graph_gen, session._label_gen, session._object_gen) = gens
+    base_epoch = _epoch(gens)
+    try:
+        _file_base, _clean, records = read_log(path)
+    except FileNotFoundError:
+        records = []
+    skipped = 0
+    for delta in records:
+        if _epoch(delta.gens) <= base_epoch:
+            skipped += 1  # pre-compaction debris (crash before truncate)
+            continue
+        session.apply_snapshot_delta(delta)
+    if skipped:
+        log.info(
+            "recovery skipped %d stale record(s) at or below epoch %d in %s",
+            skipped,
+            base_epoch,
+            path,
+        )
+    return session
+
+
+# -- change feed -------------------------------------------------------------
+
+
+class WalFollower:
+    """Tail a WAL as a live change feed into a replica session.
+
+    The follower owns a private :class:`~repro.api.session.Session`
+    rebuilt by :func:`recover`; each :meth:`poll` reads records appended
+    since the last poll and applies them, firing the replica's mutation
+    observers — so a :class:`~repro.engine.views.MaterializedView`
+    registered on :attr:`session` follows the writer across process
+    boundaries::
+
+        follower = WalFollower("session.wal")
+        view = MaterializedView(follower.session, query)
+        ...
+        follower.poll()      # view now reflects the writer's appends
+
+    Compaction by the writer is detected (the log shrank, or its base
+    epoch moved) and handled by *rebasing*: recover the new on-disk
+    state into a scratch session and apply the difference to the replica
+    as one synthetic delta — same observer semantics, no state loss.
+    """
+
+    def __init__(self, path: str, plan_cache_limit: int | None = None) -> None:
+        self.path = path
+        self._plan_cache_limit = plan_cache_limit
+        self.session = recover(path, plan_cache_limit=plan_cache_limit)
+        self._epoch = _epoch(self.session._gens())
+        base, clean, _records = read_log(path)
+        self._base = base
+        self._offset = clean
+
+    def poll(self) -> int:
+        """Apply records appended since the last poll; count applied.
+
+        A rebase after writer-side compaction counts as one application
+        when the state actually changed.
+        """
+        try:
+            size = os.path.getsize(self.path)
+            with open(self.path, "rb") as fh:
+                raw = fh.read()
+            _magic, base = _HEADER.unpack_from(raw)
+        except (FileNotFoundError, struct.error):
+            return 0
+        if base != self._base or size < self._offset:
+            return self._rebase()
+        clean, records = _scan_frames(raw)
+        applied = 0
+        for delta in records:
+            if _epoch(delta.gens) <= self._epoch:
+                continue
+            self.session.apply_snapshot_delta(delta)
+            self._epoch = _epoch(delta.gens)
+            applied += 1
+        self._offset = clean
+        return applied
+
+    def _rebase(self) -> int:
+        """The writer compacted: jump the replica to the new on-disk state."""
+        recovered = recover(self.path, plan_cache_limit=self._plan_cache_limit)
+        base, clean, _records = read_log(self.path)
+        self._base = base
+        self._offset = clean
+        delta = recovered.snapshot_delta(self.session)
+        if delta is None:
+            self._epoch = _epoch(self.session._gens())
+            return 0
+        self.session.apply_snapshot_delta(delta)
+        self._epoch = _epoch(self.session._gens())
+        return 1
+
+
+__all__ = [
+    "WalError",
+    "WalFollower",
+    "WriteAheadLog",
+    "read_log",
+    "recover",
+    "snap_path",
+]

@@ -312,6 +312,61 @@ def random_request_stream(
     return db, ops
 
 
+def mutation_class_stream(rng: random.Random, n_rounds: int = 1):
+    """A writes-only stream covering every mutation class, per round.
+
+    Each round touches, in order: an object-fact assert and retract
+    (object generation), a fact on an order constant (label
+    generation), an order-atom assert and retract (graph generation), a
+    *fresh* object constant, a *fresh* order constant (graph via new
+    vertex), and a zero-arity fact.  Deterministic given ``rng``'s
+    seed, so two processes replaying the same prefix arrive at the same
+    session byte-for-byte — which is what the crash-recovery
+    differential tests kill a process at every prefix of.  Returns
+    ``(db, ops)`` with ``db`` the seed database the stream assumes.
+    """
+    from repro.engine.batch import Mutation
+
+    db = IndefiniteDatabase.from_atoms(
+        [
+            ProperAtom("P", (ordc("u0"),)),
+            OrderAtom(ordc("u0"), Rel.LT, ordc("u1")),
+            ProperAtom("Tag", (obj("a0"),)),
+        ]
+    )
+    ops: list = []
+    for r in range(n_rounds):
+        pred = rng.choice(["Tag", "Big", "Red"])
+        name = f"a{rng.randrange(2)}"
+        ops.append(Mutation("assert_facts", (ProperAtom(pred, (obj(name),)),)))
+        ops.append(Mutation("retract_facts", (ProperAtom(pred, (obj(name),)),)))
+        label = rng.choice(["P", "Q"])
+        ops.append(
+            Mutation("assert_facts", (ProperAtom(label, (ordc("u1"),)),))
+        )
+        rel = Rel.LE if rng.random() < 0.5 else Rel.LT
+        ops.append(
+            Mutation("assert_order", (OrderAtom(ordc("u0"), rel, ordc("u1")),))
+        )
+        ops.append(
+            Mutation(
+                "retract_order", (OrderAtom(ordc("u0"), rel, ordc("u1")),)
+            )
+        )
+        ops.append(
+            Mutation(
+                "assert_facts", (ProperAtom("Tag", (obj(f"fresh{r}"),)),)
+            )
+        )
+        ops.append(
+            Mutation(
+                "assert_facts", (ProperAtom("P", (ordc(f"w{r}"),)),)
+            )
+        )
+        ops.append(Mutation("assert_facts", (ProperAtom("Zero", ()),)))
+    return db, ops
+
+
 def random_nary_database(
     rng: random.Random,
     n_order: int,

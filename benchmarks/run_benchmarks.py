@@ -132,14 +132,167 @@ def _run_overhead_pair(name, params, baseline_fn, guarded_fn, repeats):
     }
 
 
+def _run_serve_pair(name, params, serial_fn, concurrent_fn, latencies, repeats):
+    """Time CLI-style serial connections against multiplexed clients.
+
+    Both sides drive the same live :class:`~repro.server.ReproServer`
+    with an identical request mix.  ``results_match`` compares the two
+    reply streams byte-for-byte (connection-local ``id`` and global
+    ``seq`` stamps stripped, order normalized): multiplexing N clients
+    must not change a single reply payload.  ``latencies`` is filled by
+    the concurrent side with per-request send-to-reply times.
+    """
+    serial_s, serial_result = _best_time(serial_fn, repeats)
+    concurrent_s, concurrent_result = _best_time(concurrent_fn, repeats)
+    lat = sorted(latencies)
+    n = params["requests"]
+    return {
+        "name": name,
+        "mode": "serve",
+        "params": params,
+        "serial_s": round(serial_s, 6),
+        "concurrent_s": round(concurrent_s, 6),
+        "speedup": round(serial_s / concurrent_s, 2) if concurrent_s else None,
+        "serial_rps": round(n / serial_s) if serial_s else None,
+        "concurrent_rps": round(n / concurrent_s) if concurrent_s else None,
+        "p50_ms": round(lat[len(lat) // 2] * 1000, 3) if lat else None,
+        "p99_ms": round(lat[int(len(lat) * 0.99)] * 1000, 3) if lat else None,
+        "results_match": serial_result == concurrent_result,
+    }
+
+
+def build_serve_benchmarks(quick: bool, seed: int):
+    """Yield ``(name, params, serial_fn, concurrent_fn, latencies, repeats)``.
+
+    Throughput of the serving tier.  The serial side is the
+    ``--connect`` CLI's unit of work — a fresh connection per request,
+    requests served strictly one at a time.  The concurrent side is the
+    tier's reason to exist: a handful of long-lived clients pipelining
+    ``max_inflight``-deep windows onto one shared engine loop, whose
+    reader drains bursts into batched ``execute_many`` calls.  The
+    server (one per yielded row) is torn down when the generator
+    resumes after the row is consumed.
+    """
+    import threading
+
+    from repro.server import ReproClient, ServerThread
+    from repro.substrate.parser import parse_database
+
+    db_text = (
+        "On(p1, lamp); On(p2, heater); Off(p3, lamp); Off(p4, fan);"
+        " p1 < p3; p1 < p2; p2 < p4"
+    )
+    requests = 160 if quick else 400
+    clients = 4
+    depth = 8
+    queries = [
+        (
+            "execute",
+            {
+                "query": "On(s, lamp) & Off(t, lamp) & s < t",
+                "semantics": "fin",
+                "method": "auto",
+            },
+        ),
+        (
+            "answers",
+            {
+                "query": "On(s, X) & Off(t, X) & s < t",
+                "free_vars": ["X"],
+                "semantics": "fin",
+            },
+        ),
+        (
+            "execute",
+            {
+                "query": "On(s, heater) & Off(t, fan) & s < t",
+                "semantics": "fin",
+                "method": "auto",
+            },
+        ),
+    ]
+
+    def strip(reply):
+        # id is connection-local and seq depends on interleaving; all
+        # other bytes of the reply must be identical across the two runs
+        return json.dumps(
+            {k: v for k, v in reply.items() if k not in ("id", "seq")},
+            sort_keys=True,
+        )
+
+    thread = ServerThread(Session(parse_database(db_text)))
+    host, port = thread.start()
+    try:
+        with ReproClient(host, port) as client:
+            for op, fields in queries:  # warm the plan cache for both sides
+                client.call(op, **fields)
+
+        def serial(n=requests):
+            out = []
+            for i in range(n):
+                op, fields = queries[i % len(queries)]
+                with ReproClient(host, port) as client:
+                    out.append(strip(client.call(op, **fields)))
+            return sorted(out)
+
+        latencies: list[float] = []
+
+        def concurrent(n=requests):
+            out: list[list[str]] = [[] for _ in range(clients)]
+            lat: list[float] = []
+
+            def worker(tid):
+                with ReproClient(host, port) as client:
+                    pending = []
+
+                    def reap():
+                        t0, rid = pending.pop(0)
+                        reply = client.wait(rid)
+                        lat.append(time.perf_counter() - t0)
+                        out[tid].append(strip(reply))
+
+                    for i in range(tid, n, clients):
+                        op, fields = queries[i % len(queries)]
+                        pending.append(
+                            (time.perf_counter(), client.send(op, **fields))
+                        )
+                        if len(pending) >= depth:
+                            reap()
+                    while pending:
+                        reap()
+
+            workers = [
+                threading.Thread(target=worker, args=(tid,))
+                for tid in range(clients)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            latencies[:] = lat
+            return sorted(x for part in out for x in part)
+
+        yield (
+            "serve/throughput",
+            {"requests": requests, "clients": clients, "depth": depth},
+            serial,
+            concurrent,
+            latencies,
+            3,  # best-of-3: socket timings are the noisiest in the file
+        )
+    finally:
+        thread.shutdown()
+
+
 def build_wal_benchmarks(quick: bool, seed: int):
     """Yield ``(name, params, baseline_fn, guarded_fn, repeats)`` tuples.
 
     The steady-state mutator path with and without a
-    :class:`~repro.engine.wal.WriteAheadLog` attached.  The WAL side uses
-    ``sync="flush"`` — the page-cache durability level the crash-recovery
-    tests assert — so the measured overhead is the record encoding +
-    buffered write, not the disk's fsync latency.  The result pair is the
+    :class:`~repro.engine.wal.WriteAheadLog` attached, once per sync
+    policy: ``sync="flush"`` (page-cache durability — record encoding +
+    buffered write, no fsync latency) and ``sync="group"`` (process- and
+    power-failure durability, fsyncs amortized across group-commit
+    windows).  The result pair is the
     final session state *and* what :func:`repro.engine.wal.recover`
     rebuilds from the log, so the row doubles as an end-to-end
     durability check.
@@ -169,32 +322,46 @@ def build_wal_benchmarks(quick: bool, seed: int):
             op.apply(session)
         return state_of(session)
 
-    def with_wal(rounds=rounds, path=wal_file):
-        for stale in (path, snap_path(path)):
-            if os.path.exists(stale):
-                os.remove(stale)
-        db, ops = mutation_class_stream(random.Random(rng_seed), rounds)
-        session = Session(db)
-        with WriteAheadLog(path, sync="flush") as wal:
-            wal.attach(session)
-            for op in ops:
-                op.apply(session)
-        if not recover_checked:
-            # end-to-end durability check, once: best-of-N timing takes
-            # the later (recover-free, steady-state) calls
-            recover_checked.append(True)
-            if state_of(recover(path)) != state_of(session):
-                raise RuntimeError(
-                    "WAL recovery diverged from the live session"
-                )
-        return state_of(session)
+    def with_wal_at(path, sync):
+        def with_wal(rounds=rounds, path=path, sync=sync):
+            for stale in (path, snap_path(path)):
+                if os.path.exists(stale):
+                    os.remove(stale)
+            db, ops = mutation_class_stream(random.Random(rng_seed), rounds)
+            session = Session(db)
+            with WriteAheadLog(path, sync=sync) as wal:
+                wal.attach(session)
+                for op in ops:
+                    op.apply(session)
+            if sync not in recover_checked:
+                # end-to-end durability check, once per policy: best-of-N
+                # timing takes the later (recover-free, steady-state) calls
+                recover_checked.append(sync)
+                if state_of(recover(path)) != state_of(session):
+                    raise RuntimeError(
+                        "WAL recovery diverged from the live session"
+                    )
+            return state_of(session)
+
+        return with_wal
 
     yield (
         "wal/write_overhead",
         {"rounds": rounds, "mutations": rounds * 8, "sync": "flush"},
         baseline,
-        with_wal,
+        with_wal_at(wal_file, "flush"),
         3,  # best-of-3 like the other gated rows: noise must not gate CI
+    )
+
+    # sync="group" pays real fsyncs (one per group-commit window, not one
+    # per record) — the row asserts that full durability stays inside the
+    # same <= --max-overhead envelope as the page-cache flush policy
+    yield (
+        "wal/write_overhead",
+        {"rounds": rounds, "mutations": rounds * 8, "sync": "group"},
+        baseline,
+        with_wal_at(os.path.join(tmpdir, "bench-group.wal"), "group"),
+        3,
     )
 
 
@@ -737,8 +904,8 @@ def main(argv=None) -> int:
         type=float,
         default=2.0,
         help="--check threshold on the reduced/, theorem53/, "
-             "models/bruteforce, session/certain_answers, engine/batch "
-             "and engine/stream_parallel benches",
+             "models/bruteforce, session/certain_answers, engine/batch, "
+             "engine/stream_parallel and serve/throughput benches",
     )
     parser.add_argument(
         "--max-overhead",
@@ -779,6 +946,21 @@ def main(argv=None) -> int:
             f"x{row['speedup']:<8} {match}"
         )
 
+    for name, params, serial_fn, concurrent_fn, latencies, repeats in (
+        build_serve_benchmarks(args.quick, args.seed)
+    ):
+        row = _run_serve_pair(
+            name, params, serial_fn, concurrent_fn, latencies, repeats
+        )
+        rows.append(row)
+        match = "ok" if row["results_match"] else "MISMATCH"
+        print(
+            f"{row['name']:<24} {str(row['params']):<52} "
+            f"serial {row['serial_rps']:6} rps   "
+            f"concurrent {row['concurrent_rps']:8} rps   "
+            f"x{row['speedup']:<8} {match}"
+        )
+
     for name, params, baseline_fn, guarded_fn, repeats in build_wal_benchmarks(
         args.quick, args.seed
     ):
@@ -805,7 +987,9 @@ def main(argv=None) -> int:
                 "points, prepared = Session/PreparedQuery reuse; engine "
                 "rows: one_shot = per-request loop, prepared = "
                 "repro.engine (batched execution, materialized views, "
-                "snapshot worker pool)"
+                "snapshot worker pool); serve rows: serial = fresh "
+                "connection per request served one at a time, concurrent "
+                "= pipelined clients multiplexed onto one engine loop"
             ),
         },
         "benchmarks": rows,
@@ -830,6 +1014,8 @@ def main(argv=None) -> int:
                     # multi-core only: the row is skipped (never gated)
                     # on 1-CPU hosts and in --quick, like engine/pool
                     "engine/stream_parallel",
+                    # multiplexed pipelined clients vs connect-per-request
+                    "serve/throughput",
                 )
             )
             if gated and row["speedup"] is not None:

@@ -34,6 +34,16 @@ Invalidation contract (the granular generation counters):
   object-fact index and object domain reset — prepared order-part
   verdicts survive, so certain-answer re-evaluation after an
   object-fact edit is nearly free.
+
+Concurrency discipline: a session is **single-writer, single-thread**.
+Nothing here locks — the caches, generation counters and observer list
+all assume one caller at a time, and the engine layers preserve that
+by construction rather than by locking: worker pools only ever touch
+read-only :meth:`~Session.snapshot` forks, and the serving tier
+(:mod:`repro.server`) funnels every operation from every client
+connection through one queue into one engine loop, the only code that
+touches its session.  Share a session across threads and the
+invalidation contract above is void.
 """
 
 from __future__ import annotations

@@ -19,6 +19,10 @@ Commands:
 * ``recover WAL``      — rebuild the session persisted in a write-ahead
   log (:mod:`repro.engine.wal`) and report its state (``--json``;
   ``--compact`` folds the log into a fresh snapshot);
+* ``serve DB``         — host the session behind the socket protocol of
+  :mod:`repro.server` (``--port``, ``--wal`` for a durable session with
+  group-commit syncing, ``--workers`` for a daemon pool); drains
+  gracefully on SIGTERM/SIGINT;
 * ``models DB``        — count (or ``--list``) the minimal models;
 * ``classify DB QUERY``— the Tables 1-2 complexity profile;
 * ``width DB``         — the database's width and a maximum antichain;
@@ -37,6 +41,12 @@ PATH the session state is recovered from it (DB then only supplies parse
 vocabulary); otherwise DB seeds a fresh log.  Mutations applied by the
 command are appended to the log, so a later invocation — or ``recover``
 — picks up exactly where this one stopped.
+
+The same four commands accept ``--connect HOST:PORT`` to run against a
+live ``repro serve`` instance instead of a local session: the query or
+stream is shipped over the wire, the server's shared session answers,
+and DB is ignored (pass ``-``).  ``--wal`` and ``--connect`` are
+mutually exclusive — durability lives with the server.
 """
 
 from __future__ import annotations
@@ -97,7 +107,230 @@ def _session_with_wal(db: IndefiniteDatabase, wal_path: str | None):
     return session, WriteAheadLog(wal_path).attach(session)
 
 
+def _query_text(source: str) -> str:
+    """QUERY arguments are a string or a path to a file holding one."""
+    candidate = pathlib.Path(source)
+    if candidate.exists():
+        return candidate.read_text()
+    return source
+
+
+def _parse_connect(value: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``:PORT`` / ``PORT`` for localhost)."""
+    host, _, port = value.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"--connect wants HOST:PORT, got {value!r}")
+
+
+def _remote_client(args):
+    """A connected ReproClient for a ``--connect`` invocation."""
+    if getattr(args, "wal", None):
+        raise SystemExit(
+            "--wal and --connect are mutually exclusive: durability "
+            "belongs to the server"
+        )
+    from repro.server import ReproClient
+
+    host, port = _parse_connect(args.connect)
+    return ReproClient(host, port)
+
+
+def _remote_query(args: argparse.Namespace) -> int:
+    with _remote_client(args) as client:
+        reply = client.execute(
+            _query_text(args.query),
+            semantics=args.semantics,
+            method=args.method,
+        )
+    payload = {"entailed": reply["entailed"], "method": reply["method"]}
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+        return 0 if reply["entailed"] else 1
+    print(f"entailed: {reply['entailed']}")
+    print(f"method:   {reply['method']}")
+    if args.countermodel and not reply["entailed"]:
+        print("countermodel: (not shipped over --connect; run locally)")
+    return 0 if reply["entailed"] else 1
+
+
+def _remote_answers(args: argparse.Namespace) -> int:
+    free = [name for name in args.free_vars.split(",") if name]
+    with _remote_client(args) as client:
+        reply = client.answers(
+            _query_text(args.query), free, semantics=args.semantics
+        )
+    payload = {
+        "answers": reply["answers"],
+        "count": reply["count"],
+        "method": reply["method"],
+    }
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+        return 0 if reply["count"] else 1
+    for answer in reply["answers"]:
+        print(", ".join(answer) if answer else "()")
+    print(f"certain answers: {reply['count']} [{reply['method']}]")
+    return 0 if reply["count"] else 1
+
+
+def _remote_batch(args: argparse.Namespace) -> int:
+    lines = pathlib.Path(args.stream).read_text().splitlines()
+    with _remote_client(args) as client:
+        reply = client.batch(lines)
+    rows = reply["ops"]
+    if args.json:
+        print(json.dumps({"mode": reply["mode"], "ops": rows}, sort_keys=True))
+        return 0
+    for row in rows:
+        if row["kind"] == "query":
+            verdict = (
+                f"answers={row['count']}"
+                if "count" in row
+                else f"entailed={row['entailed']}"
+            )
+            print(f"[{row['op']:>3}] query   {verdict} [{row['method']}]")
+        else:
+            print(f"[{row['op']:>3}] {row['kind']:<14} "
+                  f"{'; '.join(row['atoms'])}")
+    print(f"executed {len(rows)} ops ({reply['mode']}, remote)")
+    return 0
+
+
+def _remote_watch(args: argparse.Namespace) -> int:
+    stream_lines = pathlib.Path(args.stream).read_text().splitlines()
+    free = [name for name in args.free_vars.split(",") if name]
+    with _remote_client(args) as client:
+        opened = client.watch(
+            _query_text(args.query), free, semantics=args.semantics
+        )
+        watch_id = opened["watch"]
+        count = opened["count"]
+        steps = [{"step": 0, "op": "initial", "answers": opened["answers"]}]
+        i = 0
+        for line in stream_lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            if stripped.startswith("assert:"):
+                verb, text = "assert_facts", stripped[len("assert:"):]
+                client.assert_facts(text)
+            elif stripped.startswith("retract:"):
+                verb, text = "retract_facts", stripped[len("retract:"):]
+                client.retract_facts(text)
+            else:
+                print(
+                    f"watch stream must contain only writes, got: {stripped}",
+                    file=sys.stderr,
+                )
+                return 2
+            i += 1
+            added: list = []
+            removed: list = []
+            for event in client.take_events():
+                if event.get("watch") != watch_id:
+                    continue
+                added.extend(event["added"])
+                removed.extend(event["removed"])
+                count = event["count"]
+            steps.append({
+                "step": i,
+                "op": f"{verb} {text.strip()}",
+                "added": added,
+                "removed": removed,
+                "count": count,
+            })
+    if args.json:
+        print(json.dumps({"steps": steps}, sort_keys=True))
+        return 0
+    for step in steps:
+        if step["op"] == "initial":
+            print(f"[  0] initial: {len(step['answers'])} answers")
+            continue
+        delta = []
+        for a in step["added"]:
+            delta.append("+" + (",".join(a) if a else "()"))
+        for a in step["removed"]:
+            delta.append("-" + (",".join(a) if a else "()"))
+        print(f"[{step['step']:>3}] {step['op']}: "
+              f"{' '.join(delta) if delta else '(no change)'} "
+              f"[{step['count']} answers]")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Host the session behind the serving tier's socket protocol."""
+    import asyncio
+    import logging
+
+    from repro.engine.wal import WriteAheadLog, snap_path
+    from repro.server import ReproServer
+
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    db = _load_database(args.database)
+    if args.wal:
+        if pathlib.Path(snap_path(args.wal)).exists():
+            session = Session.recover(args.wal)
+        else:
+            session = Session(db)
+        wal = WriteAheadLog(args.wal, sync=args.sync).attach(session)
+    else:
+        session, wal = Session(db), None
+    server = ReproServer(
+        session,
+        args.host,
+        args.port,
+        wal=wal,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+    )
+
+    async def _main() -> None:
+        import signal as _signal
+
+        await server.start()
+        announce = {"listening": {"host": server.host, "port": server.port}}
+        if args.json:
+            print(json.dumps(announce, sort_keys=True), flush=True)
+        else:
+            print(f"listening on {server.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(server.drain())
+                )
+            except (NotImplementedError, RuntimeError):
+                pass
+        await server.wait_drained()
+
+    asyncio.run(_main())
+    summary = {
+        "drained": True,
+        "requests": server.stats["requests"],
+        "errors": server.stats["errors"],
+        "connections": server.stats["connections"],
+    }
+    if args.json:
+        print(json.dumps(summary, sort_keys=True), flush=True)
+    else:
+        print(
+            f"drained: {summary['requests']} requests "
+            f"({summary['errors']} errors) over "
+            f"{summary['connections']} connections",
+            flush=True,
+        )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _remote_query(args)
     db = _load_database(args.database)
     session, wal = _session_with_wal(db, args.wal)
     query = _load_query(args.query, session.db.union(db))
@@ -130,6 +363,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_answers(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _remote_answers(args)
     db = _load_database(args.database)
     session, wal = _session_with_wal(db, args.wal)
     query = _load_query(args.query, session.db.union(db))
@@ -235,6 +470,8 @@ def _result_payload(result) -> dict:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _remote_batch(args)
     """Run a request-stream file through the batching engine."""
     from repro.engine.batch import (
         Mutation,
@@ -306,6 +543,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _remote_watch(args)
     """Maintain a materialized view of an open query across a write stream."""
     from repro.engine.batch import Mutation
     from repro.engine.views import MaterializedView
@@ -534,6 +773,9 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--wal", metavar="PATH", default=None,
                    help="durable session: recover from / log to this "
                         "write-ahead log")
+    q.add_argument("--connect", metavar="HOST:PORT", default=None,
+                   help="run against a live `repro serve` instance "
+                        "(DATABASE is ignored; pass -)")
     q.set_defaults(func=_cmd_query)
 
     a = sub.add_parser("answers", help="certain answers of an open query")
@@ -547,6 +789,9 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--wal", metavar="PATH", default=None,
                    help="durable session: recover from / log to this "
                         "write-ahead log")
+    a.add_argument("--connect", metavar="HOST:PORT", default=None,
+                   help="run against a live `repro serve` instance "
+                        "(DATABASE is ignored; pass -)")
     a.set_defaults(func=_cmd_answers)
 
     bt = sub.add_parser(
@@ -565,6 +810,9 @@ def build_parser() -> argparse.ArgumentParser:
     bt.add_argument("--wal", metavar="PATH", default=None,
                     help="durable session: recover from / log to this "
                          "write-ahead log (stream writes are appended)")
+    bt.add_argument("--connect", metavar="HOST:PORT", default=None,
+                    help="run against a live `repro serve` instance "
+                         "(DATABASE is ignored; pass -)")
     bt.set_defaults(func=_cmd_batch)
 
     wt = sub.add_parser(
@@ -582,7 +830,35 @@ def build_parser() -> argparse.ArgumentParser:
     wt.add_argument("--wal", metavar="PATH", default=None,
                     help="durable session: recover from / log to this "
                          "write-ahead log (stream writes are appended)")
+    wt.add_argument("--connect", metavar="HOST:PORT", default=None,
+                    help="run against a live `repro serve` instance "
+                         "(DATABASE is ignored; pass -)")
     wt.set_defaults(func=_cmd_watch)
+
+    sv = sub.add_parser(
+        "serve",
+        help="host the session behind the socket protocol "
+             "(see repro.server)",
+    )
+    sv.add_argument("database", help="database file seeding the session")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 picks an ephemeral one, "
+                         "announced on stdout)")
+    sv.add_argument("--wal", metavar="PATH", default=None,
+                    help="write-ahead log: recover from it if present, "
+                         "else seed it from DATABASE")
+    sv.add_argument("--sync", choices=("fsync", "group", "flush", "none"),
+                    default="group",
+                    help="WAL sync policy (default: group commit)")
+    sv.add_argument("--workers", type=int, default=0,
+                    help="daemon-pool workers for read batches "
+                         "(0/1 = in-process)")
+    sv.add_argument("--max-inflight", type=int, default=32,
+                    help="per-connection inflight-op cap (backpressure)")
+    sv.add_argument("--json", action="store_true",
+                    help="machine-readable listening/drained lines")
+    sv.set_defaults(func=_cmd_serve)
 
     rc = sub.add_parser(
         "recover",

@@ -30,6 +30,9 @@ The sites (each hooked where the comment says):
                           (0 = after writing the temp snapshot, before the
                           atomic rename; 1 = after the rename, before the
                           log is truncated)
+``server.conn.drop``      the serving tier severs a client connection
+                          right before writing a reply — the client sees
+                          EOF mid-request, the server must stay up
 ========================  ==================================================
 
 Rules install in-process (:func:`install`) or through the environment
@@ -72,6 +75,7 @@ SITE_WORKER_DELAY = "pool.worker.delay"
 SITE_RESYNC_DROP = "pool.resync.drop"
 SITE_WAL_TORN = "wal.torn_write"
 SITE_WAL_COMPACT = "wal.compact.crash"
+SITE_CONN_DROP = "server.conn.drop"
 
 SITES = (
     SITE_WORKER_CRASH,
@@ -80,6 +84,7 @@ SITES = (
     SITE_RESYNC_DROP,
     SITE_WAL_TORN,
     SITE_WAL_COMPACT,
+    SITE_CONN_DROP,
 )
 
 
@@ -277,6 +282,7 @@ __all__ = [
     "FaultRule",
     "InjectedCrash",
     "SITES",
+    "SITE_CONN_DROP",
     "SITE_RESYNC_DROP",
     "SITE_WAL_COMPACT",
     "SITE_WAL_TORN",

@@ -596,12 +596,27 @@ class DaemonPool:
 
     @staticmethod
     def _cleanup(conns: list, procs: list) -> None:
-        """Stop workers (finalize guard + the close() implementation)."""
+        """Stop workers (finalize guard + the close() implementation).
+
+        Order matters: the stop is sent and any stray replies are
+        drained BEFORE the pipes are closed, so a worker caught
+        mid-batch can finish its reply send and exit on its own instead
+        of dying on a broken pipe — a clean shutdown stays log-silent.
+        """
         for conn in conns:
             try:
                 conn.send(("stop",))
             except (OSError, BrokenPipeError):
                 pass
+        deadline = time.monotonic() + 5.0
+        for conn, proc in zip(conns, procs):
+            while proc.is_alive() and time.monotonic() < deadline:
+                try:
+                    if conn.poll(0.05):
+                        conn.recv()  # stray reply from an in-flight shard
+                except (OSError, EOFError):
+                    break  # worker closed its end: it is exiting
+        for conn in conns:
             _close_quietly(conn)
         for proc in procs:
             proc.join(timeout=5)
@@ -900,7 +915,20 @@ class DaemonPool:
         Runs the same cleanup the ``weakref.finalize`` guard would at
         GC/interpreter exit; either path empties the shared lists, so
         whichever runs second is a no-op.
+
+        A batch still in flight (a server shutting down mid-epoch) is
+        drained first — its replies are consumed and discarded — so a
+        healthy pool closes without tripping the structured-degrade
+        logging meant for *failed* workers.
         """
+        if self._inflight is not None and self._inflight.workers:
+            try:
+                self.abandon(self._inflight)
+            except Exception:  # shutdown proceeds regardless
+                log.debug(
+                    "in-flight batch drain failed during close",
+                    exc_info=True,
+                )
         conns, procs = self._conns, self._procs
         self._conns, self._procs = [], []
         DaemonPool._cleanup(conns, procs)

@@ -32,7 +32,15 @@ non-atomic steps (snapshot replace, log truncate) harmless: the stale
 log records are simply skipped.
 
 **Sync policies.**  ``sync="fsync"`` (the default) fsyncs every record —
-full power-loss durability.  ``sync="flush"`` flushes to the kernel page
+full power-loss durability.  ``sync="group"`` is group commit: every
+record is still flushed to the kernel on append (so, like ``"flush"``,
+every acknowledged write survives any process death), but the fsync is
+amortized — one per commit *window*, issued as soon as ``group_max``
+records are pending or ``group_window`` seconds have passed since the
+window opened, whichever comes first.  Power-loss durability therefore
+lags an acknowledged write by at most the window; under a burst of
+writers (the serving tier) the cost approaches one fsync per burst
+instead of one per record.  ``sync="flush"`` flushes to the kernel page
 cache, which survives any process death (``SIGKILL`` included) but not a
 kernel panic; it is what the crash-recovery differential tests and the
 write-overhead benchmark use.  ``sync="none"`` leaves buffering to the
@@ -58,6 +66,7 @@ import logging
 import os
 import pickle
 import struct
+import threading
 import zlib
 from typing import TYPE_CHECKING, Callable
 
@@ -81,7 +90,7 @@ _FRAME = struct.Struct("<II")
 _SNAP_MAGIC = b"REPROSNP"
 _SNAP_HEADER = struct.Struct("<8sI")
 
-_SYNC_POLICIES = ("fsync", "flush", "none")
+_SYNC_POLICIES = ("fsync", "group", "flush", "none")
 
 
 class WalError(ReproError):
@@ -248,20 +257,17 @@ def _decode_delta(payload: bytes) -> "SnapshotDelta":
 # -- log frames --------------------------------------------------------------
 
 
-def _scan_frames(raw: bytes) -> tuple[int, list["SnapshotDelta"]]:
-    """Walk the frames in ``raw`` (header included).
+def _scan_frame_bytes(
+    raw: bytes, offset: int
+) -> tuple[int, list["SnapshotDelta"]]:
+    """Walk intact frames in ``raw`` starting at ``offset``.
 
-    Returns ``(clean_length, records)`` where ``clean_length`` is the
+    Returns ``(clean_offset, records)`` where ``clean_offset`` is the
     byte offset just past the last *intact* frame — anything beyond it
-    is a torn or corrupt tail to be truncated.
+    is a torn or corrupt tail.  Used on whole files (after the header)
+    and on incremental tails read by :class:`WalFollower`.
     """
-    if len(raw) < _HEADER.size:
-        raise WalError("log is shorter than its header")
-    magic, _base = _HEADER.unpack_from(raw)
-    if magic != _LOG_MAGIC:
-        raise WalError(f"log has bad magic {magic!r}")
     records: list["SnapshotDelta"] = []
-    offset = _HEADER.size
     while True:
         if offset + _FRAME.size > len(raw):
             break
@@ -279,6 +285,21 @@ def _scan_frames(raw: bytes) -> tuple[int, list["SnapshotDelta"]]:
             break
         offset = end
     return offset, records
+
+
+def _scan_frames(raw: bytes) -> tuple[int, list["SnapshotDelta"]]:
+    """Walk the frames in ``raw`` (header included).
+
+    Returns ``(clean_length, records)`` where ``clean_length`` is the
+    byte offset just past the last *intact* frame — anything beyond it
+    is a torn or corrupt tail to be truncated.
+    """
+    if len(raw) < _HEADER.size:
+        raise WalError("log is shorter than its header")
+    magic, _base = _HEADER.unpack_from(raw)
+    if magic != _LOG_MAGIC:
+        raise WalError(f"log has bad magic {magic!r}")
+    return _scan_frame_bytes(raw, _HEADER.size)
 
 
 def read_log(
@@ -312,8 +333,10 @@ class WriteAheadLog:
 
     ``compact_every=N`` folds the log into a fresh snapshot after every
     ``N`` appended records; :meth:`compact` does it on demand.
-    ``sync`` is one of ``"fsync"`` / ``"flush"`` / ``"none"`` (see the
-    module docstring).
+    ``sync`` is one of ``"fsync"`` / ``"group"`` / ``"flush"`` /
+    ``"none"`` (see the module docstring); under ``"group"``,
+    ``group_window`` (seconds) and ``group_max`` (records) bound how far
+    power-loss durability may lag an acknowledged append.
     """
 
     def __init__(
@@ -321,6 +344,8 @@ class WriteAheadLog:
         path: str,
         sync: str = "fsync",
         compact_every: int | None = None,
+        group_window: float = 0.005,
+        group_max: int = 64,
     ) -> None:
         if sync not in _SYNC_POLICIES:
             raise ValueError(
@@ -328,12 +353,26 @@ class WriteAheadLog:
             )
         if compact_every is not None and compact_every <= 0:
             raise ValueError("compact_every must be positive")
+        if group_window <= 0:
+            raise ValueError("group_window must be positive")
+        if group_max <= 0:
+            raise ValueError("group_max must be positive")
         self.path = path
         self.sync = sync
         self.compact_every = compact_every
+        self.group_window = group_window
+        self.group_max = group_max
         self._fh: io.BufferedWriter | None = None
         self._session: "Session" | None = None
         self._since_compact = 0
+        # Group-commit state: appends flushed but not yet fsync'd, and
+        # the timer that will fsync them when the window closes.  The
+        # lock serializes the append path against the timer thread.
+        self._lock = threading.RLock()
+        self._pending = 0
+        self._timer: threading.Timer | None = None
+        #: fsyncs actually issued (observability for tests/benchmarks).
+        self.fsync_count = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -374,23 +413,36 @@ class WriteAheadLog:
             )
             self._fh = open(self.path, "wb")
             self._fh.write(_HEADER.pack(_LOG_MAGIC, _epoch(session._gens())))
-            self._sync()
+            self._sync(barrier=True)
             self._since_compact = 0
         self._session = session
         session.add_observer(self._on_mutation)
         return self
 
     def close(self) -> None:
-        """Detach from the session and close the file (idempotent)."""
+        """Detach from the session and close the file (idempotent).
+
+        Under ``sync="group"`` any pending window is fsync'd first, so
+        a clean close never owes durability to a timer that will no
+        longer fire.
+        """
         if self._session is not None:
             self._session.remove_observer(self._on_mutation)
             self._session = None
-        if self._fh is not None:
-            try:
-                self._fh.flush()
-            finally:
-                self._fh.close()
-                self._fh = None
+        with self._lock:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            if self._fh is not None:
+                try:
+                    self._fh.flush()
+                    if self._pending:
+                        os.fsync(self._fh.fileno())
+                        self.fsync_count += 1
+                        self._pending = 0
+                finally:
+                    self._fh.close()
+                    self._fh = None
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -400,13 +452,42 @@ class WriteAheadLog:
 
     # -- writing --------------------------------------------------------
 
-    def _sync(self) -> None:
+    def _sync(self, barrier: bool = False) -> None:
+        """Flush (and fsync, per policy) what has been written.
+
+        ``barrier=True`` closes any open group-commit window on the
+        spot — used by the rare control-path writes (attach, compact)
+        that must not owe durability to a timer.
+        """
         assert self._fh is not None
         if self.sync == "none":
             return
         self._fh.flush()
         if self.sync == "fsync":
             os.fsync(self._fh.fileno())
+            self.fsync_count += 1
+        elif self.sync == "group" and barrier:
+            with self._lock:
+                if self._timer is not None:
+                    self._timer.cancel()
+                    self._timer = None
+                os.fsync(self._fh.fileno())
+                self.fsync_count += 1
+                self._pending = 0
+
+    def _group_fsync(self) -> None:
+        """Timer thread: the commit window elapsed — fsync the pending tail."""
+        with self._lock:
+            self._timer = None
+            if self._fh is None or not self._pending:
+                return
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except (OSError, ValueError):  # pragma: no cover - closed racily
+                return
+            self.fsync_count += 1
+            self._pending = 0
 
     def _on_mutation(self, event: "MutationEvent") -> None:
         from repro.api.session import SnapshotDelta
@@ -446,8 +527,27 @@ class WriteAheadLog:
             self._fh.write(torn)
             self._fh.flush()
             raise faults.InjectedCrash("wal.torn_write")
-        self._fh.write(frame)
-        self._sync()
+        if self.sync == "group":
+            with self._lock:
+                self._fh.write(frame)
+                self._fh.flush()  # in the kernel: survives process death
+                self._pending += 1
+                if self._pending >= self.group_max:
+                    os.fsync(self._fh.fileno())
+                    self.fsync_count += 1
+                    self._pending = 0
+                    if self._timer is not None:
+                        self._timer.cancel()
+                        self._timer = None
+                elif self._timer is None:
+                    self._timer = threading.Timer(
+                        self.group_window, self._group_fsync
+                    )
+                    self._timer.daemon = True
+                    self._timer.start()
+        else:
+            self._fh.write(frame)
+            self._sync()
         self._since_compact += 1
         if self.compact_every and self._since_compact >= self.compact_every:
             self.compact()
@@ -471,10 +571,27 @@ class WriteAheadLog:
             frozenset(session._order),
             session._gens(),
         )
-        self._fh.seek(0)
-        self._fh.truncate(0)
-        self._fh.write(_HEADER.pack(_LOG_MAGIC, _epoch(session._gens())))
-        self._sync()
+        # Reset the log under a NEW inode (tmp + os.replace) rather than
+        # truncating in place: a follower can then detect compaction
+        # from a single stat (the inode changed), which is what makes
+        # WalFollower.poll()'s no-open fast path sound.
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(_HEADER.pack(_LOG_MAGIC, _epoch(session._gens())))
+            fh.flush()
+            if self.sync in ("fsync", "group"):
+                os.fsync(fh.fileno())
+                self.fsync_count += 1
+        os.replace(tmp, self.path)
+        _fsync_dir(self.path)
+        with self._lock:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            self._pending = 0
+            self._fh.close()
+            self._fh = open(self.path, "r+b")
+            self._fh.seek(0, os.SEEK_END)
         self._since_compact = 0
 
 
@@ -549,6 +666,10 @@ class WalFollower:
         self._plan_cache_limit = plan_cache_limit
         self.session = recover(path, plan_cache_limit=plan_cache_limit)
         self._epoch = _epoch(self.session._gens())
+        try:
+            self._ino = os.stat(path).st_ino
+        except OSError:
+            self._ino = -1
         base, clean, _records = read_log(path)
         self._base = base
         self._offset = clean
@@ -558,17 +679,48 @@ class WalFollower:
 
         A rebase after writer-side compaction counts as one application
         when the state actually changed.
+
+        Polling is built to be cheap enough for a tight tailing loop
+        (the serving tier's ``watch`` path calls it per client tick):
+
+        * **fast path** — one ``stat``, no open: if the inode and size
+          both match what we last scanned, nothing happened.  Between
+          compactions the log is append-only (same inode), so an
+          unchanged size means a byte-identical file; a compaction
+          swaps in a new inode (see :meth:`WriteAheadLog.compact`), so
+          it can never alias the cached pair even when the refilled log
+          lands on exactly the old length.  The bare-header size is
+          additionally excluded, guarding the (already freakish)
+          recycled-inode case.
+        * **slow path** — re-read only the 16-byte header (to detect a
+          compaction rebase) plus the bytes past our cached offset,
+          never the whole file.
         """
         try:
-            size = os.path.getsize(self.path)
-            with open(self.path, "rb") as fh:
-                raw = fh.read()
-            _magic, base = _HEADER.unpack_from(raw)
-        except (FileNotFoundError, struct.error):
+            st = os.stat(self.path)
+            size = st.st_size
+        except OSError:
             return 0
-        if base != self._base or size < self._offset:
-            return self._rebase()
-        clean, records = _scan_frames(raw)
+        if (
+            size == self._offset
+            and st.st_ino == self._ino
+            and size > _HEADER.size
+        ):
+            return 0
+        self._ino = st.st_ino
+        try:
+            with open(self.path, "rb") as fh:
+                header = fh.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    return 0
+                _magic, base = _HEADER.unpack_from(header)
+                if base != self._base or size < self._offset:
+                    return self._rebase()
+                fh.seek(self._offset)
+                tail = fh.read()
+        except FileNotFoundError:
+            return 0
+        clean, records = _scan_frame_bytes(tail, 0)
         applied = 0
         for delta in records:
             if _epoch(delta.gens) <= self._epoch:
@@ -576,7 +728,7 @@ class WalFollower:
             self.session.apply_snapshot_delta(delta)
             self._epoch = _epoch(delta.gens)
             applied += 1
-        self._offset = clean
+        self._offset += clean
         return applied
 
     def _rebase(self) -> int:

@@ -1,0 +1,37 @@
+"""Network serving tier: one shared engine behind a socket protocol.
+
+``repro serve`` (:mod:`repro.cli`) hosts a
+:class:`~repro.server.server.ReproServer`; ``--connect HOST:PORT`` on
+``query``/``answers``/``batch``/``watch`` drives it through
+:class:`~repro.server.client.ReproClient`.  See
+:mod:`repro.server.protocol` for the frame format and
+:mod:`repro.server.server` for the serialization/parity contract.
+"""
+
+from repro.server.client import ClientError, ReproClient, ServerReplyError
+from repro.server.protocol import (
+    MAX_FRAME,
+    FrameError,
+    PayloadError,
+    ProtocolError,
+    encode_frame,
+    read_frame_async,
+    read_frame_sync,
+)
+from repro.server.server import DEFAULT_MAX_INFLIGHT, ReproServer, ServerThread
+
+__all__ = [
+    "ClientError",
+    "DEFAULT_MAX_INFLIGHT",
+    "FrameError",
+    "MAX_FRAME",
+    "PayloadError",
+    "ProtocolError",
+    "ReproClient",
+    "ReproServer",
+    "ServerReplyError",
+    "ServerThread",
+    "encode_frame",
+    "read_frame_async",
+    "read_frame_sync",
+]

@@ -1,0 +1,209 @@
+"""Blocking client for the serving tier's frame protocol.
+
+:class:`ReproClient` speaks the length-prefixed JSON protocol of
+:mod:`repro.server.protocol` over one TCP connection.  Two calling
+styles:
+
+* **request/response** — :meth:`call` sends one op and blocks for its
+  reply (raising :class:`ServerReplyError` on ``ok: false`` unless
+  asked not to);
+* **pipelined** — :meth:`send` fires ops without waiting and
+  :meth:`wait` collects replies later, keeping ``max_inflight``-deep
+  windows full; this is how the throughput benchmark and the
+  concurrent-differential tests drive the server.
+
+Watch events pushed by the server (frames with an ``event`` field) are
+collected on :attr:`events` as they are read; :meth:`take_events`
+hands them over and clears the buffer.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.core.errors import ReproError
+from repro.server.protocol import MAX_FRAME, encode_frame, read_frame_sync
+
+
+class ClientError(ReproError):
+    """The connection died or the reply stream ended unexpectedly."""
+
+
+class ServerReplyError(ReproError):
+    """An ``ok: false`` reply, surfaced as an exception.
+
+    Carries the server's structured error: :attr:`type` and
+    :attr:`reply` (the full frame).
+    """
+
+    def __init__(self, reply: dict) -> None:
+        error = reply.get("error") or {}
+        self.type = error.get("type", "unknown")
+        self.reply = reply
+        super().__init__(f"{self.type}: {error.get('message', '')}")
+
+
+class ReproClient:
+    """One connection to a :class:`~repro.server.server.ReproServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 60.0,
+        max_frame: int = MAX_FRAME,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._max_frame = max_frame
+        self._next_id = 0
+        self._replies: dict[int, dict] = {}
+        #: server-pushed watch events, in arrival order
+        self.events: list[dict] = []
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for part in (self._wfile, self._rfile, self._sock):
+            try:
+                part.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- pipelined sends ----------------------------------------------------
+
+    def send(self, op: str, **fields) -> int:
+        """Fire one op without waiting; returns its request id."""
+        self._next_id += 1
+        rid = self._next_id
+        frame = {"op": op, "id": rid, **fields}
+        self._wfile.write(encode_frame(frame, self._max_frame))
+        self._wfile.flush()
+        return rid
+
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes (protocol-abuse helper for the test suite)."""
+        self._wfile.write(data)
+        self._wfile.flush()
+
+    def wait(self, rid: int, check: bool = True) -> dict:
+        """Block until the reply for ``rid`` arrives; buffer everything else."""
+        while rid not in self._replies:
+            frame = read_frame_sync(self._rfile, self._max_frame)
+            if frame is None:
+                raise ClientError(
+                    f"connection closed while waiting for reply {rid}"
+                )
+            if "event" in frame:
+                self.events.append(frame)
+                continue
+            key = frame.get("id")
+            if key is None:
+                # an unsolicited error frame (bad payload / fatal framing)
+                if frame.get("fatal"):
+                    raise ServerReplyError(frame)
+                self._replies[-len(self._replies) - 1] = frame
+                continue
+            self._replies[key] = frame
+        reply = self._replies.pop(rid)
+        if check and not reply.get("ok", False):
+            raise ServerReplyError(reply)
+        return reply
+
+    def read_frame(self) -> dict | None:
+        """Read one raw frame (events included); ``None`` on EOF."""
+        frame = read_frame_sync(self._rfile, self._max_frame)
+        if frame is not None and "event" in frame:
+            self.events.append(frame)
+        return frame
+
+    def take_events(self) -> list[dict]:
+        """Hand over the buffered watch events (clears the buffer)."""
+        events, self.events = self.events, []
+        return events
+
+    # -- request/response ---------------------------------------------------
+
+    def call(self, op: str, check: bool = True, **fields) -> dict:
+        """Send one op and block for its reply."""
+        return self.wait(self.send(op, **fields), check=check)
+
+    # -- op conveniences (the CLI --connect surface) ------------------------
+
+    def execute(
+        self,
+        query: str | None = None,
+        *,
+        handle: int | None = None,
+        semantics: str = "fin",
+        method: str = "auto",
+        check: bool = True,
+    ) -> dict:
+        fields: dict = {"semantics": semantics, "method": method}
+        if handle is not None:
+            fields = {"handle": handle}
+        else:
+            fields["query"] = query
+        return self.call("execute", check=check, **fields)
+
+    def answers(
+        self,
+        query: str | None = None,
+        free_vars: list[str] | None = None,
+        *,
+        handle: int | None = None,
+        semantics: str = "fin",
+        check: bool = True,
+    ) -> dict:
+        if handle is not None:
+            return self.call("answers", check=check, handle=handle)
+        return self.call(
+            "answers",
+            check=check,
+            query=query,
+            free_vars=list(free_vars or []),
+            semantics=semantics,
+        )
+
+    def prepare(self, query: str, free_vars=None, **fields) -> int:
+        reply = self.call(
+            "prepare",
+            query=query,
+            **({"free_vars": list(free_vars)} if free_vars is not None else {}),
+            **fields,
+        )
+        return reply["handle"]
+
+    def assert_facts(self, facts: str, check: bool = True) -> dict:
+        return self.call("assert", check=check, facts=facts)
+
+    def retract_facts(self, facts: str, check: bool = True) -> dict:
+        return self.call("retract", check=check, facts=facts)
+
+    def batch(self, lines: list[str], check: bool = True) -> dict:
+        return self.call("batch", check=check, lines=list(lines))
+
+    def watch(self, query: str, free_vars: list[str], **fields) -> dict:
+        return self.call(
+            "watch", query=query, free_vars=list(free_vars), **fields
+        )
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+
+__all__ = ["ClientError", "ReproClient", "ServerReplyError"]

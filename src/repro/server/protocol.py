@@ -1,0 +1,144 @@
+"""Wire protocol for the serving tier: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding a single object.  The JSON bodies
+reuse the CLI's ``--json`` wire shapes (``repro.cli._result_payload``,
+batch rows, watch steps), so a scripted consumer of ``repro query
+--json`` reads server replies with the same code.
+
+Requests are objects with an ``op`` field and an optional caller-chosen
+``id`` echoed back on the reply::
+
+    {"op": "execute", "id": 7, "query": "Boot(a) & a < b & Crash(b)"}
+
+Replies carry ``ok`` plus either the op's payload or a structured
+``error``, and a server-assigned global ``seq`` — the position of the
+op in the server's single serialization order (what makes the
+concurrent-equals-sequential differential checkable)::
+
+    {"id": 7, "seq": 42, "ok": true, "entailed": true, "method": "seq"}
+    {"id": 7, "seq": 43, "ok": false,
+     "error": {"type": "parse", "message": "..."}}
+
+Server-pushed frames (``watch`` deltas) have an ``event`` field instead
+of ``id``; clients must tolerate them between any two replies.
+
+Failure taxonomy — the split every handler relies on:
+
+* :class:`PayloadError` — the *frame* was well-formed but its body was
+  not (bad JSON, not an object).  The stream is still in sync, so the
+  server answers with a structured error reply and keeps the
+  connection.
+* :class:`FrameError` — the framing itself broke (oversized length
+  prefix, truncated frame).  Frame boundaries are now unknowable, so
+  the connection must close — after a best-effort error frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.core.errors import ReproError
+
+#: Frame prefix: payload byte length, big-endian (network order).
+_PREFIX = struct.Struct("!I")
+
+#: Default inbound/outbound frame-size cap.  Generous for answer sets,
+#: far below anything a framing desync could ask us to allocate.
+MAX_FRAME = 4 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """Base class for wire-protocol failures."""
+
+
+class FrameError(ProtocolError):
+    """Framing broke (oversize/truncated): the connection must close."""
+
+
+class PayloadError(ProtocolError):
+    """A well-framed but undecodable body: reply with an error, keep going."""
+
+
+def encode_frame(payload: dict, max_frame: int = MAX_FRAME) -> bytes:
+    """Serialize one JSON object into a length-prefixed frame."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    if len(body) > max_frame:
+        raise FrameError(
+            f"outbound frame of {len(body)} bytes exceeds the "
+            f"{max_frame}-byte cap"
+        )
+    return _PREFIX.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise PayloadError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise PayloadError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+async def read_frame_async(reader, max_frame: int = MAX_FRAME) -> dict | None:
+    """Read one frame from an :mod:`asyncio` stream reader.
+
+    Returns ``None`` on clean EOF (no bytes mid-frame).  Raises
+    :class:`FrameError` on an oversized length or a truncated frame,
+    :class:`PayloadError` on an undecodable body.
+    """
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid-frame") from exc
+    (length,) = _PREFIX.unpack(prefix)
+    if length > max_frame:
+        raise FrameError(
+            f"inbound frame of {length} bytes exceeds the "
+            f"{max_frame}-byte cap"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame") from exc
+    return _decode_body(body)
+
+
+def read_frame_sync(rfile, max_frame: int = MAX_FRAME) -> dict | None:
+    """Read one frame from a blocking binary file (client side).
+
+    Same contract as :func:`read_frame_async`.
+    """
+    prefix = rfile.read(_PREFIX.size)
+    if not prefix:
+        return None
+    if len(prefix) < _PREFIX.size:
+        raise FrameError("connection closed mid-frame")
+    (length,) = _PREFIX.unpack(prefix)
+    if length > max_frame:
+        raise FrameError(
+            f"inbound frame of {length} bytes exceeds the "
+            f"{max_frame}-byte cap"
+        )
+    body = rfile.read(length)
+    if len(body) < length:
+        raise FrameError("connection closed mid-frame")
+    return _decode_body(body)
+
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME",
+    "PayloadError",
+    "ProtocolError",
+    "encode_frame",
+    "read_frame_async",
+    "read_frame_sync",
+]

@@ -1,0 +1,761 @@
+"""The serving tier: many client connections, one engine, one order.
+
+:class:`ReproServer` is an :mod:`asyncio` socket front end that
+multiplexes any number of concurrent client connections onto ONE shared
+:class:`~repro.api.session.Session`.  The concurrency discipline is the
+whole design:
+
+* every parsed request is appended to a single FIFO **op queue**;
+* one **engine loop** drains that queue and is the only code that ever
+  touches the session — reads, writes, plan compilation, view
+  refreshes all happen there, in global arrival order;
+* each op is stamped with a global ``seq`` (its position in that
+  order), so "N concurrent clients" is *defined* to equal "the one
+  sequential stream obtained by sorting all ops by ``seq``" — and the
+  test suite checks the equality byte for byte.
+
+Inside one queue drain, maximal runs of consecutive reads execute as a
+single :func:`~repro.engine.batch.execute_many` batch (documented
+byte-for-byte identical to per-op execution), so concurrent clients get
+the plan-group dedup and pooled minimal-model sweeps for free: while
+the engine is busy, newly arrived frames buffer and form the next
+batch — the same dynamic as WAL group commit, applied to reads.  With
+``workers=N`` the batches additionally fan out over a persistent
+:class:`~repro.engine.pool.DaemonPool`.
+
+Robustness contract (each part tested in ``tests/test_server.py``):
+
+* **backpressure** — a connection may have at most ``max_inflight``
+  requests queued; its reader coroutine stops reading the socket until
+  replies drain, so a flooding client throttles itself at the TCP layer
+  instead of growing server memory;
+* **structured errors** — a bad request (parse error, unknown handle,
+  undecodable JSON body) gets an ``ok: false`` reply and the connection
+  lives on; only a *framing* break (oversized/truncated frame) closes
+  the connection, after a best-effort fatal error frame;
+* **graceful drain** — on SIGTERM/SIGINT (or :meth:`ReproServer.drain`)
+  the listener closes, every already-queued op is processed and its
+  reply flushed, the WAL (if any) is closed — which fsyncs any open
+  group-commit window — and only then do the connections close;
+* **slow consumers** — replies and watch events are written by a
+  per-connection writer coroutine reading from an outbox queue, so the
+  engine never blocks on a slow client's socket; an outbox growing past
+  its cap aborts that connection rather than the server.
+
+Fault site ``server.conn.drop`` (:mod:`repro.engine.faults`) severs a
+connection at reply time — the harness for client-visible partial
+failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+import signal
+import threading
+
+from repro.api.session import Session
+from repro.cli import _METHODS, _SEMANTICS, _parse_stream_line, _result_payload
+from repro.core.sorts import objvar
+from repro.engine import faults
+from repro.engine.batch import Mutation, QueryRequest, execute_many, execute_stream
+from repro.engine.views import MaterializedView
+from repro.server.protocol import (
+    MAX_FRAME,
+    FrameError,
+    PayloadError,
+    encode_frame,
+    read_frame_async,
+)
+from repro.substrate.parser import parse_database, parse_query, scan_order_names
+
+#: The serving tier's logger (the ISSUE-specified operator surface).
+log = logging.getLogger("repro.server")
+
+#: Per-connection bound on queued-but-unanswered requests.
+DEFAULT_MAX_INFLIGHT = 32
+
+#: Most ops the engine loop pulls into one drain (and hence one
+#: read-batching opportunity).
+_ENGINE_RUN_CAP = 1024
+
+
+class _Connection:
+    """Per-connection state: framing, flow control, namespaces."""
+
+    def __init__(self, server: "ReproServer", reader, writer, cid: int) -> None:
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.cid = cid
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self.slots = asyncio.Semaphore(server.max_inflight)
+        self.inflight = 0
+        self.peak_inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        #: per-connection plan-handle namespace over the shared LRU
+        self.handles: dict[int, QueryRequest] = {}
+        self._handle_ids = itertools.count(1)
+        #: per-connection watch subscriptions
+        self.watches: dict[int, dict] = {}
+        self._watch_ids = itertools.count(1)
+        self.writer_task: asyncio.Task | None = None
+        self.aborted = False
+        # An outbox past this size means the client has stopped reading
+        # while events keep flowing; drop it rather than buffer forever.
+        self._outbox_cap = max(256, server.max_inflight * 4)
+
+    async def acquire_slot(self) -> None:
+        """Backpressure: block the reader until a reply slot frees up."""
+        await self.slots.acquire()
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+        self._idle.clear()
+
+    def release_slot(self) -> None:
+        self.slots.release()
+        self.inflight -= 1
+        if self.inflight <= 0:
+            self._idle.set()
+
+    async def wait_idle(self, timeout: float = 30.0) -> None:
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except asyncio.TimeoutError:  # pragma: no cover - engine wedged
+            pass
+
+    def push(self, frame: dict) -> None:
+        """Enqueue one outbound frame (reply or event)."""
+        if self.aborted:
+            return
+        if self.outbox.qsize() > self._outbox_cap:
+            log.warning(
+                "conn %d: outbox past %d frames (client not reading); "
+                "dropping the connection",
+                self.cid,
+                self._outbox_cap,
+            )
+            self.abort()
+            return
+        self.outbox.put_nowait(frame)
+
+    def abort(self) -> None:
+        """Sever the connection immediately (fault path / slow consumer)."""
+        if self.aborted:
+            return
+        self.aborted = True
+        self.outbox.put_nowait(None)
+        try:
+            self.writer.transport.abort()
+        except Exception:  # pragma: no cover - transport already gone
+            pass
+
+    def close_watches(self) -> None:
+        for state in self.watches.values():
+            state["view"].close()
+        self.watches.clear()
+
+
+class ReproServer:
+    """One shared session behind a length-prefixed-JSON socket protocol.
+
+    Construct with a live session (optionally WAL-attached), call
+    :meth:`start` inside a running event loop, and either
+    :meth:`run` (installs signal handlers, returns after drain) or
+    await :meth:`wait_drained` yourself.  ``workers > 1`` routes read
+    batches and ``batch`` streams over a persistent
+    :class:`~repro.engine.pool.DaemonPool`.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        wal=None,
+        workers: int = 0,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_frame: int = MAX_FRAME,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        self.session = session
+        self.host = host
+        self.port = port
+        self.wal = wal
+        self.workers = workers
+        self.max_inflight = max_inflight
+        self.max_frame = max_frame
+        self._pool = None
+        self._server: asyncio.AbstractServer | None = None
+        self._engine_task: asyncio.Task | None = None
+        self._queue: asyncio.Queue | None = None
+        self._conns: set[_Connection] = set()
+        self._conn_ids = itertools.count(1)
+        self._seq = 0
+        self._draining = False
+        self._drained: asyncio.Event | None = None
+        self.stats = {
+            "connections": 0,
+            "requests": 0,
+            "errors": 0,
+            "protocol_errors": 0,
+            "read_batches": 0,
+            "batched_reads": 0,
+            "watch_events": 0,
+            "conn_drops": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "ReproServer":
+        """Bind the listener and start the engine loop."""
+        self._queue = asyncio.Queue()
+        self._drained = asyncio.Event()
+        if self.workers > 1 and self._pool is None:
+            from repro.engine.pool import DaemonPool
+
+            self._pool = DaemonPool(self.session, workers=self.workers)
+        self._server = await asyncio.start_server(
+            self._on_connect, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._engine_task = asyncio.create_task(self._engine_loop())
+        log.info(
+            "serving on %s:%d (max_inflight=%d, workers=%d, wal=%s)",
+            self.host,
+            self.port,
+            self.max_inflight,
+            self.workers,
+            getattr(self.wal, "path", None),
+        )
+        return self
+
+    async def run(self) -> None:
+        """Start, serve until SIGTERM/SIGINT, drain, return."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self.drain())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await self.wait_drained()
+
+    async def wait_drained(self) -> None:
+        assert self._drained is not None, "server not started"
+        await self._drained.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish queued work, flush the WAL, close.
+
+        Idempotent; concurrent callers all return once the drain
+        completes.
+        """
+        if self._draining:
+            await self.wait_drained()
+            return
+        self._draining = True
+        log.info("drain: refusing new connections, finishing queued ops")
+        assert self._server is not None and self._queue is not None
+        self._server.close()
+        await self._server.wait_closed()
+        # Everything queued before the sentinel still executes and
+        # replies; readers see _draining and refuse later frames.
+        self._queue.put_nowait(None)
+        if self._engine_task is not None:
+            await self._engine_task
+        if self.wal is not None:
+            # closes the group-commit window too: every acknowledged
+            # write is on disk before the process exits
+            self.wal.close()
+        if self._pool is not None:
+            self._pool.close()
+        for conn in list(self._conns):
+            await conn.wait_idle()
+            conn.close_watches()
+            conn.outbox.put_nowait(None)
+            if conn.writer_task is not None:
+                try:
+                    await asyncio.wait_for(conn.writer_task, 30)
+                except asyncio.TimeoutError:  # pragma: no cover
+                    conn.writer_task.cancel()
+            try:
+                conn.writer.close()
+                # the loop dies right after drain returns: without this
+                # wait the close never flushes and clients see a socket
+                # that is open but forever silent instead of EOF
+                await asyncio.wait_for(conn.writer.wait_closed(), 5)
+            except Exception:  # pragma: no cover
+                pass
+        log.info(
+            "drained: %d requests (%d errors) over %d connections",
+            self.stats["requests"] + self.stats["errors"],
+            self.stats["errors"],
+            self.stats["connections"],
+        )
+        self._drained.set()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _on_connect(self, reader, writer) -> None:
+        if self._draining:
+            writer.close()
+            return
+        conn = _Connection(self, reader, writer, next(self._conn_ids))
+        self._conns.add(conn)
+        self.stats["connections"] += 1
+        conn.writer_task = asyncio.create_task(self._writer_loop(conn))
+        log.debug("conn %d: opened", conn.cid)
+        try:
+            await self._reader_loop(conn)
+            # client went quiet (EOF or fatal frame): flush what it is
+            # still owed before closing our side
+            await conn.wait_idle()
+        finally:
+            if not self._draining:
+                conn.close_watches()
+                conn.outbox.put_nowait(None)
+                if conn.writer_task is not None:
+                    try:
+                        await asyncio.wait_for(conn.writer_task, 30)
+                    except asyncio.TimeoutError:  # pragma: no cover
+                        conn.writer_task.cancel()
+                try:
+                    conn.writer.close()
+                except Exception:  # pragma: no cover
+                    pass
+            self._conns.discard(conn)
+            log.debug("conn %d: closed", conn.cid)
+
+    async def _reader_loop(self, conn: _Connection) -> None:
+        while True:
+            try:
+                req = await read_frame_async(conn.reader, self.max_frame)
+            except PayloadError as exc:
+                # well-framed garbage: structured error, keep reading
+                self.stats["protocol_errors"] += 1
+                conn.push({
+                    "id": None,
+                    "ok": False,
+                    "error": {"type": "PayloadError", "message": str(exc)},
+                })
+                continue
+            except FrameError as exc:
+                # framing is out of sync: fatal error frame, then close
+                self.stats["protocol_errors"] += 1
+                conn.push({
+                    "id": None,
+                    "ok": False,
+                    "fatal": True,
+                    "error": {"type": "FrameError", "message": str(exc)},
+                })
+                return
+            except (ConnectionError, OSError):
+                return
+            if req is None:
+                return
+            if self._draining:
+                conn.push({
+                    "id": req.get("id"),
+                    "ok": False,
+                    "error": {
+                        "type": "Draining",
+                        "message": "server is draining; no new requests",
+                    },
+                })
+                continue
+            await conn.acquire_slot()
+            self._queue.put_nowait((conn, req))
+
+    async def _writer_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                frame = await conn.outbox.get()
+                if frame is None:
+                    return
+                conn.writer.write(encode_frame(frame, self.max_frame))
+                await conn.writer.drain()
+        except (ConnectionError, OSError):
+            return
+
+    # -- the engine loop ----------------------------------------------------
+
+    async def _engine_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                return
+            # One yield lets every reader with buffered frames enqueue
+            # them, so the drain below sees the whole burst as one run.
+            await asyncio.sleep(0)
+            run = [item]
+            while len(run) < _ENGINE_RUN_CAP:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is None:  # drain sentinel: keep FIFO honesty
+                    self._process_run(run)
+                    return
+                run.append(nxt)
+            self._process_run(run)
+
+    def _process_run(self, run: list[tuple[_Connection, dict]]) -> None:
+        """Execute one drained run of ops, in arrival order.
+
+        Maximal spans of consecutive reads become one
+        :func:`execute_many` batch; everything else flushes the span
+        first, so reply ``seq`` order equals arrival order exactly.
+        """
+        pending: list[tuple[_Connection, dict, QueryRequest]] = []
+        for conn, req in run:
+            op = req.get("op")
+            if op in ("execute", "answers"):
+                try:
+                    request = self._resolve_read(conn, req)
+                except Exception as exc:
+                    self._flush_reads(pending)
+                    pending = []
+                    self._reply_error(conn, req, exc)
+                else:
+                    pending.append((conn, req, request))
+                continue
+            self._flush_reads(pending)
+            pending = []
+            self._process_one(conn, req, op)
+        self._flush_reads(pending)
+
+    def _flush_reads(self, pending) -> None:
+        if not pending:
+            return
+        requests = [request for _, _, request in pending]
+        try:
+            if self._pool is not None and len(requests) > 1:
+                self._pool.resnapshot(self.session)
+                results = self._pool.execute_many(requests)
+            else:
+                results = execute_many(self.session, requests)
+        except Exception:
+            # batched execution failed somewhere mid-batch: replay the
+            # span per-op so each request gets its own verdict or its
+            # own error — exactly the sequential loop's behaviour
+            for conn, req, request in pending:
+                try:
+                    result = request.prepare(self.session).execute()
+                except Exception as exc:
+                    self._reply_error(conn, req, exc)
+                else:
+                    self._reply(conn, req, _result_payload(result))
+            return
+        if len(requests) > 1:
+            self.stats["read_batches"] += 1
+            self.stats["batched_reads"] += len(requests)
+        for (conn, req, _), result in zip(pending, results):
+            self._reply(conn, req, _result_payload(result))
+
+    # -- op dispatch --------------------------------------------------------
+
+    def _process_one(self, conn: _Connection, req: dict, op) -> None:
+        try:
+            handler = {
+                "prepare": self._op_prepare,
+                "release": self._op_release,
+                "assert": self._op_mutate,
+                "retract": self._op_mutate,
+                "batch": self._op_batch,
+                "watch": self._op_watch,
+                "unwatch": self._op_unwatch,
+                "stats": self._op_stats,
+                "ping": self._op_ping,
+            }.get(op)
+            if handler is None:
+                raise PayloadError(f"unknown op {op!r}")
+            payload = handler(conn, req)
+        except Exception as exc:
+            self._reply_error(conn, req, exc)
+        else:
+            self._reply(conn, req, payload)
+
+    def _op_prepare(self, conn: _Connection, req: dict) -> dict:
+        request = self._parse_read(req)
+        request.prepare(self.session)  # compile now; errors surface here
+        handle = next(conn._handle_ids)
+        conn.handles[handle] = request
+        return {
+            "handle": handle,
+            "open": request.free_vars is not None,
+            "method": request.method,
+        }
+
+    def _op_release(self, conn: _Connection, req: dict) -> dict:
+        handle = req.get("handle")
+        return {"released": conn.handles.pop(handle, None) is not None}
+
+    def _op_mutate(self, conn: _Connection, req: dict) -> dict:
+        kind = "assert_facts" if req["op"] == "assert" else "retract_facts"
+        text = req.get("facts")
+        if not isinstance(text, str):
+            raise PayloadError(f"op {req['op']!r} needs a 'facts' string")
+        names = scan_order_names(text) | self.session.db.order_constants
+        fragment = parse_database(text, extra_order=names)
+        mutation = Mutation(kind, tuple(fragment.atoms()))
+        mutation.apply(self.session)
+        # the write's seq is assigned by _reply below; events about it
+        # carry the same number and are pushed first
+        self._notify_watches(self._seq + 1)
+        return {"kind": kind, "applied": len(mutation.atoms)}
+
+    def _op_batch(self, conn: _Connection, req: dict) -> dict:
+        lines = req.get("lines")
+        if not isinstance(lines, list) or not all(
+            isinstance(l, str) for l in lines
+        ):
+            raise PayloadError("op 'batch' needs a 'lines' list of strings")
+        names = set(self.session.db.order_constants)
+        for line in lines:
+            stripped = line.strip()
+            for verb in ("assert:", "retract:"):
+                if stripped.startswith(verb):
+                    names |= scan_order_names(stripped[len(verb):])
+        vocab = self.session.db
+        for line in lines:
+            stripped = line.strip()
+            for verb in ("assert:", "retract:"):
+                if stripped.startswith(verb):
+                    vocab = vocab.union(
+                        parse_database(stripped[len(verb):], extra_order=names)
+                    )
+        ops = []
+        for line in lines:
+            parsed = _parse_stream_line(line, vocab, names)
+            if parsed is not None:
+                ops.append(parsed)
+        results = execute_stream(self.session, ops, pool=self._pool)
+        rows = []
+        for i, (parsed, result) in enumerate(zip(ops, results)):
+            if isinstance(parsed, Mutation):
+                rows.append({
+                    "op": i,
+                    "kind": parsed.kind,
+                    "atoms": [str(a) for a in parsed.atoms],
+                })
+            else:
+                rows.append({"op": i, "kind": "query", **_result_payload(result)})
+        self._notify_watches(self._seq + 1)
+        return {"mode": "stream", "ops": rows}
+
+    def _op_watch(self, conn: _Connection, req: dict) -> dict:
+        request = self._parse_read(req)
+        if request.free_vars is None:
+            raise PayloadError("op 'watch' needs a 'free_vars' list")
+        view = MaterializedView(
+            self.session,
+            request.query,
+            request.free_vars,
+            semantics=request.semantics,
+        )
+        watch = next(conn._watch_ids)
+        answers = view.answers()
+        conn.watches[watch] = {"view": view, "last": answers}
+        return {
+            "watch": watch,
+            "answers": sorted(list(a) for a in answers),
+            "count": len(answers),
+        }
+
+    def _op_unwatch(self, conn: _Connection, req: dict) -> dict:
+        state = conn.watches.pop(req.get("watch"), None)
+        if state is not None:
+            state["view"].close()
+        return {"unwatched": state is not None}
+
+    def _op_stats(self, conn: _Connection, req: dict) -> dict:
+        return {
+            **self.stats,
+            "open_connections": len(self._conns),
+            "conn_peak_inflight": conn.peak_inflight,
+            "seq": self._seq,
+            "pool_parallel": bool(self._pool is not None and self._pool.parallel),
+        }
+
+    def _op_ping(self, conn: _Connection, req: dict) -> dict:
+        return {"pong": True}
+
+    # -- watch fan-out ------------------------------------------------------
+
+    def _notify_watches(self, seq: int) -> None:
+        """Push delta events for every view the last write perturbed.
+
+        Ordering contract: events for a write are enqueued *before* the
+        write's own reply, both carrying the write's ``seq`` — a client
+        that sees the reply has already seen every delta it caused.
+        """
+        for conn in self._conns:
+            for watch, state in conn.watches.items():
+                updated = state["view"].answers()
+                last = state["last"]
+                if updated == last:
+                    continue
+                state["last"] = updated
+                self.stats["watch_events"] += 1
+                conn.push({
+                    "event": "watch",
+                    "watch": watch,
+                    "seq": seq,
+                    "added": sorted(list(a) for a in updated - last),
+                    "removed": sorted(list(a) for a in last - updated),
+                    "count": len(updated),
+                })
+
+    # -- request parsing ----------------------------------------------------
+
+    def _parse_read(self, req: dict) -> QueryRequest:
+        """Build the :class:`QueryRequest` a read/prepare/watch op names."""
+        text = req.get("query")
+        if not isinstance(text, str):
+            raise PayloadError(f"op {req.get('op')!r} needs a 'query' string")
+        semantics = req.get("semantics", "fin")
+        if semantics not in _SEMANTICS:
+            raise PayloadError(f"unknown semantics {semantics!r}")
+        method = req.get("method", "auto")
+        if method not in _METHODS:
+            raise PayloadError(f"unknown method {method!r}")
+        free = req.get("free_vars")
+        if req.get("op") == "answers" and free is None:
+            free = []
+        if free is not None:
+            if not isinstance(free, list) or not all(
+                isinstance(n, str) for n in free
+            ):
+                raise PayloadError("'free_vars' must be a list of names")
+            free_vars = tuple(objvar(n) for n in free)
+        else:
+            free_vars = None
+        query = parse_query(text, self.session.db)
+        return QueryRequest(
+            query, _SEMANTICS[semantics], method, free_vars=free_vars
+        )
+
+    def _resolve_read(self, conn: _Connection, req: dict) -> QueryRequest:
+        if "handle" in req:
+            handle = req["handle"]
+            try:
+                request = conn.handles[handle]
+            except KeyError:
+                raise PayloadError(f"unknown plan handle {handle!r}") from None
+        else:
+            request = self._parse_read(req)
+        # validate now: the batched path must raise (as an error reply)
+        # exactly where a sequential per-op loop would
+        request.prepare(self.session).validate()
+        return request
+
+    # -- replies ------------------------------------------------------------
+
+    def _reply(self, conn: _Connection, req: dict, payload: dict) -> None:
+        self._seq += 1
+        self.stats["requests"] += 1
+        rule = faults.fire(faults.SITE_CONN_DROP)
+        if rule is not None:
+            self.stats["conn_drops"] += 1
+            log.warning(
+                "fault server.conn.drop: severing conn %d before reply seq=%d",
+                conn.cid,
+                self._seq,
+            )
+            conn.release_slot()
+            conn.abort()
+            return
+        conn.push({"id": req.get("id"), "seq": self._seq, "ok": True, **payload})
+        conn.release_slot()
+
+    def _reply_error(self, conn: _Connection, req: dict, exc: Exception) -> None:
+        self._seq += 1
+        self.stats["errors"] += 1
+        log.debug(
+            "conn %d: op %r failed: %s", conn.cid, req.get("op"), exc
+        )
+        conn.push({
+            "id": req.get("id"),
+            "seq": self._seq,
+            "ok": False,
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        })
+        conn.release_slot()
+
+
+class ServerThread:
+    """A :class:`ReproServer` on a private event loop in a daemon thread.
+
+    The blocking-world adapter used by the CLI tests, the benchmark
+    harness and any caller that is not itself async::
+
+        thread = ServerThread(session)
+        host, port = thread.start()
+        ...ReproClient(host, port)...
+        thread.shutdown()          # graceful drain, then join
+
+    The session must not be touched by other threads while the server
+    runs — the engine loop is its single writer *and* single reader.
+    """
+
+    def __init__(self, session: Session, **kwargs) -> None:
+        self._session = session
+        self._kwargs = kwargs
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.server: ReproServer | None = None
+        self._thread = threading.Thread(
+            target=self._main, name="repro-server", daemon=True
+        )
+
+    def start(self) -> tuple[str, int]:
+        self._thread.start()
+        self._ready.wait(30)
+        if self._error is not None:
+            raise self._error
+        if self.server is None:  # pragma: no cover - startup wedged
+            raise RuntimeError("server thread failed to start")
+        return self.server.host, self.server.port
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - surfaced in start()
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self.server = ReproServer(self._session, **self._kwargs)
+        await self.server.start()
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.server.wait_drained()
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        """Request a graceful drain and join the thread (idempotent)."""
+        if (
+            self.server is not None
+            and self._loop is not None
+            and self._thread.is_alive()
+        ):
+            self._loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(self.server.drain())
+            )
+        self._thread.join(timeout)
+
+
+__all__ = [
+    "DEFAULT_MAX_INFLIGHT",
+    "ReproServer",
+    "ServerThread",
+]

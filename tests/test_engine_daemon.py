@@ -443,3 +443,38 @@ class TestPoolHardening:
         assert 1 <= _default_workers() <= 4  # falls back to the default cap
         monkeypatch.setenv("REPRO_POOL_MAX_WORKERS", "0")
         assert 1 <= _default_workers() <= 4  # must be >= 1
+
+
+class TestCleanShutdown:
+    """close() drains in-flight replies: no degrade noise, no broken pipes."""
+
+    def _pool(self):
+        db = IndefiniteDatabase.of(P(u), Q(v), lt(u, v))
+        return Session(db), DaemonPool(Session(db), workers=2)
+
+    def test_idle_close_logs_nothing(self, caplog):
+        import logging
+
+        _, pool = self._pool()
+        assert pool.parallel
+        with caplog.at_level(logging.WARNING, logger="repro.engine.pool"):
+            pool.close()
+        assert caplog.records == []
+
+    def test_close_with_inflight_batch_logs_nothing(self, caplog):
+        import logging
+
+        # the shutdown race this guards: workers mid-reply when close()
+        # tears the pool down must exit cleanly (replies drained before
+        # the pipes close), not surface as structured-degrade warnings
+        for _ in range(5):
+            _, pool = self._pool()
+            if not pool.parallel:  # pragma: no cover - restricted env
+                pool.close()
+                return
+            requests = [QueryRequest(ConjunctiveQuery.of(P(t1)))] * 8
+            pool.submit(requests)
+            with caplog.at_level(logging.WARNING, logger="repro.engine.pool"):
+                pool.close()
+            assert caplog.records == []
+            assert not pool.parallel

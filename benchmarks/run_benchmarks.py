@@ -284,6 +284,167 @@ def build_serve_benchmarks(quick: bool, seed: int):
         thread.shutdown()
 
 
+def build_replica_benchmarks(quick: bool, seed: int):
+    """Yield serve-pair rows for read scale-out over replica processes.
+
+    One ``repro serve`` primary (WAL-attached) versus the same primary
+    plus two ``--replica-of`` replicas sharing the read load through a
+    :class:`~repro.server.ReplicaRouter`.  Real subprocesses, not
+    in-process ``ServerThread``\\ s: three servers inside one interpreter
+    would share a GIL and the row would measure contention, not
+    scale-out.  Both sides run the identical read-only request mix
+    through a router (``read_primary=True``), so the only variable is
+    how many engine processes answer; ``results_match`` holds the reply
+    streams byte-for-byte equal (``applied_seq`` stripped along with
+    ``id``/``seq``).  Skipped in ``--quick`` and below 4 CPUs — the
+    primary, two replicas and the client need real cores for the 2x
+    ``--check`` gate to be physically reachable.
+    """
+    if quick or (os.cpu_count() or 1) < 4:
+        return
+    import shutil
+    import subprocess
+    import tempfile
+    import threading
+
+    from repro.server import ReplicaRouter, ReproClient
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-replica-bench-")
+    db_file = os.path.join(tmpdir, "db.txt")
+    wal_file = os.path.join(tmpdir, "bench.wal")
+    # a chain long enough that each read costs real engine time: the
+    # row must be dominated by server-side work, not client JSON
+    points = 28
+    atoms = []
+    for i in range(points):
+        atoms.append(f"{'On' if i % 2 == 0 else 'Off'}(p{i}, dev{i % 7})")
+    order = [f"p{i} < p{i + 1}" for i in range(points - 1)]
+    with open(db_file, "w") as fh:
+        fh.write("; ".join(atoms + order) + "\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+
+    def spawn(*argv):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", *argv,
+             "--port", "0", "--json"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        addr = json.loads(proc.stdout.readline())["listening"]
+        return proc, (addr["host"], addr["port"])
+
+    requests = 240
+    clients = 8
+    queries = [
+        (
+            "execute",
+            {
+                "query": "On(s, dev0) & Off(t, dev0) & s < t",
+                "semantics": "fin",
+                "method": "auto",
+            },
+        ),
+        (
+            "answers",
+            {
+                "query": "On(s, X) & Off(t, X) & s < t",
+                "free_vars": ["X"],
+                "semantics": "fin",
+            },
+        ),
+        (
+            "answers",
+            {
+                "query": "On(s, X) & Off(t, X) & Off(u, X) & s < t & t < u",
+                "free_vars": ["X"],
+                "semantics": "fin",
+            },
+        ),
+    ]
+
+    def strip(reply):
+        # applied_seq is replica routing metadata, id/seq are stamps;
+        # every other reply byte must be identical on both sides
+        return json.dumps(
+            {
+                k: v
+                for k, v in reply.items()
+                if k not in ("id", "seq", "applied_seq")
+            },
+            sort_keys=True,
+        )
+
+    procs = []
+    try:
+        primary, p_addr = spawn(db_file, "--wal", wal_file, "--sync", "flush")
+        procs.append(primary)
+        r_addrs = []
+        for _ in range(2):
+            proc, addr = spawn(
+                "-", "--replica-of", wal_file, "--poll-interval", "0.005"
+            )
+            procs.append(proc)
+            r_addrs.append(addr)
+        for addr in [p_addr] + r_addrs:  # warm every server's plan cache
+            with ReproClient(*addr) as client:
+                for op, fields in queries:
+                    client.call(op, **fields)
+
+        def drive(replicas):
+            """Run the mix through a router over the given replica set."""
+
+            def run(n=requests):
+                out: list[list[str]] = [[] for _ in range(clients)]
+
+                def worker(tid):
+                    with ReplicaRouter(
+                        p_addr,
+                        replicas,
+                        read_primary=True,
+                        wait_timeout=10.0,
+                    ) as router:
+                        for i in range(tid, n, clients):
+                            op, fields = queries[i % len(queries)]
+                            if op == "execute":
+                                reply = router.execute(**fields)
+                            else:
+                                reply = router.answers(**fields)
+                            out[tid].append(strip(reply))
+
+                workers = [
+                    threading.Thread(target=worker, args=(tid,))
+                    for tid in range(clients)
+                ]
+                for w in workers:
+                    w.start()
+                for w in workers:
+                    w.join()
+                return sorted(x for part in out for x in part)
+
+            return run
+
+        yield (
+            "serve/replica_scaleout",
+            {"requests": requests, "clients": clients, "replicas": 2},
+            drive([]),  # every read on the one primary process
+            drive(r_addrs),  # reads spread over three processes
+            [],
+            2,
+        )
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def build_wal_benchmarks(quick: bool, seed: int):
     """Yield ``(name, params, baseline_fn, guarded_fn, repeats)`` tuples.
 
@@ -946,8 +1107,12 @@ def main(argv=None) -> int:
             f"x{row['speedup']:<8} {match}"
         )
 
+    serve_gens = (
+        build_serve_benchmarks(args.quick, args.seed),
+        build_replica_benchmarks(args.quick, args.seed),
+    )
     for name, params, serial_fn, concurrent_fn, latencies, repeats in (
-        build_serve_benchmarks(args.quick, args.seed)
+        row_spec for gen in serve_gens for row_spec in gen
     ):
         row = _run_serve_pair(
             name, params, serial_fn, concurrent_fn, latencies, repeats
@@ -1016,6 +1181,9 @@ def main(argv=None) -> int:
                     "engine/stream_parallel",
                     # multiplexed pipelined clients vs connect-per-request
                     "serve/throughput",
+                    # reads over 3 server processes vs 1; skipped (never
+                    # gated) in --quick and below 4 CPUs
+                    "serve/replica_scaleout",
                 )
             )
             if gated and row["speedup"] is not None:

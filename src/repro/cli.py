@@ -22,7 +22,9 @@ Commands:
 * ``serve DB``         — host the session behind the socket protocol of
   :mod:`repro.server` (``--port``, ``--wal`` for a durable session with
   group-commit syncing, ``--workers`` for a daemon pool); drains
-  gracefully on SIGTERM/SIGINT;
+  gracefully on SIGTERM/SIGINT; ``serve - --replica-of WAL`` instead
+  hosts a *read-only replica* tailing a primary's log (reads only,
+  ``applied_seq`` consistency tokens, primary-death detection);
 * ``models DB``        — count (or ``--list``) the minimal models;
 * ``classify DB QUERY``— the Tables 1-2 complexity profile;
 * ``width DB``         — the database's width and a maximum antichain;
@@ -45,7 +47,11 @@ command are appended to the log, so a later invocation — or ``recover``
 The same four commands accept ``--connect HOST:PORT`` to run against a
 live ``repro serve`` instance instead of a local session: the query or
 stream is shipped over the wire, the server's shared session answers,
-and DB is ignored (pass ``-``).  ``--wal`` and ``--connect`` are
+and DB is ignored (pass ``-``).  A comma-separated ``--connect``
+list — primary first, replicas after — routes through a
+:class:`repro.server.client.ReplicaRouter` instead: reads go to
+replicas under read-your-writes gating with retry/backoff and
+failover, writes go to the primary.  ``--wal`` and ``--connect`` are
 mutually exclusive — durability lives with the server.
 """
 
@@ -125,16 +131,28 @@ def _parse_connect(value: str) -> tuple[str, int]:
 
 
 def _remote_client(args):
-    """A connected ReproClient for a ``--connect`` invocation."""
+    """A connected client for a ``--connect`` invocation.
+
+    A single ``HOST:PORT`` yields a plain ``ReproClient``.  A
+    comma-separated list — primary first, replicas after — yields a
+    ``ReplicaRouter``: reads round-robin over the replicas with
+    read-your-writes gating and failover, writes go to the primary.
+    """
     if getattr(args, "wal", None):
         raise SystemExit(
             "--wal and --connect are mutually exclusive: durability "
             "belongs to the server"
         )
-    from repro.server import ReproClient
+    from repro.server import ReplicaRouter, ReproClient
 
-    host, port = _parse_connect(args.connect)
-    return ReproClient(host, port)
+    endpoints = [part for part in args.connect.split(",") if part.strip()]
+    if not endpoints:
+        raise SystemExit(f"--connect wants HOST:PORT[,...], got {args.connect!r}")
+    if len(endpoints) == 1:
+        host, port = _parse_connect(endpoints[0])
+        return ReproClient(host, port)
+    primary, *replicas = (_parse_connect(part) for part in endpoints)
+    return ReplicaRouter(primary, replicas)
 
 
 def _remote_query(args: argparse.Namespace) -> int:
@@ -272,23 +290,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         level=logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
-    db = _load_database(args.database)
-    if args.wal:
-        if pathlib.Path(snap_path(args.wal)).exists():
-            session = Session.recover(args.wal)
-        else:
-            session = Session(db)
-        wal = WriteAheadLog(args.wal, sync=args.sync).attach(session)
+    if args.replica_of:
+        if args.wal:
+            raise SystemExit(
+                "--replica-of and --wal are mutually exclusive: a replica "
+                "tails a primary's log, it does not own one"
+            )
+        if args.workers:
+            raise SystemExit("--workers applies to the primary, not replicas")
+        # the primary may still be coming up: wait for its snapshot
+        deadline = time.monotonic() + args.replica_wait
+        while (
+            not pathlib.Path(snap_path(args.replica_of)).exists()
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        server = ReproServer(
+            None,
+            args.host,
+            args.port,
+            max_inflight=args.max_inflight,
+            replica_of=args.replica_of,
+            poll_interval=args.poll_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+        )
     else:
-        session, wal = Session(db), None
-    server = ReproServer(
-        session,
-        args.host,
-        args.port,
-        wal=wal,
-        workers=args.workers,
-        max_inflight=args.max_inflight,
-    )
+        db = _load_database(args.database)
+        if args.wal:
+            if pathlib.Path(snap_path(args.wal)).exists():
+                session = Session.recover(args.wal)
+            else:
+                session = Session(db)
+            wal = WriteAheadLog(args.wal, sync=args.sync).attach(session)
+        else:
+            session, wal = Session(db), None
+        server = ReproServer(
+            session,
+            args.host,
+            args.port,
+            wal=wal,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            heartbeat_interval=args.heartbeat_interval,
+        )
 
     async def _main() -> None:
         import signal as _signal
@@ -616,21 +660,23 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
 def _cmd_recover(args: argparse.Namespace) -> int:
     """Rebuild the session persisted in a write-ahead log; report it."""
-    from repro.engine.wal import WriteAheadLog, read_log, recover
+    from repro.engine.wal import WalMark, WriteAheadLog, read_log, recover
 
     session = recover(args.wal)
     base, clean, records = read_log(args.wal)
     size = pathlib.Path(args.wal).stat().st_size
     gens = session._gens()
-    replayed = sum(1 for d in records if sum(d.gens) > base)
+    deltas = [d for d in records if not isinstance(d, WalMark)]
+    replayed = sum(1 for d in deltas if sum(d.gens) > base)
     payload = {
         "atoms": session.size(),
         "proper_atoms": len(session.db.proper_atoms),
         "order_atoms": len(session.db.order_atoms),
         "gens": list(gens),
         "log_records": len(records),
+        "marks": len(records) - len(deltas),
         "replayed": replayed,
-        "skipped": len(records) - replayed,
+        "skipped": len(deltas) - replayed,
         "torn_bytes": size - clean,
         "compacted": bool(args.compact),
     }
@@ -645,7 +691,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
           f"{payload['order_atoms']} order), generations {gens}")
     print(f"log: {payload['log_records']} records "
           f"({replayed} replayed, {payload['skipped']} below the "
-          f"snapshot epoch)")
+          f"snapshot epoch, {payload['marks']} seq marks)")
     if payload["torn_bytes"]:
         print(f"torn tail ignored: {payload['torn_bytes']} byte(s)")
     if args.compact:
@@ -773,9 +819,10 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--wal", metavar="PATH", default=None,
                    help="durable session: recover from / log to this "
                         "write-ahead log")
-    q.add_argument("--connect", metavar="HOST:PORT", default=None,
+    q.add_argument("--connect", metavar="HOST:PORT[,...]", default=None,
                    help="run against a live `repro serve` instance "
-                        "(DATABASE is ignored; pass -)")
+                        "(DATABASE is ignored; pass -); a comma-separated "
+                        "list routes reads over replicas (primary first)")
     q.set_defaults(func=_cmd_query)
 
     a = sub.add_parser("answers", help="certain answers of an open query")
@@ -789,9 +836,10 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--wal", metavar="PATH", default=None,
                    help="durable session: recover from / log to this "
                         "write-ahead log")
-    a.add_argument("--connect", metavar="HOST:PORT", default=None,
+    a.add_argument("--connect", metavar="HOST:PORT[,...]", default=None,
                    help="run against a live `repro serve` instance "
-                        "(DATABASE is ignored; pass -)")
+                        "(DATABASE is ignored; pass -); a comma-separated "
+                        "list routes reads over replicas (primary first)")
     a.set_defaults(func=_cmd_answers)
 
     bt = sub.add_parser(
@@ -810,9 +858,10 @@ def build_parser() -> argparse.ArgumentParser:
     bt.add_argument("--wal", metavar="PATH", default=None,
                     help="durable session: recover from / log to this "
                          "write-ahead log (stream writes are appended)")
-    bt.add_argument("--connect", metavar="HOST:PORT", default=None,
+    bt.add_argument("--connect", metavar="HOST:PORT[,...]", default=None,
                     help="run against a live `repro serve` instance "
-                         "(DATABASE is ignored; pass -)")
+                         "(DATABASE is ignored; pass -); a comma-separated "
+                         "list routes reads over replicas (primary first)")
     bt.set_defaults(func=_cmd_batch)
 
     wt = sub.add_parser(
@@ -830,9 +879,10 @@ def build_parser() -> argparse.ArgumentParser:
     wt.add_argument("--wal", metavar="PATH", default=None,
                     help="durable session: recover from / log to this "
                          "write-ahead log (stream writes are appended)")
-    wt.add_argument("--connect", metavar="HOST:PORT", default=None,
+    wt.add_argument("--connect", metavar="HOST:PORT[,...]", default=None,
                     help="run against a live `repro serve` instance "
-                         "(DATABASE is ignored; pass -)")
+                         "(DATABASE is ignored; pass -); a comma-separated "
+                         "list routes reads over replicas (primary first)")
     wt.set_defaults(func=_cmd_watch)
 
     sv = sub.add_parser(
@@ -856,6 +906,20 @@ def build_parser() -> argparse.ArgumentParser:
                          "(0/1 = in-process)")
     sv.add_argument("--max-inflight", type=int, default=32,
                     help="per-connection inflight-op cap (backpressure)")
+    sv.add_argument("--replica-of", metavar="WAL", default=None,
+                    help="serve a read-only replica tailing this primary "
+                         "WAL (DATABASE is ignored; pass -)")
+    sv.add_argument("--poll-interval", type=float, default=0.05,
+                    help="replica: background WAL poll period in seconds")
+    sv.add_argument("--heartbeat-interval", type=float, default=1.0,
+                    help="primary with --wal: seconds between liveness "
+                         "marks appended to the log")
+    sv.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                    help="replica: primary presumed dead after this many "
+                         "seconds without log activity")
+    sv.add_argument("--replica-wait", type=float, default=10.0,
+                    help="replica: seconds to wait for the primary's WAL "
+                         "snapshot to appear at startup")
     sv.add_argument("--json", action="store_true",
                     help="machine-readable listening/drained lines")
     sv.set_defaults(func=_cmd_serve)

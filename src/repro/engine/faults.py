@@ -33,6 +33,16 @@ The sites (each hooked where the comment says):
 ``server.conn.drop``      the serving tier severs a client connection
                           right before writing a reply — the client sees
                           EOF mid-request, the server must stay up
+``server.replica.lag``    a replica server skips its per-run WAL poll, so
+                          its session falls behind the primary (clients
+                          must wait or fall back per ``applied_seq``)
+``server.replica.crash``  a replica server aborts every open connection
+                          right before a reply — a simulated replica
+                          process crash; the listener stays up, so this
+                          doubles as an instant supervised restart
+``wal.follower.stall``    :meth:`WalFollower.poll` returns without
+                          scanning — a stuck change feed (the replica
+                          keeps serving its stale state)
 ========================  ==================================================
 
 Rules install in-process (:func:`install`) or through the environment
@@ -76,6 +86,9 @@ SITE_RESYNC_DROP = "pool.resync.drop"
 SITE_WAL_TORN = "wal.torn_write"
 SITE_WAL_COMPACT = "wal.compact.crash"
 SITE_CONN_DROP = "server.conn.drop"
+SITE_REPLICA_LAG = "server.replica.lag"
+SITE_REPLICA_CRASH = "server.replica.crash"
+SITE_FOLLOWER_STALL = "wal.follower.stall"
 
 SITES = (
     SITE_WORKER_CRASH,
@@ -85,6 +98,9 @@ SITES = (
     SITE_WAL_TORN,
     SITE_WAL_COMPACT,
     SITE_CONN_DROP,
+    SITE_REPLICA_LAG,
+    SITE_REPLICA_CRASH,
+    SITE_FOLLOWER_STALL,
 )
 
 
@@ -283,6 +299,9 @@ __all__ = [
     "InjectedCrash",
     "SITES",
     "SITE_CONN_DROP",
+    "SITE_FOLLOWER_STALL",
+    "SITE_REPLICA_CRASH",
+    "SITE_REPLICA_LAG",
     "SITE_RESYNC_DROP",
     "SITE_WAL_COMPACT",
     "SITE_WAL_TORN",

@@ -53,10 +53,20 @@ observers, e.g. :class:`~repro.engine.views.MaterializedView`, fire
 exactly as if the mutations were local.  Compaction under the follower's
 feet is detected and handled by rebasing onto the new snapshot.
 
+**Marks.**  Besides mutation deltas the log may carry :class:`WalMark`
+records — tiny ``(seq, wall)`` stamps appended by the serving tier's
+primary after each acknowledged write and periodically as heartbeats.
+They carry no session state: recovery and log replay skip them, and
+they do not count toward ``compact_every``.  A :class:`WalFollower`
+folds them into :attr:`~WalFollower.applied_seq` (the primary ``seq``
+covered by the replica's state, the read-your-writes token) and
+:attr:`~WalFollower.last_mark_wall` (primary-liveness evidence).
+
 Fault-injection sites (:mod:`repro.engine.faults`): ``wal.torn_write``
 makes :meth:`WriteAheadLog.append` write only a prefix of a record and
 die; ``wal.compact.crash`` kills :meth:`WriteAheadLog.compact` between
-its non-atomic steps.
+its non-atomic steps; ``wal.follower.stall`` makes
+:meth:`WalFollower.poll` skip its scan (a stuck feed).
 """
 
 from __future__ import annotations
@@ -67,8 +77,9 @@ import os
 import pickle
 import struct
 import threading
+import time
 import zlib
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, NamedTuple
 
 from repro.core.atoms import OrderAtom, ProperAtom, Rel
 from repro.core.database import IndefiniteDatabase
@@ -220,9 +231,13 @@ def _encode_delta(delta: "SnapshotDelta") -> bytes:
 
 def _decode_delta(payload: bytes) -> "SnapshotDelta":
     """Rebuild a :class:`~repro.api.session.SnapshotDelta` from a record."""
+    return _delta_from_fields(pickle.loads(payload))
+
+
+def _delta_from_fields(fields: tuple) -> "SnapshotDelta":
     from repro.api.session import SnapshotDelta
 
-    ap, rp, ao, ro, gens, graph, label, object_ = pickle.loads(payload)
+    ap, rp, ao, ro, gens, graph, label, object_ = fields
 
     def proper(entries):
         return tuple(
@@ -254,12 +269,51 @@ def _decode_delta(payload: bytes) -> "SnapshotDelta":
     )
 
 
+class WalMark(NamedTuple):
+    """A stateless log record: primary ``seq`` stamp + wall-clock time.
+
+    The serving tier's primary appends one after each acknowledged
+    write (so replicas learn which ``seq`` their state covers) and
+    periodically as a heartbeat (so replicas can tell a quiet primary
+    from a dead one).
+    """
+
+    seq: int
+    wall: float
+
+
+#: First element of a mark payload tuple.  Delta payloads start with a
+#: tuple of atoms, so the tag is unambiguous against every delta ever
+#: written — old logs decode unchanged, old readers never see marks.
+_MARK_TAG = "__repro_mark__"
+
+
+def _encode_mark(seq: int, wall: float) -> bytes:
+    """A :class:`WalMark` record's payload."""
+    return pickle.dumps(
+        (_MARK_TAG, int(seq), float(wall)),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _decode_record(payload: bytes) -> "SnapshotDelta | WalMark":
+    """Rebuild one record: a mutation delta or a :class:`WalMark`."""
+    fields = pickle.loads(payload)
+    if (
+        isinstance(fields, tuple)
+        and len(fields) == 3
+        and fields[0] == _MARK_TAG
+    ):
+        return WalMark(int(fields[1]), float(fields[2]))
+    return _delta_from_fields(fields)
+
+
 # -- log frames --------------------------------------------------------------
 
 
 def _scan_frame_bytes(
     raw: bytes, offset: int
-) -> tuple[int, list["SnapshotDelta"]]:
+) -> tuple[int, list["SnapshotDelta | WalMark"]]:
     """Walk intact frames in ``raw`` starting at ``offset``.
 
     Returns ``(clean_offset, records)`` where ``clean_offset`` is the
@@ -267,7 +321,7 @@ def _scan_frame_bytes(
     is a torn or corrupt tail.  Used on whole files (after the header)
     and on incremental tails read by :class:`WalFollower`.
     """
-    records: list["SnapshotDelta"] = []
+    records: list["SnapshotDelta | WalMark"] = []
     while True:
         if offset + _FRAME.size > len(raw):
             break
@@ -280,14 +334,14 @@ def _scan_frame_bytes(
         if zlib.crc32(payload) != crc:
             break
         try:
-            records.append(_decode_delta(payload))
+            records.append(_decode_record(payload))
         except Exception:  # a crc collision over garbage — treat as torn
             break
         offset = end
     return offset, records
 
 
-def _scan_frames(raw: bytes) -> tuple[int, list["SnapshotDelta"]]:
+def _scan_frames(raw: bytes) -> tuple[int, list["SnapshotDelta | WalMark"]]:
     """Walk the frames in ``raw`` (header included).
 
     Returns ``(clean_length, records)`` where ``clean_length`` is the
@@ -304,11 +358,13 @@ def _scan_frames(raw: bytes) -> tuple[int, list["SnapshotDelta"]]:
 
 def read_log(
     path: str,
-) -> tuple[int, int, list["SnapshotDelta"]]:
+) -> tuple[int, int, list["SnapshotDelta | WalMark"]]:
     """Read the log at ``path``: ``(base_epoch, clean_length, records)``.
 
-    Torn/corrupt tail bytes are *reported* (via ``clean_length`` <
-    file size) but not modified — callers that own the file truncate.
+    ``records`` mixes mutation deltas and :class:`WalMark` stamps, in
+    log order.  Torn/corrupt tail bytes are *reported* (via
+    ``clean_length`` < file size) but not modified — callers that own
+    the file truncate.
     """
     with open(path, "rb") as fh:
         raw = fh.read()
@@ -403,7 +459,9 @@ class WriteAheadLog:
             self._fh = open(self.path, "r+b")
             self._fh.truncate(clean)
             self._fh.seek(clean)
-            self._since_compact = len(records)
+            self._since_compact = sum(
+                1 for r in records if not isinstance(r, WalMark)
+            )
         else:
             _write_snapshot(
                 self.path,
@@ -527,6 +585,24 @@ class WriteAheadLog:
             self._fh.write(torn)
             self._fh.flush()
             raise faults.InjectedCrash("wal.torn_write")
+        self._write_frame(frame)
+        self._since_compact += 1
+        if self.compact_every and self._since_compact >= self.compact_every:
+            self.compact()
+
+    def append_mark(self, seq: int, wall: float | None = None) -> None:
+        """Append a :class:`WalMark` (``seq`` stamp / heartbeat) record.
+
+        Marks ride the same sync policy as mutation records but carry
+        no session state and do not count toward ``compact_every``.
+        """
+        if self._fh is None:
+            raise WalError("log is not open")
+        payload = _encode_mark(seq, time.time() if wall is None else wall)
+        self._write_frame(_FRAME.pack(len(payload), zlib.crc32(payload)) + payload)
+
+    def _write_frame(self, frame: bytes) -> None:
+        """Write one framed record honoring the sync policy."""
         if self.sync == "group":
             with self._lock:
                 self._fh.write(frame)
@@ -548,9 +624,6 @@ class WriteAheadLog:
         else:
             self._fh.write(frame)
             self._sync()
-        self._since_compact += 1
-        if self.compact_every and self._since_compact >= self.compact_every:
-            self.compact()
 
     def compact(self) -> None:
         """Fold the log into a fresh snapshot and truncate it.
@@ -598,31 +671,58 @@ class WriteAheadLog:
 # -- recovery ----------------------------------------------------------------
 
 
-def recover(path: str, plan_cache_limit: int | None = None) -> "Session":
-    """Rebuild the session persisted in the WAL at ``path``.
+def _load_state(
+    path: str, plan_cache_limit: int | None = None
+) -> tuple["Session", int, int, list["SnapshotDelta | WalMark"]]:
+    """One *consistent* snapshot + log read, replayed into a session.
 
-    Last snapshot + replay of every intact record with a later epoch.
-    The result is a plain live :class:`~repro.api.session.Session` —
-    re-attach a :class:`WriteAheadLog` to keep logging.
+    Returns ``(session, log_base, clean_length, records)`` where
+    ``session`` already has every intact post-snapshot record applied
+    and ``clean_length`` is the log offset just past the last record
+    folded in — so a follower can cache it as its tail position with no
+    window for records to slip between a replay read and an offset read
+    (the race the old two-read recover/``read_log`` dance had).
+
+    A live writer may :meth:`WriteAheadLog.compact` between our two file
+    reads.  Both compaction and attach replace the snapshot *before*
+    resetting the log, so a consistent pair always has
+    ``log_base <= snapshot epoch``; observing the opposite means the
+    snapshot we read is older than the log — re-read the pair.
     """
     from repro.api.session import Session
 
-    snap = _read_snapshot(path)
-    if snap is None:
-        raise WalError(f"no WAL snapshot at {snap_path(path)!r}")
-    proper, order, gens = snap
+    for _attempt in range(8):
+        snap = _read_snapshot(path)
+        if snap is None:
+            raise WalError(f"no WAL snapshot at {snap_path(path)!r}")
+        proper, order, gens = snap
+        try:
+            base, clean, records = read_log(path)
+        except FileNotFoundError:
+            base, clean, records = _epoch(gens), _HEADER.size, []
+        if base <= _epoch(gens):
+            break
+        log.info(
+            "snapshot/log pair at %s raced a compaction "
+            "(log base %d > snapshot epoch %d); re-reading",
+            path,
+            base,
+            _epoch(gens),
+        )
+    else:
+        raise WalError(
+            f"snapshot/log pair at {path!r} would not settle after 8 reads"
+        )
     kwargs = {} if plan_cache_limit is None else {
         "plan_cache_limit": plan_cache_limit
     }
     session = Session(IndefiniteDatabase(proper, order), **kwargs)
     (session._graph_gen, session._label_gen, session._object_gen) = gens
     base_epoch = _epoch(gens)
-    try:
-        _file_base, _clean, records = read_log(path)
-    except FileNotFoundError:
-        records = []
     skipped = 0
     for delta in records:
+        if isinstance(delta, WalMark):
+            continue
         if _epoch(delta.gens) <= base_epoch:
             skipped += 1  # pre-compaction debris (crash before truncate)
             continue
@@ -634,7 +734,18 @@ def recover(path: str, plan_cache_limit: int | None = None) -> "Session":
             base_epoch,
             path,
         )
-    return session
+    return session, base, clean, records
+
+
+def recover(path: str, plan_cache_limit: int | None = None) -> "Session":
+    """Rebuild the session persisted in the WAL at ``path``.
+
+    Last snapshot + replay of every intact record with a later epoch
+    (:class:`WalMark` stamps are skipped — they carry no state).  The
+    result is a plain live :class:`~repro.api.session.Session` —
+    re-attach a :class:`WriteAheadLog` to keep logging.
+    """
+    return _load_state(path, plan_cache_limit=plan_cache_limit)[0]
 
 
 # -- change feed -------------------------------------------------------------
@@ -659,26 +770,57 @@ class WalFollower:
     epoch moved) and handled by *rebasing*: recover the new on-disk
     state into a scratch session and apply the difference to the replica
     as one synthetic delta — same observer semantics, no state loss.
+
+    Read-your-writes bookkeeping: :attr:`applied_seq` is the highest
+    primary ``seq`` marked at or before the follower's position (0 when
+    the log has no marks), and :attr:`last_mark_wall` the wall-clock
+    stamp of the latest mark seen — the serving tier's replica mode
+    uses the pair for consistency gating and primary-death detection.
+    :attr:`polls` and :attr:`rebases` count for health reporting.
     """
 
     def __init__(self, path: str, plan_cache_limit: int | None = None) -> None:
         self.path = path
         self._plan_cache_limit = plan_cache_limit
-        self.session = recover(path, plan_cache_limit=plan_cache_limit)
-        self._epoch = _epoch(self.session._gens())
+        #: highest primary ``seq`` covered by :attr:`session`'s state.
+        self.applied_seq = 0
+        #: wall-clock stamp of the newest :class:`WalMark` seen, if any.
+        self.last_mark_wall: float | None = None
+        #: poll attempts that actually scanned (health reporting).
+        self.polls = 0
+        #: compaction rebases performed (health reporting).
+        self.rebases = 0
+        # Stat before reading: if a compaction lands between the stat
+        # and the read we cache the OLD inode against the NEW file and
+        # the next poll takes the slow path — the safe direction.
         try:
             self._ino = os.stat(path).st_ino
         except OSError:
             self._ino = -1
-        base, clean, _records = read_log(path)
-        self._base = base
-        self._offset = clean
+        self.session, self._base, self._offset, records = _load_state(
+            path, plan_cache_limit=plan_cache_limit
+        )
+        self._epoch = _epoch(self.session._gens())
+        self._fold_marks(records)
+
+    def _fold_marks(self, records: list["SnapshotDelta | WalMark"]) -> None:
+        for record in records:
+            if isinstance(record, WalMark):
+                if record.seq > self.applied_seq:
+                    self.applied_seq = record.seq
+                self.last_mark_wall = record.wall
 
     def poll(self) -> int:
         """Apply records appended since the last poll; count applied.
 
         A rebase after writer-side compaction counts as one application
-        when the state actually changed.
+        when the state actually changed; :class:`WalMark` records update
+        :attr:`applied_seq` / :attr:`last_mark_wall` but do not count.
+
+        A torn tail — a frame the writer is mid-append on, or crash
+        debris — is *never* an error here: the scan stops at the last
+        intact frame and the next poll retries from there.  (Fault site
+        ``wal.follower.stall`` makes the whole poll a no-op.)
 
         Polling is built to be cheap enough for a tight tailing loop
         (the serving tier's ``watch`` path calls it per client tick):
@@ -696,6 +838,8 @@ class WalFollower:
           compaction rebase) plus the bytes past our cached offset,
           never the whole file.
         """
+        if faults.fire(faults.SITE_FOLLOWER_STALL) is not None:
+            return 0
         try:
             st = os.stat(self.path)
             size = st.st_size
@@ -707,6 +851,7 @@ class WalFollower:
             and size > _HEADER.size
         ):
             return 0
+        self.polls += 1
         self._ino = st.st_ino
         try:
             with open(self.path, "rb") as fh:
@@ -720,23 +865,46 @@ class WalFollower:
                 tail = fh.read()
         except FileNotFoundError:
             return 0
-        clean, records = _scan_frame_bytes(tail, 0)
+        except OSError:  # pragma: no cover - transient FS trouble
+            return 0
+        try:
+            clean, records = _scan_frame_bytes(tail, 0)
+        except Exception:  # defensive: racing garbage must not poison the feed
+            log.warning(
+                "follower: unreadable tail at offset %d in %s; will retry",
+                self._offset,
+                self.path,
+            )
+            return 0
         applied = 0
-        for delta in records:
-            if _epoch(delta.gens) <= self._epoch:
+        for record in records:
+            if isinstance(record, WalMark):
+                if record.seq > self.applied_seq:
+                    self.applied_seq = record.seq
+                self.last_mark_wall = record.wall
                 continue
-            self.session.apply_snapshot_delta(delta)
-            self._epoch = _epoch(delta.gens)
+            if _epoch(record.gens) <= self._epoch:
+                continue
+            self.session.apply_snapshot_delta(record)
+            self._epoch = _epoch(record.gens)
             applied += 1
         self._offset += clean
         return applied
 
     def _rebase(self) -> int:
-        """The writer compacted: jump the replica to the new on-disk state."""
-        recovered = recover(self.path, plan_cache_limit=self._plan_cache_limit)
-        base, clean, _records = read_log(self.path)
+        """The writer compacted: jump the replica to the new on-disk state.
+
+        One consistent :func:`_load_state` read supplies the recovered
+        state *and* the tail offset it corresponds to, so no record can
+        slip between a replay read and an offset read.
+        """
+        self.rebases += 1
+        recovered, base, clean, records = _load_state(
+            self.path, plan_cache_limit=self._plan_cache_limit
+        )
         self._base = base
         self._offset = clean
+        self._fold_marks(records)
         delta = recovered.snapshot_delta(self.session)
         if delta is None:
             self._epoch = _epoch(self.session._gens())
@@ -749,6 +917,7 @@ class WalFollower:
 __all__ = [
     "WalError",
     "WalFollower",
+    "WalMark",
     "WriteAheadLog",
     "read_log",
     "recover",

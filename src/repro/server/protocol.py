@@ -23,6 +23,20 @@ concurrent-equals-sequential differential checkable)::
 Server-pushed frames (``watch`` deltas) have an ``event`` field instead
 of ``id``; clients must tolerate them between any two replies.
 
+Replica extensions (``repro serve --replica-of``) ride the same frames:
+
+* every reply from a replica — ok or error — additionally carries
+  ``applied_seq``, the primary ``seq`` of the last WAL record the
+  replica's session has applied (its read-your-writes token);
+* read requests may carry ``min_seq``: a replica whose ``applied_seq``
+  is still below it answers with a structured :class:`ReplicaLagging`
+  error instead of serving stale state (primaries ignore the field);
+* write/watch/prepare ops sent to a replica get a structured
+  :class:`ReadOnly` error — those ops belong to the primary.
+
+Both replica errors keep the connection open: they are routing signals
+for :class:`~repro.server.client.ReplicaRouter`, not protocol damage.
+
 Failure taxonomy — the split every handler relies on:
 
 * :class:`PayloadError` — the *frame* was well-formed but its body was
@@ -60,6 +74,24 @@ class FrameError(ProtocolError):
 
 class PayloadError(ProtocolError):
     """A well-framed but undecodable body: reply with an error, keep going."""
+
+
+class ReadOnly(ProtocolError):
+    """A write/watch/prepare op reached a read-only replica.
+
+    Surfaced to clients as an ``ok: false`` reply with error type
+    ``"ReadOnly"``; the router reacts by sending the op to the primary.
+    """
+
+
+class ReplicaLagging(ProtocolError):
+    """A read's ``min_seq`` is ahead of the replica's ``applied_seq``.
+
+    Surfaced as error type ``"ReplicaLagging"``; the router reacts by
+    backing off and retrying, or falling back to the primary once its
+    bounded wait expires.  Serving the read anyway would break
+    read-your-writes.
+    """
 
 
 def encode_frame(payload: dict, max_frame: int = MAX_FRAME) -> bytes:
@@ -138,6 +170,8 @@ __all__ = [
     "MAX_FRAME",
     "PayloadError",
     "ProtocolError",
+    "ReadOnly",
+    "ReplicaLagging",
     "encode_frame",
     "read_frame_async",
     "read_frame_sync",

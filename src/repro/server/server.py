@@ -42,9 +42,24 @@ Robustness contract (each part tested in ``tests/test_server.py``):
   engine never blocks on a slow client's socket; an outbox growing past
   its cap aborts that connection rather than the server.
 
-Fault site ``server.conn.drop`` (:mod:`repro.engine.faults`) severs a
+**Replica mode** (``replica_of=path``): instead of owning a writable
+session, the server hosts a read-only :class:`~repro.engine.wal.WalFollower`
+session tailing a primary's WAL.  The engine loop polls the log before
+every run (plus a background tick), so reads see the freshest applied
+state; every reply carries ``applied_seq`` — the primary ``seq`` of the
+last WAL mark applied — which is the client's read-your-writes token.
+Write/watch/prepare ops are rejected with a structured ``ReadOnly``
+error, and a read whose ``min_seq`` is ahead of ``applied_seq`` gets
+``ReplicaLagging`` instead of stale data.  A primary with a WAL appends
+one :class:`~repro.engine.wal.WalMark` after every acknowledged write
+and a periodic heartbeat mark, which is also how replicas tell a quiet
+primary from a dead one (``stats`` reports ``primary_alive``).
+
+Fault sites (:mod:`repro.engine.faults`): ``server.conn.drop`` severs a
 connection at reply time — the harness for client-visible partial
-failure.
+failure; ``server.replica.lag`` skips a replica's WAL poll;
+``server.replica.crash`` aborts every connection of a replica before a
+reply — a simulated replica crash with instant supervised restart.
 """
 
 from __future__ import annotations
@@ -54,6 +69,8 @@ import itertools
 import logging
 import signal
 import threading
+import time
+from contextlib import suppress
 
 from repro.api.session import Session
 from repro.cli import _METHODS, _SEMANTICS, _parse_stream_line, _result_payload
@@ -61,10 +78,13 @@ from repro.core.sorts import objvar
 from repro.engine import faults
 from repro.engine.batch import Mutation, QueryRequest, execute_many, execute_stream
 from repro.engine.views import MaterializedView
+from repro.engine.wal import WalError, WalFollower
 from repro.server.protocol import (
     MAX_FRAME,
     FrameError,
     PayloadError,
+    ReadOnly,
+    ReplicaLagging,
     encode_frame,
     read_frame_async,
 )
@@ -79,6 +99,14 @@ DEFAULT_MAX_INFLIGHT = 32
 #: Most ops the engine loop pulls into one drain (and hence one
 #: read-batching opportunity).
 _ENGINE_RUN_CAP = 1024
+
+#: Ops a replica cannot serve: anything that writes shared state or
+#: subscribes to the primary's write path.  (``prepare`` is also here:
+#: its handle would pin a plan on one replica while the router is free
+#: to send the next read elsewhere.)
+_PRIMARY_ONLY_OPS = frozenset(
+    ("prepare", "release", "assert", "retract", "batch", "watch", "unwatch")
+)
 
 
 class _Connection:
@@ -167,11 +195,17 @@ class ReproServer:
     await :meth:`wait_drained` yourself.  ``workers > 1`` routes read
     batches and ``batch`` streams over a persistent
     :class:`~repro.engine.pool.DaemonPool`.
+
+    ``replica_of=path`` instead makes this a read-only replica: pass
+    ``session=None`` — :meth:`start` builds the session from the WAL at
+    ``path`` via :class:`~repro.engine.wal.WalFollower` and keeps it
+    tailing the primary (see the module docstring for the consistency
+    contract).
     """
 
     def __init__(
         self,
-        session: Session,
+        session: Session | None,
         host: str = "127.0.0.1",
         port: int = 0,
         *,
@@ -179,9 +213,18 @@ class ReproServer:
         workers: int = 0,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         max_frame: int = MAX_FRAME,
+        replica_of: str | None = None,
+        poll_interval: float = 0.05,
+        heartbeat_interval: float | None = 1.0,
+        heartbeat_timeout: float = 5.0,
     ) -> None:
         if max_inflight <= 0:
             raise ValueError("max_inflight must be positive")
+        if replica_of is not None and wal is not None:
+            raise ValueError("a server is a primary (wal=) or a replica "
+                             "(replica_of=), not both")
+        if replica_of is None and session is None:
+            raise ValueError("a primary server needs a session")
         self.session = session
         self.host = host
         self.port = port
@@ -189,7 +232,18 @@ class ReproServer:
         self.workers = workers
         self.max_inflight = max_inflight
         self.max_frame = max_frame
+        self.replica_of = replica_of
+        self.poll_interval = poll_interval
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
         self._pool = None
+        self._follower: WalFollower | None = None
+        self._poll_task: asyncio.Task | None = None
+        self._heartbeat_task: asyncio.Task | None = None
+        # monotonic stamp of the last observed primary progress (marks
+        # or applied records); replicas compare it to heartbeat_timeout
+        self._primary_seen = 0.0
+        self._primary_alive = True
         self._server: asyncio.AbstractServer | None = None
         self._engine_task: asyncio.Task | None = None
         self._queue: asyncio.Queue | None = None
@@ -208,6 +262,8 @@ class ReproServer:
             "watch_events": 0,
             "conn_drops": 0,
         }
+        if replica_of is not None:
+            self.stats.update({"lag_skips": 0, "replica_crashes": 0})
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -215,6 +271,16 @@ class ReproServer:
         """Bind the listener and start the engine loop."""
         self._queue = asyncio.Queue()
         self._drained = asyncio.Event()
+        if self.replica_of is not None:
+            self._follower = WalFollower(self.replica_of)
+            self.session = self._follower.session
+            self._primary_seen = time.monotonic()
+            self._poll_task = asyncio.create_task(self._poll_loop())
+        elif self.wal is not None and self.heartbeat_interval:
+            # One mark up front so a replica attaching now already has
+            # a liveness stamp, then the periodic heartbeat.
+            self.wal.append_mark(self._seq)
+            self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
         if self.workers > 1 and self._pool is None:
             from repro.engine.pool import DaemonPool
 
@@ -225,12 +291,14 @@ class ReproServer:
         self.port = self._server.sockets[0].getsockname()[1]
         self._engine_task = asyncio.create_task(self._engine_loop())
         log.info(
-            "serving on %s:%d (max_inflight=%d, workers=%d, wal=%s)",
+            "serving on %s:%d (max_inflight=%d, workers=%d, wal=%s, "
+            "replica_of=%s)",
             self.host,
             self.port,
             self.max_inflight,
             self.workers,
             getattr(self.wal, "path", None),
+            self.replica_of,
         )
         return self
 
@@ -270,6 +338,13 @@ class ReproServer:
         self._queue.put_nowait(None)
         if self._engine_task is not None:
             await self._engine_task
+        # stop the background ticks BEFORE closing the WAL: a heartbeat
+        # firing after close would append to a closed file
+        for task in (self._poll_task, self._heartbeat_task):
+            if task is not None:
+                task.cancel()
+                with suppress(asyncio.CancelledError):
+                    await task
         if self.wal is not None:
             # closes the group-commit window too: every acknowledged
             # write is on disk before the process exits
@@ -407,6 +482,59 @@ class ReproServer:
                 run.append(nxt)
             self._process_run(run)
 
+    async def _poll_loop(self) -> None:
+        """Replica background tick: tail the primary's WAL while idle."""
+        while True:
+            await asyncio.sleep(self.poll_interval)
+            self._poll_follower()
+
+    async def _heartbeat_loop(self) -> None:
+        """Primary background tick: append a liveness/seq mark."""
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            try:
+                self.wal.append_mark(self._seq)
+            except WalError:  # pragma: no cover - closing race
+                return
+
+    def _poll_follower(self) -> None:
+        """One replica poll (fault site ``server.replica.lag``)."""
+        follower = self._follower
+        if follower is None:
+            return
+        if faults.fire(faults.SITE_REPLICA_LAG) is not None:
+            self.stats["lag_skips"] += 1
+            return
+        seq_before = follower.applied_seq
+        wall_before = follower.last_mark_wall
+        try:
+            applied = follower.poll()
+        except WalError as exc:  # keep serving the stale state
+            log.warning("replica: poll failed (%s); serving stale state", exc)
+            return
+        if (
+            applied
+            or follower.applied_seq != seq_before
+            or follower.last_mark_wall != wall_before
+        ):
+            self._primary_seen = time.monotonic()
+        alive = (
+            time.monotonic() - self._primary_seen <= self.heartbeat_timeout
+        )
+        if alive != self._primary_alive:
+            self._primary_alive = alive
+            if alive:
+                log.info("replica: primary is back (heartbeats resumed)")
+            else:
+                log.warning(
+                    "replica: no primary activity for %.1fs "
+                    "(heartbeat_timeout=%.1fs); primary presumed dead, "
+                    "still serving applied_seq=%d",
+                    time.monotonic() - self._primary_seen,
+                    self.heartbeat_timeout,
+                    follower.applied_seq,
+                )
+
     def _process_run(self, run: list[tuple[_Connection, dict]]) -> None:
         """Execute one drained run of ops, in arrival order.
 
@@ -414,6 +542,10 @@ class ReproServer:
         :func:`execute_many` batch; everything else flushes the span
         first, so reply ``seq`` order equals arrival order exactly.
         """
+        if self._follower is not None:
+            # serve every run against the freshest applied state; the
+            # min_seq gate below then decides per-op
+            self._poll_follower()
         pending: list[tuple[_Connection, dict, QueryRequest]] = []
         for conn, req in run:
             op = req.get("op")
@@ -464,6 +596,11 @@ class ReproServer:
 
     def _process_one(self, conn: _Connection, req: dict, op) -> None:
         try:
+            if self._follower is not None and op in _PRIMARY_ONLY_OPS:
+                raise ReadOnly(
+                    f"op {op!r} needs the primary: this server is a "
+                    f"read-only replica of {self.replica_of}"
+                )
             handler = {
                 "prepare": self._op_prepare,
                 "release": self._op_release,
@@ -577,13 +714,24 @@ class ReproServer:
         return {"unwatched": state is not None}
 
     def _op_stats(self, conn: _Connection, req: dict) -> dict:
-        return {
+        payload = {
             **self.stats,
             "open_connections": len(self._conns),
             "conn_peak_inflight": conn.peak_inflight,
             "seq": self._seq,
             "pool_parallel": bool(self._pool is not None and self._pool.parallel),
+            "role": "replica" if self._follower is not None else "primary",
         }
+        if self._follower is not None:
+            idle = time.monotonic() - self._primary_seen
+            payload.update({
+                "applied_seq": self._follower.applied_seq,
+                "polls": self._follower.polls,
+                "rebases": self._follower.rebases,
+                "primary_alive": idle <= self.heartbeat_timeout,
+                "primary_idle_s": round(idle, 3),
+            })
+        return payload
 
     def _op_ping(self, conn: _Connection, req: dict) -> dict:
         return {"pong": True}
@@ -644,6 +792,15 @@ class ReproServer:
         )
 
     def _resolve_read(self, conn: _Connection, req: dict) -> QueryRequest:
+        if self._follower is not None:
+            min_seq = req.get("min_seq") or 0
+            if min_seq > self._follower.applied_seq:
+                # serving now would hand the client state older than its
+                # own last write: refuse, let the router wait or fall back
+                raise ReplicaLagging(
+                    f"replica applied_seq={self._follower.applied_seq} "
+                    f"is behind min_seq={min_seq}"
+                )
         if "handle" in req:
             handle = req["handle"]
             try:
@@ -662,6 +819,15 @@ class ReproServer:
     def _reply(self, conn: _Connection, req: dict, payload: dict) -> None:
         self._seq += 1
         self.stats["requests"] += 1
+        if self.wal is not None and req.get("op") in ("assert", "retract", "batch"):
+            # mark AFTER the write's own records: a replica that has
+            # applied the mark has applied everything seq covers.  Even
+            # if the reply below is lost (conn.drop), the write
+            # happened, so the mark must stand.
+            try:
+                self.wal.append_mark(self._seq)
+            except WalError:  # pragma: no cover - closing race
+                pass
         rule = faults.fire(faults.SITE_CONN_DROP)
         if rule is not None:
             self.stats["conn_drops"] += 1
@@ -673,7 +839,12 @@ class ReproServer:
             conn.release_slot()
             conn.abort()
             return
-        conn.push({"id": req.get("id"), "seq": self._seq, "ok": True, **payload})
+        if self._replica_crashed(conn):
+            return
+        frame = {"id": req.get("id"), "seq": self._seq, "ok": True, **payload}
+        if self._follower is not None:
+            frame["applied_seq"] = self._follower.applied_seq
+        conn.push(frame)
         conn.release_slot()
 
     def _reply_error(self, conn: _Connection, req: dict, exc: Exception) -> None:
@@ -682,13 +853,44 @@ class ReproServer:
         log.debug(
             "conn %d: op %r failed: %s", conn.cid, req.get("op"), exc
         )
-        conn.push({
+        if self._replica_crashed(conn):
+            return
+        frame = {
             "id": req.get("id"),
             "seq": self._seq,
             "ok": False,
             "error": {"type": type(exc).__name__, "message": str(exc)},
-        })
+        }
+        if self._follower is not None:
+            frame["applied_seq"] = self._follower.applied_seq
+        conn.push(frame)
         conn.release_slot()
+
+    def _replica_crashed(self, conn: _Connection) -> bool:
+        """Fault site ``server.replica.crash``: die right before a reply.
+
+        Aborts *every* open connection — clients see the whole replica
+        go away mid-stream, exactly like a process crash — while the
+        listener stays up, which doubles as an instant supervised
+        restart (the follower session, like a real restart's recovery,
+        carries on from the WAL).
+        """
+        if self._follower is None:
+            return False
+        rule = faults.fire(faults.SITE_REPLICA_CRASH)
+        if rule is None:
+            return False
+        self.stats["replica_crashes"] += 1
+        log.warning(
+            "fault server.replica.crash: aborting %d connection(s) "
+            "before reply seq=%d",
+            len(self._conns),
+            self._seq,
+        )
+        conn.release_slot()
+        for other in list(self._conns):
+            other.abort()
+        return True
 
 
 class ServerThread:
@@ -706,7 +908,7 @@ class ServerThread:
     runs — the engine loop is its single writer *and* single reader.
     """
 
-    def __init__(self, session: Session, **kwargs) -> None:
+    def __init__(self, session: Session | None, **kwargs) -> None:
         self._session = session
         self._kwargs = kwargs
         self._ready = threading.Event()

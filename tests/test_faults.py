@@ -430,3 +430,85 @@ class TestEnvDifferential:
         assert recovered._proper == oracle._proper
         assert recovered._order == oracle._order
         assert recovered._gens() == oracle._gens()
+
+    def test_replica_routing_differential_under_env_faults(self, tmp_path):
+        """Routed reads under env faults == direct primary reads.
+
+        All writes land *before* the faults arm, and the replica is
+        allowed to catch up first — so whatever the environment then
+        injects (a stalled follower, a skipped poll, a crashing
+        replica, a torn write that can no longer happen) is pure read-
+        path infrastructure failure for the router to absorb: every
+        routed read must still return exactly the primary's payload.
+        """
+        import json
+        import time
+
+        from repro.engine.wal import WriteAheadLog
+        from repro.server import ReplicaRouter, ReproClient, ServerThread
+
+        def payload_of(reply):
+            body = {
+                k: v
+                for k, v in reply.items()
+                if k not in ("id", "seq", "applied_seq")
+            }
+            return json.dumps(body, sort_keys=True)
+
+        path = str(tmp_path / "env-replica.wal")
+        session = Session()
+        wal = WriteAheadLog(path, sync="flush")
+        wal.attach(session)
+        primary = ServerThread(session, wal=wal, heartbeat_interval=0.05)
+        p_addr = primary.start()
+        replica = ServerThread(
+            None, replica_of=path, poll_interval=0.01, heartbeat_timeout=5.0
+        )
+        r_addr = replica.start()
+        try:
+            reads = [
+                ("answers", "Env(X)"),
+                ("execute", "Env(a1)"),
+                ("execute", "Env(zzz)"),
+                ("answers", "Env(X) &"),  # a parse error is a payload too
+            ]
+            with ReproClient(*p_addr) as client:
+                seq = 0
+                for i in range(4):
+                    seq = client.assert_facts(f"Env(a{i})")["seq"]
+                expected = []
+                for kind, arg in reads:
+                    if kind == "answers":
+                        reply = client.answers(arg, ["X"], check=False)
+                    else:
+                        reply = client.execute(arg, check=False)
+                    expected.append(payload_of(reply))
+            deadline = time.monotonic() + 30
+            with ReproClient(*r_addr) as client:
+                while client.stats()["applied_seq"] < seq:
+                    assert time.monotonic() < deadline, "replica never caught up"
+                    time.sleep(0.01)
+            faults.install_from_env()
+            router = ReplicaRouter(
+                p_addr,
+                [r_addr],
+                timeout=30.0,
+                wait_timeout=5.0,
+                down_cooldown=0.05,
+                backoff=0.01,
+            )
+            with router:
+                router.last_write_seq = seq  # adopt the session's writes
+                got = []
+                for kind, arg in reads:
+                    if kind == "answers":
+                        reply = router.answers(arg, ["X"], check=False)
+                    else:
+                        reply = router.execute(arg, check=False)
+                    assert reply.get("applied_seq", seq) >= seq
+                    got.append(payload_of(reply))
+            assert got == expected
+        finally:
+            faults.reset()
+            replica.shutdown()
+            primary.shutdown()

@@ -1,0 +1,451 @@
+"""Read replicas: read-your-writes routing, failover, retry/backoff.
+
+A *primary* ``ReproServer`` owns the writable session and its WAL; each
+*replica* server hosts a read-only :class:`~repro.engine.wal.WalFollower`
+session tailing that WAL, stamping every reply with ``applied_seq`` —
+the primary ``seq`` its state covers.  :class:`ReplicaRouter` is the
+client side: writes to the primary, reads over the replicas gated by
+the session's last-write ``seq``, every infrastructure failure (lag,
+crash, dead socket, timeout) absorbed by bounded waits, exponential
+backoff and failover.
+
+The centerpiece is the routed concurrent differential: N client
+threads drive routers against a primary + 2 replicas with the three
+replica fault sites armed (``server.replica.lag``,
+``server.replica.crash``, ``wal.follower.stall``); each thread's reply
+trace must match, payload for payload, a sequential replay of its
+script against a primary-only server — and no read may ever observe an
+``applied_seq`` older than that client's own last write.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.engine import faults
+from repro.engine.faults import FaultRule
+from repro.engine.wal import WriteAheadLog
+from repro.server import (
+    ClientError,
+    ClientTimeout,
+    ReplicaRouter,
+    ReproClient,
+    ServerReplyError,
+    ServerThread,
+)
+from repro.substrate.parser import parse_database
+
+DB_TEXT = """
+On(p1, lamp)
+On(p2, heater)
+Off(p3, lamp)
+p1 < p3
+p1 < p2
+"""
+
+JOIN = "On(s, X) & Off(t, X) & s < t"
+
+
+def _session() -> Session:
+    return Session(parse_database(DB_TEXT))
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def _payload_of(reply: dict) -> str:
+    """A reply's op payload as canonical JSON (routing metadata stripped)."""
+    body = {
+        k: v for k, v in reply.items() if k not in ("id", "seq", "applied_seq")
+    }
+    return json.dumps(body, sort_keys=True)
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    """One primary (WAL + fast heartbeat) and two tailing replicas."""
+    path = str(tmp_path / "primary.wal")
+    session = _session()
+    wal = WriteAheadLog(path, sync="flush")
+    wal.attach(session)
+    primary = ServerThread(session, wal=wal, heartbeat_interval=0.05)
+    p_addr = primary.start()
+    replicas = [
+        ServerThread(
+            None, replica_of=path, poll_interval=0.01, heartbeat_timeout=2.0
+        )
+        for _ in range(2)
+    ]
+    r_addrs = [replica.start() for replica in replicas]
+    yield p_addr, r_addrs, primary, replicas
+    for replica in replicas:
+        replica.shutdown()
+    primary.shutdown()
+
+
+def _await_applied(addr, seq: int, timeout: float = 10.0) -> dict:
+    """Block until the replica at ``addr`` reports ``applied_seq >= seq``."""
+    deadline = time.monotonic() + timeout
+    with ReproClient(*addr) as client:
+        while time.monotonic() < deadline:
+            stats = client.stats()
+            if stats["applied_seq"] >= seq:
+                return stats
+            time.sleep(0.01)
+    raise AssertionError(f"replica at {addr} never reached seq {seq}")
+
+
+# ---------------------------------------------------------------------------
+# replica server semantics
+
+
+class TestReplicaServer:
+    def test_replica_serves_reads_with_applied_seq(self, cluster):
+        p_addr, r_addrs, _, _ = cluster
+        with ReproClient(*p_addr) as primary:
+            seq = primary.assert_facts("On(p4, fan)\nOff(p5, fan)\np4 < p5")[
+                "seq"
+            ]
+            expected = primary.answers(JOIN, ["X"])
+        for addr in r_addrs:
+            _await_applied(addr, seq)
+            with ReproClient(*addr) as replica:
+                reply = replica.answers(JOIN, ["X"])
+                assert reply["applied_seq"] >= seq
+                assert _payload_of(reply) == _payload_of(expected)
+
+    def test_replica_rejects_primary_only_ops(self, cluster):
+        _, r_addrs, _, _ = cluster
+        with ReproClient(*r_addrs[0]) as replica:
+            rejected = [
+                replica.call("assert", check=False, facts="On(p9, tv)"),
+                replica.call("retract", check=False, facts="On(p1, lamp)"),
+                replica.call("batch", check=False, lines=["assert: Zero()"]),
+                replica.call("prepare", check=False, query=JOIN),
+                replica.call(
+                    "watch", check=False, query="On(s, X)", free_vars=["X"]
+                ),
+            ]
+            for reply in rejected:
+                assert reply["ok"] is False
+                assert reply["error"]["type"] == "ReadOnly"
+                assert "applied_seq" in reply
+            # routing signal, not protocol damage: the connection lives
+            assert replica.ping()["pong"] is True
+            assert replica.stats()["role"] == "replica"
+
+    def test_min_seq_gates_stale_reads(self, cluster):
+        p_addr, r_addrs, _, _ = cluster
+        # freeze both followers, then write past them
+        faults.install([FaultRule(faults.SITE_FOLLOWER_STALL, times=0)])
+        with ReproClient(*p_addr) as primary:
+            seq = primary.assert_facts("On(p6, amp)")["seq"]
+        with ReproClient(*r_addrs[0]) as replica:
+            stale = replica.call(
+                "execute", check=False, query="On(p6, amp)", min_seq=seq
+            )
+            assert stale["ok"] is False
+            assert stale["error"]["type"] == "ReplicaLagging"
+            assert stale["applied_seq"] < seq
+            # ungated reads still serve the (stale) state
+            assert replica.execute("On(p1, lamp)")["entailed"] is True
+            faults.reset()  # unfreeze: the gate opens once caught up
+            _await_applied(r_addrs[0], seq)
+            fresh = replica.call("execute", query="On(p6, amp)", min_seq=seq)
+            assert fresh["entailed"] is True
+            assert fresh["applied_seq"] >= seq
+
+    def test_replica_detects_rebase_after_primary_compaction(self, tmp_path):
+        path = str(tmp_path / "compact.wal")
+        session = _session()
+        wal = WriteAheadLog(path, sync="flush", compact_every=2)
+        wal.attach(session)
+        primary = ServerThread(session, wal=wal, heartbeat_interval=0.05)
+        p_addr = primary.start()
+        replica = ServerThread(
+            None, replica_of=path, poll_interval=0.01, heartbeat_timeout=2.0
+        )
+        r_addr = replica.start()
+        try:
+            with ReproClient(*p_addr) as client:
+                seq = 0
+                for i in range(5):
+                    seq = client.assert_facts(f"On(q{i}, d{i})")["seq"]
+                expected = client.answers("On(s, X)", ["X"])
+            stats = _await_applied(r_addr, seq)
+            assert stats["rebases"] >= 1
+            with ReproClient(*r_addr) as client:
+                assert _payload_of(client.answers("On(s, X)", ["X"])) == (
+                    _payload_of(expected)
+                )
+        finally:
+            replica.shutdown()
+            primary.shutdown()
+
+    def test_replica_reports_primary_death_and_keeps_serving(self, tmp_path):
+        path = str(tmp_path / "dying.wal")
+        session = _session()
+        wal = WriteAheadLog(path, sync="flush")
+        wal.attach(session)
+        primary = ServerThread(session, wal=wal, heartbeat_interval=0.05)
+        p_addr = primary.start()
+        replica = ServerThread(
+            None, replica_of=path, poll_interval=0.01, heartbeat_timeout=0.3
+        )
+        r_addr = replica.start()
+        try:
+            with ReproClient(*p_addr) as client:
+                seq = client.assert_facts("On(p7, mixer)")["seq"]
+            stats = _await_applied(r_addr, seq)
+            assert stats["primary_alive"] is True
+            primary.shutdown()
+            deadline = time.monotonic() + 10
+            with ReproClient(*r_addr) as client:
+                while time.monotonic() < deadline:
+                    if client.stats()["primary_alive"] is False:
+                        break
+                    time.sleep(0.02)
+                else:
+                    raise AssertionError("replica never noticed primary death")
+                # orphaned but readable: the last applied state survives
+                assert client.execute("On(p7, mixer)")["entailed"] is True
+        finally:
+            replica.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# client router
+
+
+class TestReplicaRouter:
+    def test_read_your_writes_lands_on_replicas(self, cluster):
+        p_addr, r_addrs, _, _ = cluster
+        with ReplicaRouter(p_addr, r_addrs, wait_timeout=10.0) as router:
+            for i in range(4):
+                router.assert_facts(f"On(r{i}, dev{i})")
+                reply = router.execute(f"On(r{i}, dev{i})")
+                assert reply["entailed"] is True
+                # the invariant the whole design exists for: a routed
+                # read never observes state older than our last write
+                assert reply.get(
+                    "applied_seq", router.last_write_seq
+                ) >= router.last_write_seq
+            assert router.counters["reads"] == 4
+            assert router.counters["replica_reads"] == 4
+            assert router.counters["primary_fallbacks"] == 0
+
+    def test_bounded_wait_falls_back_to_primary(self, cluster):
+        p_addr, r_addrs, _, _ = cluster
+        faults.install([FaultRule(faults.SITE_FOLLOWER_STALL, times=0)])
+        delays: list[float] = []
+        router = ReplicaRouter(
+            p_addr,
+            r_addrs,
+            wait_timeout=0.3,
+            backoff=0.01,
+            rng=random.Random(0),
+            sleep=lambda s: (delays.append(s), time.sleep(min(s, 0.05)))[0],
+        )
+        with router:
+            router.assert_facts("On(r9, drill)")
+            reply = router.execute("On(r9, drill)")
+            assert reply["entailed"] is True
+            assert "applied_seq" not in reply  # the primary answered
+            assert router.counters["primary_fallbacks"] == 1
+            assert router.counters["lag_waits"] >= 1
+        assert delays  # it backed off while the replicas were stuck
+
+    def test_failover_skips_a_dead_replica(self, cluster):
+        p_addr, r_addrs, _, replicas = cluster
+        replicas[0].shutdown()
+        router = ReplicaRouter(p_addr, r_addrs, down_cooldown=60.0)
+        with router:
+            router.assert_facts("On(r8, saw)")
+            for _ in range(4):
+                assert router.execute("On(r8, saw)")["entailed"] is True
+            # the dead replica cost at most one failover (then its
+            # cooldown parks it); the live one served every read
+            assert router.counters["replica_reads"] == 4
+            assert router.counters["primary_fallbacks"] == 0
+            assert router.counters["failovers"] >= 1
+
+    def test_replica_crash_fault_site_is_absorbed(self, cluster):
+        p_addr, r_addrs, _, _ = cluster
+        with ReplicaRouter(p_addr, r_addrs, down_cooldown=0.05) as router:
+            router.assert_facts("On(r7, pump)")
+            faults.install([FaultRule(faults.SITE_REPLICA_CRASH, times=1)])
+            for _ in range(4):
+                assert router.execute("On(r7, pump)")["entailed"] is True
+            assert router.counters["failovers"] >= 1
+            stats = [s for s in router.replica_stats() if s is not None]
+            assert sum(s["replica_crashes"] for s in stats) == 1
+
+    def test_backoff_is_exponential_jittered_and_capped(self):
+        router = ReplicaRouter(
+            ("127.0.0.1", 1),  # never connected: delays are pure math
+            backoff=0.05,
+            backoff_max=0.4,
+            jitter=0.25,
+            rng=random.Random(42),
+            sleep=lambda _s: None,
+        )
+        delays = [router._backoff_delay(attempt) for attempt in range(8)]
+        for attempt, delay in enumerate(delays):
+            base = min(0.05 * 2**attempt, 0.4)
+            assert base <= delay <= base * 1.25
+        assert delays[0] < delays[3]  # growth before the cap
+
+    def test_cli_connect_list_builds_a_router(self):
+        import argparse
+
+        from repro.cli import _remote_client
+
+        args = argparse.Namespace(connect="h0:1,h1:2,h2:3", wal=None)
+        client = _remote_client(args)
+        assert isinstance(client, ReplicaRouter)
+        assert client._primary_addr == ("h0", 1)
+        assert client._replica_addrs == [("h1", 2), ("h2", 3)]
+
+
+class TestClientTimeout:
+    def test_silent_server_raises_client_timeout(self):
+        silent = socket.socket()
+        try:
+            silent.bind(("127.0.0.1", 0))
+            silent.listen(1)
+            host, port = silent.getsockname()
+            client = ReproClient(host, port, timeout=0.2)
+            try:
+                started = time.monotonic()
+                with pytest.raises(ClientTimeout):
+                    client.ping()
+                assert time.monotonic() - started < 5.0
+            finally:
+                client.close()
+        finally:
+            silent.close()
+
+    def test_default_is_no_timeout(self, cluster):
+        p_addr, _, _, _ = cluster
+        with ReproClient(*p_addr) as client:
+            assert client.timeout is None
+            assert client._sock.gettimeout() is None
+            assert client.ping()["pong"] is True
+
+
+# ---------------------------------------------------------------------------
+# the acceptance differential: routed + faulted == primary-only sequential
+
+
+def _client_script(tid: int) -> list[tuple]:
+    """One client's ops over its private keyspace (monotone writes).
+
+    Each read's expected payload is a pure function of the client's own
+    preceding writes — other clients touch other predicates — so the
+    routed trace can be replayed sequentially client by client.
+    """
+    script: list[tuple] = []
+    for i in range(6):
+        script.append(("write", f"T{tid}(c{i})\nT{tid}(c{i}x)"))
+        script.append(("answers", f"T{tid}(X)"))
+        script.append(("execute", f"T{tid}(c{i})"))
+        if i == 3:
+            script.append(("answers", f"T{tid}(X) &"))  # a parse error
+    return script
+
+
+def _run_script(client, script, trace, invariants=None):
+    for kind, arg in script:
+        if kind == "write":
+            reply = client.assert_facts(arg)
+        elif kind == "answers":
+            min_seq = getattr(client, "last_write_seq", 0)
+            reply = client.answers(arg, ["X"], check=False)
+        else:
+            min_seq = getattr(client, "last_write_seq", 0)
+            reply = client.execute(arg, check=False)
+        if kind != "write" and invariants is not None and "applied_seq" in reply:
+            invariants.append((reply["applied_seq"], min_seq))
+        trace.append((kind, _payload_of(reply)))
+
+
+class TestRoutedDifferential:
+    def test_faulted_routed_stream_equals_primary_only_replay(self, cluster):
+        p_addr, r_addrs, _, _ = cluster
+        n_clients = 3
+        faults.install([
+            FaultRule(faults.SITE_REPLICA_LAG, times=0, prob=0.5, seed=7),
+            FaultRule(faults.SITE_REPLICA_CRASH, after=3, times=2),
+            FaultRule(faults.SITE_FOLLOWER_STALL, times=0, prob=0.3, seed=3),
+        ])
+        traces: dict[int, list] = {tid: [] for tid in range(n_clients)}
+        invariants: dict[int, list] = {tid: [] for tid in range(n_clients)}
+        counters: dict[int, dict] = {}
+        errors: list[BaseException] = []
+
+        def run_client(tid: int) -> None:
+            try:
+                router = ReplicaRouter(
+                    p_addr,
+                    r_addrs,
+                    timeout=30.0,
+                    wait_timeout=10.0,
+                    down_cooldown=0.002,
+                    backoff=0.01,
+                )
+                with router:
+                    _run_script(
+                        router,
+                        _client_script(tid),
+                        traces[tid],
+                        invariants[tid],
+                    )
+                    counters[tid] = dict(router.counters)
+            except BaseException as exc:  # surfaced in the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run_client, args=(tid,))
+            for tid in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        assert not errors, errors
+        faults.reset()
+
+        # Invariant: no routed read ever observed replica state older
+        # than that client's own last acknowledged write.  (A client
+        # whose every read fell back to the primary — possible when the
+        # crash fault downs both replicas at just the wrong moments —
+        # is trivially consistent; the fleet as a whole must still have
+        # exercised the replica path.)
+        assert sum(c["replica_reads"] for c in counters.values()) >= 1
+        for tid in range(n_clients):
+            for applied_seq, min_seq in invariants[tid]:
+                assert applied_seq >= min_seq
+
+        # Differential: each client's trace payload-for-payload equals
+        # a sequential replay against a fresh primary-only server.
+        replay = ServerThread(_session())
+        host, port = replay.start()
+        try:
+            for tid in range(n_clients):
+                expected: list = []
+                with ReproClient(host, port) as client:
+                    _run_script(client, _client_script(tid), expected)
+                assert traces[tid] == expected
+        finally:
+            replay.shutdown()

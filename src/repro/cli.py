@@ -150,7 +150,9 @@ def _remote_client(args):
         raise SystemExit(f"--connect wants HOST:PORT[,...], got {args.connect!r}")
     if len(endpoints) == 1:
         host, port = _parse_connect(endpoints[0])
-        return ReproClient(host, port)
+        # 60s op bound, as before the client grew timeout=: a CLI call
+        # against a wedged server should error out, not hang forever
+        return ReproClient(host, port, timeout=60.0)
     primary, *replicas = (_parse_connect(part) for part in endpoints)
     return ReplicaRouter(primary, replicas)
 
@@ -305,6 +307,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             and time.monotonic() < deadline
         ):
             time.sleep(0.05)
+        if not pathlib.Path(snap_path(args.replica_of)).exists():
+            raise SystemExit(
+                f"primary WAL snapshot {snap_path(args.replica_of)!r} not "
+                f"found after {args.replica_wait:g}s; is the primary "
+                f"serving with --wal {args.replica_of}?"
+            )
         server = ReproServer(
             None,
             args.host,

@@ -57,7 +57,13 @@ feet is detected and handled by rebasing onto the new snapshot.
 records — tiny ``(seq, wall)`` stamps appended by the serving tier's
 primary after each acknowledged write and periodically as heartbeats.
 They carry no session state: recovery and log replay skip them, and
-they do not count toward ``compact_every``.  A :class:`WalFollower`
+they count toward ``compact_every`` on their own counter — a marks-only
+compaction skips the snapshot rewrite and just resets the log, so an
+idle heartbeating primary's log stays bounded.  Compaction re-seeds the
+fresh log with one mark carrying the ``seq`` high-water
+(:attr:`WriteAheadLog.last_mark_seq`), which is how a restarted primary
+resumes its reply ``seq`` instead of reusing numbers replicas have
+already ratcheted past.  A :class:`WalFollower`
 folds them into :attr:`~WalFollower.applied_seq` (the primary ``seq``
 covered by the replica's state, the read-your-writes token) and
 :attr:`~WalFollower.last_mark_wall` (primary-liveness evidence).
@@ -421,6 +427,13 @@ class WriteAheadLog:
         self._fh: io.BufferedWriter | None = None
         self._session: "Session" | None = None
         self._since_compact = 0
+        self._marks_since_compact = 0
+        #: highest ``seq`` ever carried by an appended :class:`WalMark`
+        #: (recovered from the log on :meth:`attach`).  Compaction
+        #: re-appends one mark with this value into the fresh log, so a
+        #: restarted serving-tier primary can resume its reply ``seq``
+        #: above everything replicas have already ratcheted past.
+        self.last_mark_seq = 0
         # Group-commit state: appends flushed but not yet fsync'd, and
         # the timer that will fsync them when the window closes.  The
         # lock serializes the append path against the timer thread.
@@ -461,6 +474,10 @@ class WriteAheadLog:
             self._fh.seek(clean)
             self._since_compact = sum(
                 1 for r in records if not isinstance(r, WalMark)
+            )
+            self._marks_since_compact = 0
+            self.last_mark_seq = max(
+                (r.seq for r in records if isinstance(r, WalMark)), default=0
             )
         else:
             _write_snapshot(
@@ -594,12 +611,25 @@ class WriteAheadLog:
         """Append a :class:`WalMark` (``seq`` stamp / heartbeat) record.
 
         Marks ride the same sync policy as mutation records but carry
-        no session state and do not count toward ``compact_every``.
+        no session state.  They keep their own counter against
+        ``compact_every`` — a quiet primary heartbeating once a second
+        must not grow the log without bound — and a marks-only
+        compaction is cheap: the snapshot already covers the log, so
+        only the log file is reset (see :meth:`compact`).
         """
         if self._fh is None:
             raise WalError("log is not open")
+        if seq > self.last_mark_seq:
+            self.last_mark_seq = seq
         payload = _encode_mark(seq, time.time() if wall is None else wall)
         self._write_frame(_FRAME.pack(len(payload), zlib.crc32(payload)) + payload)
+        self._marks_since_compact += 1
+        if (
+            self.compact_every
+            and self._marks_since_compact >= self.compact_every
+            and self._session is not None
+        ):
+            self.compact()
 
     def _write_frame(self, frame: bytes) -> None:
         """Write one framed record honoring the sync policy."""
@@ -634,16 +664,24 @@ class WriteAheadLog:
         point recovers cleanly: stage 0 leaves the old snapshot + full
         log; stage 1 leaves the new snapshot + a log whose records are
         all at or below the new base epoch, so replay skips them.
+
+        When the log holds no mutation records (marks only — an idle
+        heartbeating primary), the snapshot already covers it and the
+        rewrite is skipped: only the log file is reset.  Either way the
+        fresh log is seeded with one :class:`WalMark` carrying
+        :attr:`last_mark_seq`, so the ``seq`` high-water survives
+        truncation for recovery and late-attaching followers.
         """
         if self._fh is None or self._session is None:
             raise WalError("log is not attached")
         session = self._session
-        _write_snapshot(
-            self.path,
-            frozenset(session._proper),
-            frozenset(session._order),
-            session._gens(),
-        )
+        if self._since_compact:
+            _write_snapshot(
+                self.path,
+                frozenset(session._proper),
+                frozenset(session._order),
+                session._gens(),
+            )
         # Reset the log under a NEW inode (tmp + os.replace) rather than
         # truncating in place: a follower can then detect compaction
         # from a single stat (the inode changed), which is what makes
@@ -666,6 +704,15 @@ class WriteAheadLog:
             self._fh = open(self.path, "r+b")
             self._fh.seek(0, os.SEEK_END)
         self._since_compact = 0
+        self._marks_since_compact = 0
+        if self.last_mark_seq:
+            # re-seed the seq high-water (direct frame write: must not
+            # re-enter the mark-count compaction trigger)
+            payload = _encode_mark(self.last_mark_seq, time.time())
+            self._write_frame(
+                _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+            )
+            self._marks_since_compact = 1
 
 
 # -- recovery ----------------------------------------------------------------

@@ -68,7 +68,11 @@ class ReproClient:
     ``timeout`` bounds every blocking socket wait (connect aside — see
     ``connect_timeout``): when it elapses mid-:meth:`wait` or
     mid-:meth:`send`, a :class:`ClientTimeout` is raised.  The default
-    ``None`` preserves the historical block-forever behavior.
+    ``None`` blocks forever on a silent server.  (Behavior change: the
+    pre-router client passed its 60s connect timeout to
+    ``socket.create_connection``, which left a 60s timeout on every
+    subsequent op; callers wanting that bound back pass
+    ``timeout=60.0`` — the CLI's ``--connect`` path does.)
     """
 
     def __init__(

@@ -53,7 +53,10 @@ error, and a read whose ``min_seq`` is ahead of ``applied_seq`` gets
 ``ReplicaLagging`` instead of stale data.  A primary with a WAL appends
 one :class:`~repro.engine.wal.WalMark` after every acknowledged write
 and a periodic heartbeat mark, which is also how replicas tell a quiet
-primary from a dead one (``stats`` reports ``primary_alive``).
+primary from a dead one (``stats`` reports ``primary_alive``); on
+start it resumes ``seq`` from the log's mark high-water, so the tokens
+replicas and routed clients already hold stay meaningful across a
+primary restart.
 
 Fault sites (:mod:`repro.engine.faults`): ``server.conn.drop`` severs a
 connection at reply time — the harness for client-visible partial
@@ -276,11 +279,21 @@ class ReproServer:
             self.session = self._follower.session
             self._primary_seen = time.monotonic()
             self._poll_task = asyncio.create_task(self._poll_loop())
-        elif self.wal is not None and self.heartbeat_interval:
-            # One mark up front so a replica attaching now already has
-            # a liveness stamp, then the periodic heartbeat.
-            self.wal.append_mark(self._seq)
-            self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
+        elif self.wal is not None:
+            # A restarted primary must not hand out seq numbers the
+            # replicas' applied_seq (which only ratchets upward) has
+            # already passed — that would let the router's min_seq gate
+            # pass trivially and serve pre-write state.  Resume from
+            # the log's mark high-water, which attach() recovers and
+            # compact() preserves across truncation.
+            self._seq = max(self._seq, self.wal.last_mark_seq)
+            if self.heartbeat_interval:
+                # One mark up front so a replica attaching now already
+                # has a liveness stamp, then the periodic heartbeat.
+                self.wal.append_mark(self._seq)
+                self._heartbeat_task = asyncio.create_task(
+                    self._heartbeat_loop()
+                )
         if self.workers > 1 and self._pool is None:
             from repro.engine.pool import DaemonPool
 

@@ -193,6 +193,54 @@ class TestReplicaServer:
             replica.shutdown()
             primary.shutdown()
 
+    def test_primary_restart_resumes_seq_past_replica_tokens(self, tmp_path):
+        """Read-your-writes must survive a primary crash/restart.
+
+        A replica's ``applied_seq`` only ratchets upward; if a restarted
+        primary started numbering replies at 1 again, the ``min_seq``
+        gate would pass trivially and a replica could serve state
+        predating the client's acknowledged write.  The primary must
+        instead resume ``seq`` from the WAL's mark high-water.
+        """
+        path = str(tmp_path / "restart.wal")
+        session = _session()
+        wal = WriteAheadLog(path, sync="flush").attach(session)
+        primary = ServerThread(session, wal=wal, heartbeat_interval=0.05)
+        p_addr = primary.start()
+        replica = ServerThread(
+            None, replica_of=path, poll_interval=0.01, heartbeat_timeout=30.0
+        )
+        r_addr = replica.start()
+        try:
+            with ReproClient(*p_addr) as client:
+                for i in range(3):
+                    seq = client.assert_facts(f"On(w{i}, d{i})")["seq"]
+            _await_applied(r_addr, seq)
+            primary.shutdown()
+
+            # the restarted primary recovers both the state and the seq
+            session2 = Session.recover(path)
+            wal2 = WriteAheadLog(path, sync="flush").attach(session2)
+            primary2 = ServerThread(session2, wal=wal2, heartbeat_interval=0.05)
+            p2_addr = primary2.start()
+            try:
+                with ReproClient(*p2_addr) as client:
+                    reply = client.assert_facts("On(w9, fresh)")
+                    assert reply["seq"] > seq  # never back below the tokens
+                stats = _await_applied(r_addr, reply["seq"])
+                assert stats["applied_seq"] >= reply["seq"]
+                with ReproClient(*r_addr) as rc:
+                    gated = rc.call(
+                        "execute", query="On(w9, fresh)", min_seq=reply["seq"]
+                    )
+                    # a min_seq-gated read that passes really has the write
+                    assert gated["entailed"] is True
+                    assert gated["applied_seq"] >= reply["seq"]
+            finally:
+                primary2.shutdown()
+        finally:
+            replica.shutdown()
+
     def test_replica_reports_primary_death_and_keeps_serving(self, tmp_path):
         path = str(tmp_path / "dying.wal")
         session = _session()

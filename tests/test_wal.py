@@ -549,12 +549,66 @@ class TestMarks:
         assert [r.seq for r in records if isinstance(r, WalMark)] == [4, 5]
         # a fresh follower folds historical marks at load time
         assert WalFollower(path).applied_seq == 5
-        # marks do not count toward compact_every: re-attach sees one
-        # pending record, not three
+        # marks have their own compaction counter: re-attach sees one
+        # pending mutation record, not three, and recovers the seq
+        # high-water from the surviving marks
         wal2 = WriteAheadLog(path, sync="flush")
         wal2.attach(session)
         assert wal2._since_compact == 1
+        assert wal2.last_mark_seq == 5
         wal2.close()
+
+    def test_compaction_preserves_the_mark_high_water(self, tmp_path):
+        path = str(tmp_path / "s.wal")
+        session = Session()
+        with WriteAheadLog(path, sync="flush") as wal:
+            wal.attach(session)
+            session.assert_facts(ProperAtom("Tag", (obj("a"),)))
+            wal.append_mark(9)
+            wal.compact()
+            # the fresh log is seeded with exactly the high-water mark,
+            # so a restart (re-attach/recover) never resets the seq
+            # space below what followers have already ratcheted to
+            _, _, records = read_log(path)
+            assert [r.seq for r in records if isinstance(r, WalMark)] == [9]
+        _assert_equal_state(recover(path), session)
+        assert WalFollower(path).applied_seq == 9
+        wal2 = WriteAheadLog(path, sync="flush")
+        wal2.attach(session)
+        assert wal2.last_mark_seq == 9
+        wal2.close()
+
+    def test_marks_trigger_compaction_and_bound_an_idle_log(self, tmp_path):
+        path = str(tmp_path / "s.wal")
+        session = Session()
+        with WriteAheadLog(path, sync="flush", compact_every=4) as wal:
+            wal.attach(session)
+            session.assert_facts(ProperAtom("Tag", (obj("a"),)))
+            # the 4th mark hits compact_every: the pending mutation is
+            # folded into the snapshot and the log resets
+            for seq in range(1, 5):
+                wal.append_mark(seq)
+            assert wal._since_compact == 0
+            _, _, records = read_log(path)
+            assert [r.seq for r in records if isinstance(r, WalMark)] == [4]
+            assert not any(not isinstance(r, WalMark) for r in records)
+            # an idle "heartbeating" primary keeps cycling the log —
+            # marks-only resets, no snapshot rewrite — instead of
+            # growing it one mark per interval forever
+            snap_mtime = os.path.getmtime(snap_path(path))
+            bound = os.path.getsize(path)
+            for seq in range(5, 25):
+                wal.append_mark(seq)
+                bound = max(bound, os.path.getsize(path))
+            _, _, records = read_log(path)
+            marks = [r.seq for r in records if isinstance(r, WalMark)]
+            assert len(marks) <= 4
+            assert max(marks) == 24
+            assert os.path.getmtime(snap_path(path)) == snap_mtime
+            assert bound <= _HEADER.size + 5 * (
+                _FRAME.size + 64
+            )  # ~5 tiny mark frames, never unbounded
+        _assert_equal_state(recover(path), session)
 
     def test_rebase_keeps_the_applied_seq_high_water(self, tmp_path):
         path = str(tmp_path / "s.wal")
@@ -565,10 +619,10 @@ class TestMarks:
             wal.append_mark(9)
             follower = WalFollower(path)
             assert follower.applied_seq == 9
-            wal.compact()  # the marks vanish with the old log...
+            wal.compact()  # resets the log, re-seeding the high-water mark
             session.assert_facts(ProperAtom("Tag", (obj("b"),)))
             follower.poll()
-            # ...but the high-water token survives the rebase
+            # the token survives the rebase
             assert follower.rebases == 1
             assert follower.applied_seq == 9
             assert follower.session._proper == session._proper
